@@ -1,0 +1,232 @@
+// Command proteomectl drives the pipeline interactively: generate synthetic
+// proteomes, run the three workflow stages against the cluster simulator,
+// predict and export individual structures, and print campaign reports.
+//
+// Usage:
+//
+//	proteomectl generate -species DVU -out proteome.fasta
+//	proteomectl run -species DVU -preset genome -nodes 32
+//	proteomectl predict -species DVU -id DVU_00001 -out model.pdb
+//	proteomectl species
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fold"
+	"repro/internal/pdb"
+	"repro/internal/proteome"
+	"repro/internal/relax"
+	"repro/internal/seq"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "species":
+		err = speciesCmd()
+	case "generate":
+		err = generateCmd(os.Args[2:])
+	case "run":
+		err = runCmd(os.Args[2:])
+	case "predict":
+		err = predictCmd(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "proteomectl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: proteomectl <command> [flags]
+commands:
+  species                       list the paper's four species
+  generate -species C -out F    write a synthetic proteome as FASTA
+  run -species C [-preset P] [-nodes N] [-seed S]
+                                run the three-stage pipeline on the simulator
+  predict -species C -id ID [-out F] [-seed S]
+                                predict + relax one protein, write PDB`)
+}
+
+func findSpecies(code string) (proteome.Species, error) {
+	for _, sp := range proteome.PaperSpecies() {
+		if sp.Code == code {
+			return sp, nil
+		}
+	}
+	return proteome.Species{}, fmt.Errorf("unknown species %q (try: PMER, RRU, DVU, SPDIV)", code)
+}
+
+func speciesCmd() error {
+	fmt.Printf("%-6s %-40s %-11s %9s\n", "CODE", "NAME", "KINGDOM", "PROTEINS")
+	for _, sp := range proteome.PaperSpecies() {
+		fmt.Printf("%-6s %-40s %-11s %9d\n", sp.Code, sp.Name, sp.Kingdom, sp.NumProteins)
+	}
+	return nil
+}
+
+func generateCmd(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	code := fs.String("species", "DVU", "species code")
+	out := fs.String("out", "", "output FASTA path (default stdout)")
+	seedv := fs.Uint64("seed", experiments.DefaultSeed, "campaign seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sp, err := findSpecies(*code)
+	if err != nil {
+		return err
+	}
+	env := experiments.NewEnv(*seedv)
+	p := env.Proteome(sp)
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return seq.WriteFASTA(w, p.Sequences())
+}
+
+func runCmd(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	code := fs.String("species", "DVU", "species code")
+	presetName := fs.String("preset", "genome", "inference preset (reduced_dbs, genome, super, casp14)")
+	nodes := fs.Int("nodes", 32, "Summit nodes for inference")
+	seedv := fs.Uint64("seed", experiments.DefaultSeed, "campaign seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sp, err := findSpecies(*code)
+	if err != nil {
+		return err
+	}
+	var preset fold.Preset
+	found := false
+	for _, p := range fold.AllPresets() {
+		if p.Name == *presetName {
+			preset = p
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown preset %q", *presetName)
+	}
+
+	env := experiments.NewEnv(*seedv)
+	p := env.Proteome(sp)
+	proteins := p.FilterMaxLen(2500)
+	cfg := core.DefaultConfig()
+	cfg.Preset = preset
+	cfg.SummitNodes = *nodes
+	cfg.AndesNodes = 96
+
+	rep, err := core.RunCampaign(env.Engine, env.FeatureGen(), proteins, env.FS, core.ReducedDatabase(), cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d proteins (of %d; ≥2500 AA excluded)\n", sp.Name, len(proteins), sp.NumProteins)
+	fmt.Printf("feature generation  %8.1f node-hours, wall %6.1f h on %d Andes workers\n",
+		rep.Feature.NodeHours, rep.Feature.WalltimeSec/3600, cfg.AndesNodes)
+	fmt.Printf("inference (%s)  %8.1f node-hours, wall %6.1f h on %d Summit nodes (%d completed, %d OOM-dropped)\n",
+		preset.Name, rep.Inference.NodeHours, rep.Inference.WalltimeSec/3600, *nodes,
+		rep.Inference.Completed, rep.Inference.OOMDropped)
+	fmt.Printf("relaxation          %8.1f node-hours, wall %6.1f min on %d nodes\n",
+		rep.Relax.NodeHours, rep.Relax.WalltimeSec/60, cfg.RelaxNodes)
+	for _, m := range rep.Ledger.Machines() {
+		fmt.Printf("ledger[%s] = %.1f node-hours\n", m, rep.Ledger.Total(m))
+	}
+	return nil
+}
+
+func predictCmd(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	code := fs.String("species", "DVU", "species code")
+	id := fs.String("id", "", "protein ID (e.g. DVU_00001)")
+	out := fs.String("out", "", "output PDB path (default stdout)")
+	seedv := fs.Uint64("seed", experiments.DefaultSeed, "campaign seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("missing -id")
+	}
+	sp, err := findSpecies(*code)
+	if err != nil {
+		return err
+	}
+	env := experiments.NewEnv(*seedv)
+	p := env.Proteome(sp)
+	var target *proteome.Protein
+	for i := range p.Proteins {
+		if p.Proteins[i].Seq.ID == *id {
+			target = &p.Proteins[i]
+			break
+		}
+	}
+	if target == nil {
+		return fmt.Errorf("no protein %q in %s", *id, sp.Code)
+	}
+
+	feats, err := env.FeatureGen().Features(*target)
+	if err != nil {
+		return err
+	}
+	// Five models, keep the best by pTMS, then materialize and relax it.
+	best, bestModel := -1.0, 0
+	for m := 0; m < fold.NumModels; m++ {
+		pred, err := env.Engine.Infer(fold.Task{
+			ID: target.Seq.ID, Length: target.Seq.Len(), Features: feats,
+			Model: m, Preset: fold.Genome, NodeMemGB: 64,
+		})
+		if err != nil {
+			return err
+		}
+		if pred.PTMS > best {
+			best, bestModel = pred.PTMS, m
+		}
+	}
+	pred, err := env.Engine.Infer(fold.Task{
+		ID: target.Seq.ID, Length: target.Seq.Len(), Features: feats,
+		Model: bestModel, Preset: fold.Genome, NodeMemGB: 64, WantCoords: true,
+	})
+	if err != nil {
+		return err
+	}
+	rr, err := relax.Relax(pred.CA, pred.SC, relax.DefaultOptions(relax.PlatformGPU))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s: model %d, pLDDT %.1f, pTMS %.3f, %d recycles; violations %d->%d bumps\n",
+		*id, bestModel+1, pred.MeanPLDDT, pred.PTMS, pred.Recycles, rr.Before.Bumps, rr.After.Bumps)
+
+	model, err := pdb.FromTrace(target.Seq.ID, target.Seq.Residues, rr.CA, rr.SC, pred.PLDDT)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return pdb.Write(w, model)
+}

@@ -1,0 +1,16 @@
+// Package repro is a from-scratch Go reproduction of "Proteome-scale
+// Deployment of Protein Structure Prediction Workflows on the Summit
+// Supercomputer" (Gao et al., IPPS 2022, arXiv:2201.10024).
+//
+// The repository builds every system the paper depends on — a Dask-like
+// distributed dataflow engine, a Summit/Andes cluster simulator with an
+// LSF-like batch queue, sequence libraries with k-mer search and profile
+// HMMs, an AlphaFold2 inference surrogate with the paper's four presets and
+// dynamic recycling, a molecular-mechanics relaxation stage, and the
+// structural-comparison metrics (Kabsch, TM-score, SPECS) — and reproduces
+// every table and figure of the evaluation section.
+//
+// Start with README.md, run experiments with cmd/afbench, and see
+// EXPERIMENTS.md for the paper-versus-measured record. The benchmarks in
+// bench_test.go regenerate each experiment via `go test -bench`.
+package repro

@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/fold"
+	"repro/internal/geom"
+	"repro/internal/proteome"
+	"repro/internal/rng"
+)
+
+const universeSeed = 42
+
+func testDB(t *testing.T, u *proteome.Universe, families []int) *StructDB {
+	t.Helper()
+	return BuildPDB70(u, families, universeSeed)
+}
+
+func TestBuildPDB70(t *testing.T) {
+	u := proteome.NewUniverse(1, 16, 60, 150)
+	db := testDB(t, u, []int{0, 1, 2, 5})
+	if len(db.Entries) != 4 {
+		t.Fatalf("entries = %d", len(db.Entries))
+	}
+	for _, e := range db.Entries {
+		if len(e.CA) != len(e.Sequence) {
+			t.Errorf("%s: %d CA for %d residues", e.ID, len(e.CA), len(e.Sequence))
+		}
+		if len(e.desc) == 0 {
+			t.Errorf("%s: descriptor missing", e.ID)
+		}
+	}
+	// Out-of-range families are skipped, not fatal.
+	db2 := BuildPDB70(u, []int{-1, 999, 3}, universeSeed)
+	if len(db2.Entries) != 1 {
+		t.Errorf("out-of-range families not skipped: %d entries", len(db2.Entries))
+	}
+}
+
+func TestDescriptorProperties(t *testing.T) {
+	a := fold.GenerateTopology(fold.FamilyTopologySeed(universeSeed, 0), 120)
+	b := fold.GenerateTopology(fold.FamilyTopologySeed(universeSeed, 1), 120)
+	da := Descriptor(a.CA)
+	db := Descriptor(b.CA)
+	if descL1(da, da) != 0 {
+		t.Error("self-descriptor distance nonzero")
+	}
+	if descL1(da, db) <= 0 {
+		t.Error("different folds with zero descriptor distance")
+	}
+	// Tiny structures do not crash.
+	_ = Descriptor([]geom.Vec3{{X: 1}})
+	_ = Descriptor(nil)
+}
+
+func TestSearchFindsOwnFamily(t *testing.T) {
+	u := proteome.NewUniverse(2, 24, 70, 160)
+	families := make([]int, 24)
+	for i := range families {
+		families[i] = i
+	}
+	db := testDB(t, u, families)
+
+	// Query: a noisy copy of family 7's fold (a good prediction of a
+	// family-7 member).
+	nat := fold.GenerateTopology(fold.FamilyTopologySeed(universeSeed, 7), len(u.Domains[7]))
+	r := rng.New(3)
+	query := geom.Clone(nat.CA)
+	for i := range query {
+		query[i] = query[i].Add(geom.Vec3{
+			X: r.NormFloat64() * 0.8, Y: r.NormFloat64() * 0.8, Z: r.NormFloat64() * 0.8,
+		})
+	}
+	hits, err := db.Search(query, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	if hits[0].Family != 7 {
+		t.Errorf("top hit family = %d, want 7 (TM %v)", hits[0].Family, hits[0].TM)
+	}
+	if hits[0].TM < 0.6 {
+		t.Errorf("own-family TM = %v, want ≥ 0.6", hits[0].TM)
+	}
+}
+
+func TestSearchMissingFamilyScoresLow(t *testing.T) {
+	u := proteome.NewUniverse(2, 24, 70, 160)
+	// Database covers families 0..11 only.
+	families := make([]int, 12)
+	for i := range families {
+		families[i] = i
+	}
+	db := testDB(t, u, families)
+
+	// Query from uncovered family 20: no strong match should exist.
+	nat := fold.GenerateTopology(fold.FamilyTopologySeed(universeSeed, 20), len(u.Domains[20]))
+	hits, err := db.Search(nat.CA, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) > 0 && hits[0].TM >= 0.6 {
+		t.Errorf("uncovered family matched with TM %v", hits[0].TM)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	u := proteome.NewUniverse(1, 4, 60, 100)
+	db := testDB(t, u, []int{0, 1})
+	if _, err := db.Search(nil, 1); err == nil {
+		t.Error("empty query accepted")
+	}
+	// topK larger than database is fine.
+	nat := fold.GenerateTopology(1, 80)
+	hits, err := db.Search(nat.CA, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) > 2 {
+		t.Errorf("more hits than entries: %d", len(hits))
+	}
+}
+
+func TestAnnotateRemoteHomolog(t *testing.T) {
+	// The Section 4.6 scenario: a hypothetical protein whose sequence has
+	// diverged beyond recognition but whose structure still matches its
+	// family — annotation transfer via structure.
+	u := proteome.NewUniverse(5, 16, 80, 140)
+	families := make([]int, 16)
+	for i := range families {
+		families[i] = i
+	}
+	db := testDB(t, u, families)
+
+	fam := 4
+	r := rng.New(9)
+	divergedSeq := u.Mutate(fam, 0.8, r) // far beyond sequence recognition
+	nat := fold.GenerateTopology(fold.FamilyTopologySeed(universeSeed, fam), len(divergedSeq))
+
+	ann, err := Annotate(db, "hypo1", nat.CA, divergedSeq, 85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ann.StructuralMatch {
+		t.Errorf("remote homolog not matched structurally (TM %v)", ann.Top.TM)
+	}
+	if ann.Top.Family != fam {
+		t.Errorf("matched family %d, want %d", ann.Top.Family, fam)
+	}
+	if ann.SeqIdentity > 0.45 {
+		t.Errorf("sequence identity %v; expected low for an 80%%-diverged sequence", ann.SeqIdentity)
+	}
+	if ann.NovelFoldCandidate {
+		t.Error("matched structure must not be a novel-fold candidate")
+	}
+}
+
+func TestAnnotateNovelFold(t *testing.T) {
+	// High-confidence prediction, family absent from the database: the
+	// paper's novel-fold discovery case (top TM 0.358 at pLDDT > 90).
+	u := proteome.NewUniverse(5, 16, 80, 140)
+	db := testDB(t, u, []int{0, 1, 2, 3})
+
+	nat := fold.GenerateTopology(fold.FamilyTopologySeed(universeSeed, 12), 110)
+	ann, err := Annotate(db, "novel1", nat.CA, u.Domains[12][:110], 93)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ann.StructuralMatch {
+		t.Errorf("uncovered family matched (TM %v)", ann.Top.TM)
+	}
+	if !ann.NovelFoldCandidate {
+		t.Errorf("high-confidence unmatched fold not flagged novel (TM %v)", ann.Top.TM)
+	}
+	// Low-confidence unmatched prediction is NOT a novel-fold call.
+	ann2, err := Annotate(db, "junk1", nat.CA, u.Domains[12][:110], 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ann2.NovelFoldCandidate {
+		t.Error("low-confidence prediction flagged as novel fold")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	anns := []*Annotation{
+		{StructuralMatch: true, SeqIdentity: 0.15},
+		{StructuralMatch: true, SeqIdentity: 0.05},
+		{StructuralMatch: true, SeqIdentity: 0.30},
+		{StructuralMatch: false, NovelFoldCandidate: true},
+		{StructuralMatch: false},
+	}
+	r := Aggregate(anns)
+	if r.Total != 5 || r.StructuralMatch != 3 {
+		t.Errorf("report = %+v", r)
+	}
+	if r.MatchSeqIDBelow20 != 2 || r.MatchSeqIDBelow10 != 1 {
+		t.Errorf("identity tiers = %d/%d", r.MatchSeqIDBelow20, r.MatchSeqIDBelow10)
+	}
+	if r.NovelFolds != 1 {
+		t.Errorf("novel folds = %d", r.NovelFolds)
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	u := proteome.NewUniverse(2, 64, 70, 160)
+	families := make([]int, 64)
+	for i := range families {
+		families[i] = i
+	}
+	db := BuildPDB70(u, families, universeSeed)
+	nat := fold.GenerateTopology(fold.FamilyTopologySeed(universeSeed, 30), len(u.Domains[30]))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Search(nat.CA, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Job is one batch submission (an LSF bsub).
+type Job struct {
+	Name     string
+	Nodes    int
+	Walltime float64 // requested/actual run time, seconds
+	Submit   float64 // submission time, seconds
+}
+
+// JobResult records when a job ran.
+type JobResult struct {
+	Job   Job
+	Start float64
+	End   float64
+}
+
+// QueueWait returns how long the job waited in the queue.
+func (r JobResult) QueueWait() float64 { return r.Start - r.Job.Submit }
+
+// NodeHours returns the node-hours the job consumed, the currency of the
+// paper's cost accounting ("under 4,000 total Summit node hours").
+func (r JobResult) NodeHours() float64 { return float64(r.Job.Nodes) * (r.End - r.Start) / 3600 }
+
+// QueuePolicy is a machine's batch scheduling policy. The paper notes that
+// Summit's policy favors large short jobs while Andes favors small long
+// jobs, which is why feature generation had higher wall time despite fewer
+// node-hours.
+type QueuePolicy int
+
+const (
+	// FavorLarge boosts priority with job size (Summit-like).
+	FavorLarge QueuePolicy = iota
+	// FavorSmall boosts priority of small jobs (Andes-like).
+	FavorSmall
+	// FCFS is plain first-come first-served.
+	FCFS
+)
+
+// BatchQueue simulates a space-shared batch system with a fixed node pool.
+type BatchQueue struct {
+	Nodes  int
+	Policy QueuePolicy
+}
+
+// NewBatchQueue returns a queue over a node pool.
+func NewBatchQueue(nodes int, policy QueuePolicy) *BatchQueue {
+	return &BatchQueue{Nodes: nodes, Policy: policy}
+}
+
+// Run schedules jobs and returns their results sorted by start time. The
+// model is conservative space sharing: a job starts at the earliest time at
+// which enough nodes are simultaneously free, considering jobs in priority
+// order. It is deterministic.
+func (q *BatchQueue) Run(jobs []Job) ([]JobResult, error) {
+	for _, j := range jobs {
+		if j.Nodes <= 0 {
+			return nil, fmt.Errorf("cluster: job %q requests %d nodes", j.Name, j.Nodes)
+		}
+		if j.Nodes > q.Nodes {
+			return nil, fmt.Errorf("cluster: job %q requests %d nodes, machine has %d", j.Name, j.Nodes, q.Nodes)
+		}
+		if j.Walltime <= 0 {
+			return nil, fmt.Errorf("cluster: job %q has non-positive walltime", j.Name)
+		}
+	}
+
+	ordered := make([]Job, len(jobs))
+	copy(ordered, jobs)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		a, b := ordered[i], ordered[j]
+		if a.Submit != b.Submit {
+			return a.Submit < b.Submit
+		}
+		switch q.Policy {
+		case FavorLarge:
+			if a.Nodes != b.Nodes {
+				return a.Nodes > b.Nodes
+			}
+		case FavorSmall:
+			if a.Nodes != b.Nodes {
+				return a.Nodes < b.Nodes
+			}
+		}
+		return a.Name < b.Name
+	})
+
+	// Running set: (end time, nodes). A job starts when enough capacity is
+	// free at or after its submit time.
+	type running struct {
+		start, end float64
+		nodes      int
+	}
+	var active []running
+	var results []JobResult
+
+	// freeDuring reports the minimum free node count over [t, t+dur): the
+	// job must fit for its whole duration (conservative backfill).
+	freeDuring := func(t, dur float64) int {
+		// Evaluate at t and at every start/end boundary inside the window.
+		minFree := q.Nodes
+		check := func(at float64) {
+			used := 0
+			for _, r := range active {
+				if r.start <= at && at < r.end {
+					used += r.nodes
+				}
+			}
+			if free := q.Nodes - used; free < minFree {
+				minFree = free
+			}
+		}
+		check(t)
+		for _, r := range active {
+			if r.start > t && r.start < t+dur {
+				check(r.start)
+			}
+		}
+		return minFree
+	}
+
+	for _, j := range ordered {
+		// Candidate start times: submit time and every boundary after it.
+		t := j.Submit
+		for {
+			if freeDuring(t, j.Walltime) >= j.Nodes {
+				break
+			}
+			// Advance to the next boundary after t.
+			next := -1.0
+			for _, r := range active {
+				for _, b := range [2]float64{r.start, r.end} {
+					if b > t && (next < 0 || b < next) {
+						next = b
+					}
+				}
+			}
+			if next < 0 {
+				return nil, fmt.Errorf("cluster: scheduler stuck for job %q", j.Name)
+			}
+			t = next
+		}
+		active = append(active, running{start: t, end: t + j.Walltime, nodes: j.Nodes})
+		results = append(results, JobResult{Job: j, Start: t, End: t + j.Walltime})
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Start != results[j].Start {
+			return results[i].Start < results[j].Start
+		}
+		return results[i].Job.Name < results[j].Job.Name
+	})
+	return results, nil
+}
+
+// Ledger accumulates node-hour spending per machine, mirroring the paper's
+// cost reporting.
+type Ledger struct {
+	entries map[string]float64
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger { return &Ledger{entries: make(map[string]float64)} }
+
+// Charge adds node-hours to a machine's account.
+func (l *Ledger) Charge(machine string, nodeHours float64) {
+	l.entries[machine] += nodeHours
+}
+
+// ChargeJob charges a completed job.
+func (l *Ledger) ChargeJob(machine string, r JobResult) {
+	l.Charge(machine, r.NodeHours())
+}
+
+// Total returns the node-hours charged to a machine.
+func (l *Ledger) Total(machine string) float64 { return l.entries[machine] }
+
+// Machines returns the charged machine names in sorted order.
+func (l *Ledger) Machines() []string {
+	out := make([]string, 0, len(l.entries))
+	for m := range l.entries {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,124 @@
+// Package cluster models the OLCF execution environment of the paper:
+// the Summit supercomputer (IBM AC922 nodes, 2 POWER9 + 6 V100 each, plus
+// high-memory nodes), the Andes commodity CPU cluster, an LSF-like batch
+// queue with each machine's scheduling policy, jsrun-style resource sets,
+// and a discrete-event simulation of dataflow task execution in virtual
+// time. All the paper's scheduling-level results (Table 1 walltimes, Fig. 2
+// worker timelines, node-hour budgets) are reproduced on this simulator.
+package cluster
+
+import "fmt"
+
+// NodeType describes one hardware partition of a machine.
+type NodeType struct {
+	Name     string
+	Count    int
+	Cores    int
+	MemGB    float64 // host memory
+	GPUs     int
+	GPUMemGB float64 // per-GPU memory
+	// Speed is a relative execution-speed multiplier for task cost models
+	// (1.0 = Summit V100 / paper-calibrated baseline).
+	Speed float64
+}
+
+// Machine is a named collection of node types.
+type Machine struct {
+	Name  string
+	Types []NodeType
+}
+
+// Summit returns the Summit machine model: ~4,600 AC922 nodes with
+// 2 POWER9 CPUs (42 usable cores) and 6 NVIDIA V100 GPUs (16 GB HBM each),
+// plus the high-memory partition (2 TB DDR4, 192 GB HBM2) the paper used
+// for proteins too large for standard nodes.
+func Summit() *Machine {
+	return &Machine{
+		Name: "summit",
+		Types: []NodeType{
+			{Name: "ac922", Count: 4554, Cores: 42, MemGB: 512, GPUs: 6, GPUMemGB: 16, Speed: 1.0},
+			{Name: "ac922-highmem", Count: 54, Cores: 42, MemGB: 2048, GPUs: 6, GPUMemGB: 64, Speed: 1.0},
+		},
+	}
+}
+
+// Andes returns the Andes analysis-cluster model: 704 nodes with two
+// 16-core AMD EPYC 7302 processors and 256 GB of memory, no GPUs.
+func Andes() *Machine {
+	return &Machine{
+		Name: "andes",
+		Types: []NodeType{
+			{Name: "epyc", Count: 704, Cores: 32, MemGB: 256, GPUs: 0, GPUMemGB: 0, Speed: 0.9},
+		},
+	}
+}
+
+// TotalNodes returns the machine's node count.
+func (m *Machine) TotalNodes() int {
+	n := 0
+	for _, t := range m.Types {
+		n += t.Count
+	}
+	return n
+}
+
+// TypeByName returns a node type by name.
+func (m *Machine) TypeByName(name string) (NodeType, error) {
+	for _, t := range m.Types {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	return NodeType{}, fmt.Errorf("cluster: machine %s has no node type %q", m.Name, name)
+}
+
+// ResourceSet is a jsrun-style resource request within a node: the paper's
+// deployment used three jsrun statements (scheduler: 2 cores; workers: one
+// core + one GPU each; client: 1 core).
+type ResourceSet struct {
+	Name  string
+	Cores int
+	GPUs  int
+	Tasks int // number of identical instances
+}
+
+// LayoutError explains why a set of resource sets does not fit.
+type LayoutError struct{ Reason string }
+
+func (e *LayoutError) Error() string { return "cluster: layout does not fit: " + e.Reason }
+
+// FitsNode verifies that the resource sets fit on a single node of type t.
+func FitsNode(t NodeType, sets []ResourceSet) error {
+	cores, gpus := 0, 0
+	for _, rs := range sets {
+		if rs.Tasks <= 0 {
+			return &LayoutError{Reason: fmt.Sprintf("resource set %q has no tasks", rs.Name)}
+		}
+		cores += rs.Cores * rs.Tasks
+		gpus += rs.GPUs * rs.Tasks
+	}
+	if cores > t.Cores {
+		return &LayoutError{Reason: fmt.Sprintf("%d cores requested, %d available", cores, t.Cores)}
+	}
+	if gpus > t.GPUs {
+		return &LayoutError{Reason: fmt.Sprintf("%d GPUs requested, %d available", gpus, t.GPUs)}
+	}
+	return nil
+}
+
+// PaperInferenceLayout returns the per-node layout of the Summit inference
+// workflow: 6 Dask workers (1 core + 1 GPU each). The scheduler (2 cores)
+// and client (1 core) run once per job, not per node.
+func PaperInferenceLayout() []ResourceSet {
+	return []ResourceSet{{Name: "dask-worker", Cores: 1, GPUs: 1, Tasks: 6}}
+}
+
+// WorkersFor returns the number of dataflow workers a job gets on a given
+// node type and node count with the paper's one-worker-per-GPU layout (or
+// one per node on CPU machines).
+func WorkersFor(t NodeType, nodes int) int {
+	if t.GPUs == 0 {
+		return nodes
+	}
+	return nodes * t.GPUs
+}

@@ -1,0 +1,83 @@
+// Package experiments implements the reproduction of every table and
+// figure in the paper's evaluation section. Each experiment is a pure
+// function of a deterministic Env, returns a structured result, and can
+// render itself as a paper-versus-measured report. The root-level Go
+// benchmarks and the cmd/afbench tool are thin wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fold"
+	"repro/internal/fsim"
+	"repro/internal/msa"
+	"repro/internal/proteome"
+)
+
+// Env is the shared deterministic world of all experiments: the domain
+// universe, the four proteomes, ground truth, and the inference engine.
+type Env struct {
+	Seed     uint64
+	Universe *proteome.Universe
+	GT       *core.GroundTruth
+	Engine   *fold.Engine
+	FS       fsim.Filesystem
+
+	proteomes map[string]*proteome.Proteome
+}
+
+// DefaultSeed is the campaign seed used by all published numbers in
+// EXPERIMENTS.md.
+const DefaultSeed = 20220125 // the paper's arXiv date
+
+// NewEnv builds the experiment world.
+func NewEnv(seed uint64) *Env {
+	u := proteome.NewUniverse(seed, 96, 60, 240)
+	gt := core.NewGroundTruth(seed)
+	return &Env{
+		Seed:      seed,
+		Universe:  u,
+		GT:        gt,
+		Engine:    fold.NewEngine(gt, seed^0xabcdef),
+		FS:        fsim.DefaultFilesystem(),
+		proteomes: make(map[string]*proteome.Proteome),
+	}
+}
+
+// Proteome returns (generating and registering on first use) the proteome
+// of one of the paper's species.
+func (e *Env) Proteome(sp proteome.Species) *proteome.Proteome {
+	if p, ok := e.proteomes[sp.Code]; ok {
+		return p
+	}
+	p := proteome.Generate(sp, e.Universe, e.Seed+uint64(len(sp.Code)))
+	e.GT.Register(p)
+	e.proteomes[sp.Code] = p
+	return p
+}
+
+// Benchmark559 returns the paper's 559-sequence D. vulgaris benchmark set:
+// the proteome's hypothetical proteins (29–1266 AA, mean ~202).
+func (e *Env) Benchmark559() []proteome.Protein {
+	return e.Proteome(proteome.DVulgaris).Hypotheticals()
+}
+
+// FeatureGen returns the campaign-scale feature generator.
+func (e *Env) FeatureGen() core.FeatureGen {
+	return core.DefaultFastFeatureGen(e.Seed ^ 0x5eed)
+}
+
+// FeaturesFor computes features for a protein set, keyed by ID.
+func (e *Env) FeaturesFor(proteins []proteome.Protein) (map[string]*msa.Features, error) {
+	gen := e.FeatureGen()
+	out := make(map[string]*msa.Features, len(proteins))
+	for _, p := range proteins {
+		f, err := gen.Features(p)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: features for %s: %w", p.Seq.ID, err)
+		}
+		out[p.Seq.ID] = f
+	}
+	return out, nil
+}

@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/proteome"
+	"repro/internal/relax"
+)
+
+// The experiment tests assert the *shape* of each paper result — who wins,
+// by roughly what factor, where thresholds fall — with bands wide enough to
+// survive recalibration but tight enough to catch regressions.
+
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	return NewEnv(DefaultSeed)
+}
+
+func TestTable1Shape(t *testing.T) {
+	env := testEnv(t)
+	res, err := Table1(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benchmark != 559 {
+		t.Fatalf("benchmark size = %d, want 559", res.Benchmark)
+	}
+	reduced, err := res.Row("reduced_dbs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	genome, err := res.Row("genome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	super, err := res.Row("super")
+	if err != nil {
+		t.Fatal(err)
+	}
+	casp, err := res.Row("casp14")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Quality ordering: super ≥ genome ≥ reduced; casp14 ≈ reduced.
+	if !(super.MeanPLDDT > genome.MeanPLDDT && genome.MeanPLDDT > reduced.MeanPLDDT) {
+		t.Errorf("pLDDT ordering broken: %v / %v / %v",
+			reduced.MeanPLDDT, genome.MeanPLDDT, super.MeanPLDDT)
+	}
+	if !(super.MeanPTMS > genome.MeanPTMS && genome.MeanPTMS > reduced.MeanPTMS) {
+		t.Errorf("pTMS ordering broken")
+	}
+	if d := casp.MeanPLDDT - reduced.MeanPLDDT; d < -1 || d > 1.5 {
+		t.Errorf("casp14 pLDDT should track reduced_dbs: Δ=%v", d)
+	}
+	// Absolute levels near the paper.
+	for _, row := range res.Rows {
+		if row.MeanPLDDT < 75 || row.MeanPLDDT > 84 {
+			t.Errorf("%s pLDDT %v outside paper band", row.Preset, row.MeanPLDDT)
+		}
+		if row.MeanPTMS < 0.58 || row.MeanPTMS > 0.70 {
+			t.Errorf("%s pTMS %v outside paper band", row.Preset, row.MeanPTMS)
+		}
+	}
+	// Completion: only casp14 loses targets (OOM on the longest).
+	if reduced.Count != 559 || genome.Count != 559 || super.Count != 559 {
+		t.Error("single-ensemble presets must complete all 559")
+	}
+	if casp.Count >= 559 || casp.Count < 540 {
+		t.Errorf("casp14 completed %d, paper lost 8 (551)", casp.Count)
+	}
+	// Cost ordering: reduced ≤ genome ≤ super; casp14 most expensive by far.
+	if !(reduced.WalltimeMin <= genome.WalltimeMin && genome.WalltimeMin <= super.WalltimeMin) {
+		t.Errorf("walltime ordering broken: %v / %v / %v",
+			reduced.WalltimeMin, genome.WalltimeMin, super.WalltimeMin)
+	}
+	if casp.WalltimeMin < 2*reduced.WalltimeMin {
+		t.Errorf("casp14 walltime %v not clearly dominant (even on 91 nodes)", casp.WalltimeMin)
+	}
+
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("empty render")
+	}
+	if _, err := res.Row("nope"); err == nil {
+		t.Error("unknown row accepted")
+	}
+}
+
+func TestFig2LoadBalance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig2 runs the full plant proteome")
+	}
+	env := testEnv(t)
+	res, err := Fig2(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workers != 1200 {
+		t.Errorf("workers = %d", res.Workers)
+	}
+	// The headline claim: sorted finish spread is minutes; random is much
+	// worse.
+	if res.FinishSpreadMin > 10 {
+		t.Errorf("sorted finish spread %v min; paper says minutes", res.FinishSpreadMin)
+	}
+	if res.RandomFinishSpreadMin < 5*res.FinishSpreadMin {
+		t.Errorf("random spread %v not clearly worse than sorted %v",
+			res.RandomFinishSpreadMin, res.FinishSpreadMin)
+	}
+	if res.Utilization < 0.9 {
+		t.Errorf("utilization %v below 90%%", res.Utilization)
+	}
+	if len(res.SampleRows) != 10 {
+		t.Errorf("expected 10 sample worker rows, got %d", len(res.SampleRows))
+	}
+}
+
+func TestFig3NoQualityLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig3 minimizes 38 structures three times")
+	}
+	env := testEnv(t)
+	res, err := Fig3(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no points")
+	}
+	for _, p := range fig3Platforms {
+		if res.TMCorr[p] < 0.95 {
+			t.Errorf("%v TM correlation %v; paper shows strong correlation", p, res.TMCorr[p])
+		}
+		if res.SPECCorr[p] < 0.95 {
+			t.Errorf("%v SPECS correlation %v", p, res.SPECCorr[p])
+		}
+	}
+	if res.MaxTMDrop > 0.02 {
+		t.Errorf("max TM drop %v; paper observes no decreases", res.MaxTMDrop)
+	}
+	// All three methods must agree (equivalent quality).
+	af2 := res.MeanSPECDelta[relax.PlatformAF2]
+	gpu := res.MeanSPECDelta[relax.PlatformGPU]
+	if d := af2 - gpu; d < -0.01 || d > 0.01 {
+		t.Errorf("methods disagree on SPECS delta: %v vs %v", af2, gpu)
+	}
+}
+
+func TestFig4SpeedupShape(t *testing.T) {
+	env := testEnv(t)
+	res, err := Fig4(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanGPUSpeedup < 8 || res.MeanGPUSpeedup > 20 {
+		t.Errorf("mean GPU speedup %v; paper reports up to 14x", res.MeanGPUSpeedup)
+	}
+	if res.MeanCPUSpeedup <= 1 || res.MeanCPUSpeedup >= res.MeanGPUSpeedup {
+		t.Errorf("CPU speedup %v must sit between 1x and the GPU's", res.MeanCPUSpeedup)
+	}
+	if res.T1080AF2Hours <= 0 {
+		t.Error("T1080 outlier missing")
+	}
+	if res.T1080GPUMinutes > 5 {
+		t.Errorf("T1080 on GPU should be minutes, got %v", res.T1080GPUMinutes)
+	}
+}
+
+func TestFeatureGenBudget(t *testing.T) {
+	env := testEnv(t)
+	res, err := FeatureGenExperiment(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Proteins != 3205 {
+		t.Errorf("proteins = %d", res.Proteins)
+	}
+	// Paper: ~240 Andes node-hours, roughly half the Summit inference cost.
+	if res.AndesNodeHours < 180 || res.AndesNodeHours > 320 {
+		t.Errorf("Andes node-hours %v, paper ~240", res.AndesNodeHours)
+	}
+	if res.SummitNodeHours < res.AndesNodeHours*0.6 {
+		t.Errorf("Summit inference (%v) should not be cheaper than feature gen (%v)",
+			res.SummitNodeHours, res.AndesNodeHours)
+	}
+	if res.FullDBNodeHours <= res.AndesNodeHours {
+		t.Error("full 2.1TB dataset must cost more than the reduced one")
+	}
+	if res.ReplicationHoursFul <= res.ReplicationHoursRed {
+		t.Error("full dataset replication must cost more")
+	}
+}
+
+func TestRecycleGainsTail(t *testing.T) {
+	env := testEnv(t)
+	res, err := RecycleGains(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The gain must be concentrated: a small fraction of targets supplies
+	// the majority of the improvement (paper: 45% from 5%).
+	if res.FracTargetsBig > 0.15 {
+		t.Errorf("%v of targets have Δ≥0.1; paper says ~5%%", res.FracTargetsBig)
+	}
+	if res.FracGainFromBig < 0.3 {
+		t.Errorf("big-improvement targets supply only %v of the gain", res.FracGainFromBig)
+	}
+	if res.FracGainFromMed <= res.FracGainFromBig {
+		t.Error("Δ≥0.05 class must contain the Δ≥0.1 class")
+	}
+	// Improved targets recycle far beyond the fixed 3.
+	if res.MeanRecyclesOfBig < 8 {
+		t.Errorf("improved targets recycle %v on average; paper ~19", res.MeanRecyclesOfBig)
+	}
+}
+
+func TestSDivinumHarderThanProkaryotes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full plant proteome")
+	}
+	env := testEnv(t)
+	sd, err := SDivinum(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := Table1(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genome, err := t1.Row("genome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The plant proteome must be the harder workload (lower pTMS fraction
+	// than even the hardest prokaryote subset under the same preset).
+	if sd.FracPTMSAbove06 >= genome.FracPTMSAbove06+0.05 {
+		t.Errorf("S. divinum pTMS>0.6 %v not below prokaryote benchmark %v",
+			sd.FracPTMSAbove06, genome.FracPTMSAbove06)
+	}
+	if sd.FracPTMSAbove06 < 0.35 || sd.FracPTMSAbove06 > 0.70 {
+		t.Errorf("pTMS>0.6 fraction %v outside paper band (~53%%)", sd.FracPTMSAbove06)
+	}
+	if sd.AndesNodeHours < 1200 || sd.AndesNodeHours > 2800 {
+		t.Errorf("Andes node-hours %v, paper ~2000", sd.AndesNodeHours)
+	}
+	if sd.SummitNodeHours < 1800 || sd.SummitNodeHours > 4200 {
+		t.Errorf("Summit node-hours %v, paper ~3000", sd.SummitNodeHours)
+	}
+}
+
+func TestGenomeRelaxMinutes(t *testing.T) {
+	env := testEnv(t)
+	res, err := GenomeRelax(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Structures != 3205 {
+		t.Errorf("structures = %d", res.Structures)
+	}
+	if res.Workers != 48 {
+		t.Errorf("workers = %d, paper used 48", res.Workers)
+	}
+	// Paper: 22.89 minutes.
+	if res.WallMinutes < 15 || res.WallMinutes > 35 {
+		t.Errorf("wall %v min, paper 22.89", res.WallMinutes)
+	}
+}
+
+func TestCampaignBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all four proteomes")
+	}
+	env := testEnv(t)
+	res, err := Campaign(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Targets < 34000 || res.Targets > 35634 {
+		t.Errorf("targets = %d, abstract says 35,634 (minus >2500 AA)", res.Targets)
+	}
+	// The headline: under 4,000 Summit node-hours.
+	if res.SummitNodeHours >= 4000 {
+		t.Errorf("Summit node-hours %v exceeds the paper's <4000 budget", res.SummitNodeHours)
+	}
+	if res.SummitNodeHours < 1500 {
+		t.Errorf("Summit node-hours %v implausibly cheap", res.SummitNodeHours)
+	}
+}
+
+func TestProteomeCaching(t *testing.T) {
+	env := testEnv(t)
+	a := env.Proteome(proteome.DVulgaris)
+	b := env.Proteome(proteome.DVulgaris)
+	if a != b {
+		t.Error("proteome not cached")
+	}
+}

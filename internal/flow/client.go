@@ -1,0 +1,149 @@
+package flow
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Client is the driving script of the workflow (Section 3.3 step 3): it
+// submits the full batch of tasks with a single Map call and streams back
+// completion records, optionally appending per-task statistics to a CSV.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// ConnectClient dials the scheduler. The returned client must be closed.
+func ConnectClient(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("flow: client dial: %w", err)
+	}
+	return &Client{
+		conn: conn,
+		enc:  json.NewEncoder(conn),
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+	}, nil
+}
+
+// ConnectClientFile dials via a scheduler file.
+func ConnectClientFile(path string) (*Client, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("flow: reading scheduler file: %w", err)
+	}
+	var sf SchedulerFile
+	if err := json.Unmarshal(data, &sf); err != nil {
+		return nil, fmt.Errorf("flow: parsing scheduler file: %w", err)
+	}
+	return ConnectClient(sf.Address)
+}
+
+// Map submits all tasks in one batch and blocks until every result has
+// arrived, returning results in completion order (the dataflow order, not
+// submission order). If statsCSV is non-nil, a CSV row per task is written
+// as results stream in, mirroring the paper's processing-times file.
+func (c *Client) Map(tasks []Task, statsCSV io.Writer) ([]Result, error) {
+	if len(tasks) == 0 {
+		return nil, nil
+	}
+	ids := make(map[string]bool, len(tasks))
+	for _, t := range tasks {
+		if t.ID == "" {
+			return nil, fmt.Errorf("flow: task with empty ID")
+		}
+		if ids[t.ID] {
+			return nil, fmt.Errorf("flow: duplicate task ID %q", t.ID)
+		}
+		ids[t.ID] = true
+	}
+
+	if err := c.enc.Encode(message{Type: msgSubmit, Tasks: tasks}); err != nil {
+		return nil, fmt.Errorf("flow: submit: %w", err)
+	}
+
+	var cw *csv.Writer
+	if statsCSV != nil {
+		cw = csv.NewWriter(statsCSV)
+		if err := cw.Write([]string{"task_id", "worker_id", "start_unix_ns", "end_unix_ns", "duration_s", "error"}); err != nil {
+			return nil, err
+		}
+	}
+
+	results := make([]Result, 0, len(tasks))
+	accepted := false
+	for len(results) < len(tasks) {
+		var m message
+		if err := c.dec.Decode(&m); err != nil {
+			return results, fmt.Errorf("flow: awaiting results (%d/%d done): %w",
+				len(results), len(tasks), err)
+		}
+		switch m.Type {
+		case msgAccepted:
+			accepted = true
+		case msgResult:
+			if m.Result == nil {
+				continue
+			}
+			r := *m.Result
+			results = append(results, r)
+			if cw != nil {
+				if err := cw.Write([]string{
+					r.TaskID,
+					r.WorkerID,
+					strconv.FormatInt(r.Start.UnixNano(), 10),
+					strconv.FormatInt(r.End.UnixNano(), 10),
+					strconv.FormatFloat(r.Duration().Seconds(), 'f', 6, 64),
+					r.Err,
+				}); err != nil {
+					return results, err
+				}
+				cw.Flush()
+			}
+		}
+	}
+	_ = accepted
+	if cw != nil {
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// Close disconnects the client.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.conn.Close()
+}
+
+// SortByWeightDescending orders tasks heaviest-first — the paper's greedy
+// load-balance policy (targets sorted by descending sequence length so the
+// long tasks start early and short tasks fill the tail). Ties break by ID
+// for determinism.
+func SortByWeightDescending(tasks []Task) {
+	sort.SliceStable(tasks, func(i, j int) bool {
+		if tasks[i].Weight != tasks[j].Weight {
+			return tasks[i].Weight > tasks[j].Weight
+		}
+		return tasks[i].ID < tasks[j].ID
+	})
+}

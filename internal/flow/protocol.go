@@ -1,0 +1,80 @@
+// Package flow is the workflow-management engine of the reproduction: a
+// from-scratch dataflow task system with the same architecture the paper
+// deploys Dask in (Section 3.3):
+//
+//   - a Scheduler holding a task queue, started first, which writes a JSON
+//     scheduler file advertising its address;
+//   - Workers (the paper runs one per GPU across all Summit nodes) that
+//     read the scheduler file, register over TCP, and then pull tasks in
+//     dataflow fashion — each worker receives a new task the moment it
+//     finishes the previous one, so the queue drains with no global
+//     synchronization;
+//   - a Client that submits the whole batch in one Map call and streams
+//     completion records, appending per-task statistics (start and end
+//     processing times, worker identity) to a CSV file.
+//
+// The wire protocol is newline-delimited JSON over TCP, using only the
+// standard library.
+package flow
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Task is one unit of work. Payload is opaque to the engine.
+type Task struct {
+	ID string `json:"id"`
+	// Weight is used by scheduling policies (e.g. sequence length for the
+	// paper's longest-first sort); the engine itself does not interpret it.
+	Weight  float64         `json:"weight,omitempty"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// Result is the completion record of one task, including the timing fields
+// the paper's CSV collects.
+type Result struct {
+	TaskID   string          `json:"task_id"`
+	WorkerID string          `json:"worker_id"`
+	Start    time.Time       `json:"start"`
+	End      time.Time       `json:"end"`
+	Payload  json.RawMessage `json:"payload,omitempty"`
+	Err      string          `json:"error,omitempty"`
+}
+
+// Duration returns the task processing time.
+func (r *Result) Duration() time.Duration { return r.End.Sub(r.Start) }
+
+// Failed reports whether the task handler returned an error.
+func (r *Result) Failed() bool { return r.Err != "" }
+
+// message is the wire envelope.
+type message struct {
+	Type string `json:"type"`
+	// register
+	WorkerID string `json:"worker_id,omitempty"`
+	Slots    int    `json:"slots,omitempty"`
+	// task assignment / submission
+	Task  *Task  `json:"task,omitempty"`
+	Tasks []Task `json:"tasks,omitempty"`
+	// result
+	Result *Result `json:"result,omitempty"`
+	// batch bookkeeping
+	Count int `json:"count,omitempty"`
+}
+
+const (
+	msgRegister = "register"
+	msgTask     = "task"
+	msgResult   = "result"
+	msgSubmit   = "submit"
+	msgAccepted = "accepted"
+	msgShutdown = "shutdown"
+)
+
+// SchedulerFile is the JSON document the scheduler writes so workers and
+// clients can find it, mirroring Dask's scheduler-file mechanism on Summit.
+type SchedulerFile struct {
+	Address   string    `json:"address"`
+	StartedAt time.Time `json:"started_at"`
+}

@@ -1,0 +1,273 @@
+package flow
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// Scheduler is the central dataflow coordinator. It owns the task queue and
+// assigns tasks to registered workers as they become free. All state
+// transitions happen on a single event loop goroutine; connection
+// goroutines communicate with it over channels.
+type Scheduler struct {
+	ln   net.Listener
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	events chan schedEvent
+
+	mu     sync.Mutex
+	closed bool
+}
+
+type schedEvent struct {
+	kind string // "register", "result", "submit", "workerGone", "clientGone"
+	wc   *workerConn
+	cc   *clientConn
+	res  *Result
+	tsk  []Task
+}
+
+type workerConn struct {
+	id      string
+	enc     *json.Encoder
+	conn    net.Conn
+	current *Task // task in flight, for requeue on disconnect
+	busy    bool
+}
+
+type clientConn struct {
+	enc     *json.Encoder
+	conn    net.Conn
+	pending int // results still owed to this client
+}
+
+// NewScheduler creates a scheduler (not yet listening).
+func NewScheduler() *Scheduler {
+	return &Scheduler{
+		done:   make(chan struct{}),
+		events: make(chan schedEvent, 256),
+	}
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and runs the scheduler loop in
+// the background. It returns the bound address.
+func (s *Scheduler) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("flow: scheduler listen: %w", err)
+	}
+	s.ln = ln
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.eventLoop()
+	return ln.Addr().String(), nil
+}
+
+// WriteSchedulerFile writes the JSON scheduler file workers use to find the
+// scheduler, as in the paper's Summit deployment (step 2 of Section 3.3).
+func (s *Scheduler) WriteSchedulerFile(path string) error {
+	if s.ln == nil {
+		return fmt.Errorf("flow: scheduler not started")
+	}
+	doc := SchedulerFile{Address: s.ln.Addr().String(), StartedAt: time.Now()}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Close shuts down the scheduler and all its connections.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.done)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Scheduler) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn reads the first message to classify the peer (worker or
+// client), then pumps its messages into the event loop.
+func (s *Scheduler) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+
+	var first message
+	if err := dec.Decode(&first); err != nil {
+		return
+	}
+	switch first.Type {
+	case msgRegister:
+		wc := &workerConn{id: first.WorkerID, enc: enc, conn: conn}
+		s.sendEvent(schedEvent{kind: "register", wc: wc})
+		for {
+			var m message
+			if err := dec.Decode(&m); err != nil {
+				s.sendEvent(schedEvent{kind: "workerGone", wc: wc})
+				return
+			}
+			if m.Type == msgResult && m.Result != nil {
+				s.sendEvent(schedEvent{kind: "result", wc: wc, res: m.Result})
+			}
+		}
+	case msgSubmit:
+		cc := &clientConn{enc: enc, conn: conn}
+		s.sendEvent(schedEvent{kind: "submit", cc: cc, tsk: first.Tasks})
+		// Keep reading to detect disconnect and accept more submissions.
+		for {
+			var m message
+			if err := dec.Decode(&m); err != nil {
+				s.sendEvent(schedEvent{kind: "clientGone", cc: cc})
+				return
+			}
+			if m.Type == msgSubmit {
+				s.sendEvent(schedEvent{kind: "submit", cc: cc, tsk: m.Tasks})
+			}
+		}
+	}
+}
+
+func (s *Scheduler) sendEvent(e schedEvent) {
+	select {
+	case s.events <- e:
+	case <-s.done:
+	}
+}
+
+// eventLoop is the single-threaded heart of the scheduler: a FIFO task
+// queue plus a free-worker list, draining in dataflow fashion.
+func (s *Scheduler) eventLoop() {
+	defer s.wg.Done()
+
+	type queued struct {
+		task   Task
+		client *clientConn
+	}
+	var queue []queued
+	var free []*workerConn
+	workers := map[*workerConn]bool{}
+	inFlight := map[string]queued{} // task ID -> origin, for requeue
+
+	assign := func() {
+		for len(queue) > 0 && len(free) > 0 {
+			q := queue[0]
+			queue = queue[1:]
+			w := free[0]
+			free = free[1:]
+			w.busy = true
+			t := q.task
+			w.current = &t
+			inFlight[t.ID] = q
+			if err := w.enc.Encode(message{Type: msgTask, Task: &t}); err != nil {
+				// Worker send failed: requeue and drop the worker.
+				delete(inFlight, t.ID)
+				queue = append([]queued{q}, queue...)
+				delete(workers, w)
+				w.conn.Close()
+			}
+		}
+	}
+
+	for {
+		select {
+		case <-s.done:
+			return
+		case e := <-s.events:
+			switch e.kind {
+			case "register":
+				workers[e.wc] = true
+				free = append(free, e.wc)
+				assign()
+			case "workerGone":
+				if !workers[e.wc] {
+					break
+				}
+				delete(workers, e.wc)
+				// Requeue the in-flight task so no work is lost.
+				if e.wc.current != nil {
+					if q, ok := inFlight[e.wc.current.ID]; ok {
+						delete(inFlight, e.wc.current.ID)
+						queue = append([]queued{q}, queue...)
+					}
+				}
+				// Remove from the free list if present.
+				for i, w := range free {
+					if w == e.wc {
+						free = append(free[:i], free[i+1:]...)
+						break
+					}
+				}
+				assign()
+			case "result":
+				q, ok := inFlight[e.res.TaskID]
+				if ok {
+					delete(inFlight, e.res.TaskID)
+					if q.client != nil {
+						_ = q.client.enc.Encode(message{Type: msgResult, Result: e.res})
+						q.client.pending--
+					}
+				}
+				e.wc.current = nil
+				e.wc.busy = false
+				if workers[e.wc] {
+					free = append(free, e.wc)
+				}
+				assign()
+			case "submit":
+				e.cc.pending += len(e.tsk)
+				_ = e.cc.enc.Encode(message{Type: msgAccepted, Count: len(e.tsk)})
+				for _, t := range e.tsk {
+					queue = append(queue, queued{task: t, client: e.cc})
+				}
+				assign()
+			case "clientGone":
+				// Orphan this client's queued tasks: drop them.
+				kept := queue[:0]
+				for _, q := range queue {
+					if q.client != e.cc {
+						kept = append(kept, q)
+					}
+				}
+				queue = kept
+				for id, q := range inFlight {
+					if q.client == e.cc {
+						q.client = nil
+						inFlight[id] = q
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package flow
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// Handler executes one task payload and returns a result payload. Handlers
+// run on the worker's goroutine; the engine runs one task at a time per
+// worker (one worker per GPU, as in the paper).
+type Handler func(task Task) (json.RawMessage, error)
+
+// Worker is one dataflow worker. The paper starts one per GPU on every
+// Summit node used (6 per node, up to 6,000 total).
+type Worker struct {
+	ID      string
+	handler Handler
+
+	conn net.Conn
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+
+	// Processed counts completed tasks (for tests and stats).
+	processed int
+}
+
+// NewWorker creates a worker with the given identity and task handler.
+func NewWorker(id string, h Handler) *Worker {
+	return &Worker{ID: id, handler: h}
+}
+
+// ConnectFile reads a scheduler file (written by
+// Scheduler.WriteSchedulerFile) and connects to the advertised address —
+// the registration mechanism of Section 3.3 step 2.
+func (w *Worker) ConnectFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("flow: reading scheduler file: %w", err)
+	}
+	var sf SchedulerFile
+	if err := json.Unmarshal(data, &sf); err != nil {
+		return fmt.Errorf("flow: parsing scheduler file: %w", err)
+	}
+	return w.Connect(sf.Address)
+}
+
+// Connect registers with the scheduler and starts the task loop in the
+// background.
+func (w *Worker) Connect(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("flow: worker dial: %w", err)
+	}
+	w.conn = conn
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(message{Type: msgRegister, WorkerID: w.ID, Slots: 1}); err != nil {
+		conn.Close()
+		return fmt.Errorf("flow: worker register: %w", err)
+	}
+	w.wg.Add(1)
+	go w.loop(enc)
+	return nil
+}
+
+func (w *Worker) loop(enc *json.Encoder) {
+	defer w.wg.Done()
+	dec := json.NewDecoder(bufio.NewReader(w.conn))
+	for {
+		var m message
+		if err := dec.Decode(&m); err != nil {
+			return
+		}
+		if m.Type != msgTask || m.Task == nil {
+			continue
+		}
+		start := time.Now()
+		payload, err := w.handler(*m.Task)
+		res := Result{
+			TaskID:   m.Task.ID,
+			WorkerID: w.ID,
+			Start:    start,
+			End:      time.Now(),
+			Payload:  payload,
+		}
+		if err != nil {
+			res.Err = err.Error()
+		}
+		w.mu.Lock()
+		w.processed++
+		w.mu.Unlock()
+		if err := enc.Encode(message{Type: msgResult, Result: &res}); err != nil {
+			return
+		}
+	}
+}
+
+// Processed returns the number of tasks this worker has completed.
+func (w *Worker) Processed() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.processed
+}
+
+// Close disconnects the worker. An in-flight task finishes but its result
+// may be lost; the scheduler requeues it.
+func (w *Worker) Close() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	w.mu.Unlock()
+	if w.conn != nil {
+		w.conn.Close()
+	}
+	w.wg.Wait()
+}

@@ -1,0 +1,186 @@
+package fold
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/rng"
+)
+
+// This file implements the paper's stated extension: AF2Complex (Gao et
+// al., bioRxiv 2021), which generalizes the inference stage to predict
+// protein-protein complexes using the same models and the same deployment
+// optimizations. The paper's conclusion highlights it because complex
+// screening has quadratic (or higher) cost in the number of sequences,
+// making the HPC workflow machinery even more important.
+
+// ComplexTask is one multimer inference work unit: two or more chains,
+// each with its own features, joined for a single forward pass.
+type ComplexTask struct {
+	IDs      []string
+	Lengths  []int
+	Features []*FeaturesRef
+	Model    int
+	Preset   Preset
+	// NodeMemGB as in Task; multimer passes are more memory hungry because
+	// the pair representation covers the combined length.
+	NodeMemGB float64
+}
+
+// FeaturesRef carries the per-chain MSA summary the complex quality model
+// consumes.
+type FeaturesRef struct {
+	Neff         float64
+	HasTemplates bool
+}
+
+// ComplexFeatures builds a FeaturesRef from MSA summary statistics.
+func ComplexFeatures(neff float64, hasTemplates bool) *FeaturesRef {
+	return &FeaturesRef{Neff: neff, HasTemplates: hasTemplates}
+}
+
+// ComplexPrediction is the outcome of one multimer inference.
+type ComplexPrediction struct {
+	ID          string // joined chain IDs
+	TotalLength int
+	Model       int
+	MeanPLDDT   float64
+	PTMS        float64
+	// InterfaceScore is the AF2Complex-style interface confidence: high
+	// values indicate a predicted physical interaction between the chains.
+	InterfaceScore float64
+	// Interacting is the thresholded call (interface score ≥ 0.5).
+	Interacting bool
+	GPUSeconds  float64
+	PeakMemGB   float64
+}
+
+// InteractionOracle decides ground-truth interaction for a chain set; the
+// engine's interface score approaches the oracle's verdict as MSA quality
+// grows. The default (nil) oracle derives a deterministic ~12% interaction
+// rate from the chain IDs.
+type InteractionOracle interface {
+	Interacts(ids []string) bool
+}
+
+// hashOracle is the default deterministic oracle.
+type hashOracle struct{ seed uint64 }
+
+func (h hashOracle) Interacts(ids []string) bool {
+	sorted := append([]string(nil), ids...)
+	sort.Strings(sorted)
+	acc := h.seed ^ 0x1234abcd
+	for _, id := range sorted {
+		for i := 0; i < len(id); i++ {
+			acc ^= uint64(id[i])
+			acc *= 1099511628211
+		}
+	}
+	return rng.New(acc).Float64() < 0.12
+}
+
+// InferComplex runs one multimer task. The cost model follows the paper's
+// scaling argument: a multimer forward pass costs like a single chain of
+// the combined length (so an all-vs-all screen is quadratic in the number
+// of proteins and worse in residues).
+func (e *Engine) InferComplex(t ComplexTask, oracle InteractionOracle) (*ComplexPrediction, error) {
+	if len(t.IDs) < 2 {
+		return nil, fmt.Errorf("fold: complex needs at least 2 chains, got %d", len(t.IDs))
+	}
+	if len(t.Lengths) != len(t.IDs) || len(t.Features) != len(t.IDs) {
+		return nil, fmt.Errorf("fold: complex arity mismatch: %d ids, %d lengths, %d features",
+			len(t.IDs), len(t.Lengths), len(t.Features))
+	}
+	total := 0
+	for i, l := range t.Lengths {
+		if l <= 0 {
+			return nil, fmt.Errorf("fold: chain %s has no length", t.IDs[i])
+		}
+		total += l
+	}
+	if t.Model < 0 || t.Model >= NumModels {
+		return nil, fmt.Errorf("fold: complex model %d out of range", t.Model)
+	}
+	mem := e.PeakMemGB(t.Preset, total) * 1.25 // pair representation overhead
+	if t.NodeMemGB > 0 && mem > t.NodeMemGB {
+		return nil, fmt.Errorf("%w: complex %s needs %.1f GB, node has %.1f GB",
+			ErrOutOfMemory, strings.Join(t.IDs, "+"), mem, t.NodeMemGB)
+	}
+
+	id := strings.Join(t.IDs, "+")
+	r := rng.New(e.Seed).SplitNamed("complex:" + id)
+	modelR := r.SplitNamed(fmt.Sprintf("model:%d", t.Model))
+
+	// Joint MSA quality: the paired MSA is only as good as the weaker
+	// chain's alignment (interolog pairing loses depth).
+	minNeff := math.Inf(1)
+	hasTemplates := true
+	for _, f := range t.Features {
+		neff := 8.0
+		ht := false
+		if f != nil {
+			neff = f.Neff
+			ht = f.HasTemplates
+		}
+		if neff < minNeff {
+			minNeff = neff
+		}
+		hasTemplates = hasTemplates && ht
+	}
+	jointNeff := minNeff * 0.6 // pairing loss
+
+	if oracle == nil {
+		oracle = hashOracle{seed: e.Seed}
+	}
+	truth := oracle.Interacts(t.IDs)
+
+	// Interface score: centered on the truth, blurred by MSA quality. Deep
+	// paired MSAs separate interacting from non-interacting pairs cleanly;
+	// shallow ones are ambiguous — the operating regime AF2Complex reports.
+	separation := 0.38 * (1 - math.Exp(-0.25*jointNeff))
+	center := 0.5 - separation
+	if truth {
+		center = 0.5 + separation
+	}
+	score := center + 0.12*modelR.NormFloat64()
+	if score < 0 {
+		score = 0
+	} else if score > 1 {
+		score = 1
+	}
+
+	// Chain-level quality reuses the monomer machinery on the combined
+	// length (the multimer models share weights with the monomer ones).
+	recycles := t.Preset.RecycleCap(total)
+	errInf := e.Cal.ErrBase + e.Cal.ErrNeff/(1+e.Cal.NeffScale*jointNeff) +
+		e.Cal.ErrLen*float64(total)/1000
+	mult := 1 + e.Cal.ModelJitter*modelR.NormFloat64()
+	if mult < 0.8 {
+		mult = 0.8
+	}
+	if TemplateModels(t.Model) && hasTemplates {
+		mult *= e.Cal.TemplateGain
+	}
+	errInf *= mult
+	plddt := 100 / (1 + math.Pow(errInf/e.Cal.PLDDTScale, e.Cal.PLDDTShape))
+	d0 := 1.24*math.Cbrt(float64(total-15)) - 1.8
+	if d0 < 0.5 {
+		d0 = 0.5
+	}
+	ptms := 1 / (1 + (2.2*errInf/d0)*(2.2*errInf/d0))
+
+	return &ComplexPrediction{
+		ID:             id,
+		TotalLength:    total,
+		Model:          t.Model,
+		MeanPLDDT:      plddt,
+		PTMS:           ptms,
+		InterfaceScore: score,
+		Interacting:    score >= 0.5,
+		GPUSeconds: e.Cal.CostBase + e.Cal.CostScale*
+			float64(t.Preset.Ensembles)*float64(recycles+1)*math.Pow(float64(total), 1.5),
+		PeakMemGB: mem,
+	}, nil
+}

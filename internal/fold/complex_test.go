@@ -1,0 +1,191 @@
+package fold
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func complexTask(ids []string, lengths []int, neff float64) ComplexTask {
+	feats := make([]*FeaturesRef, len(ids))
+	for i := range feats {
+		feats[i] = ComplexFeatures(neff, true)
+	}
+	return ComplexTask{
+		IDs: ids, Lengths: lengths, Features: feats,
+		Model: 0, Preset: Genome, NodeMemGB: 64,
+	}
+}
+
+func TestInferComplexValidation(t *testing.T) {
+	e := testEngine()
+	if _, err := e.InferComplex(complexTask([]string{"a"}, []int{100}, 10), nil); err == nil {
+		t.Error("single-chain complex accepted")
+	}
+	bad := complexTask([]string{"a", "b"}, []int{100}, 10)
+	bad.Lengths = []int{100} // arity mismatch
+	if _, err := e.InferComplex(bad, nil); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	zero := complexTask([]string{"a", "b"}, []int{100, 0}, 10)
+	if _, err := e.InferComplex(zero, nil); err == nil {
+		t.Error("zero-length chain accepted")
+	}
+	badModel := complexTask([]string{"a", "b"}, []int{100, 100}, 10)
+	badModel.Model = 9
+	if _, err := e.InferComplex(badModel, nil); err == nil {
+		t.Error("bad model accepted")
+	}
+}
+
+func TestInferComplexDeterministic(t *testing.T) {
+	e := testEngine()
+	task := complexTask([]string{"p1", "p2"}, []int{150, 200}, 15)
+	a, err := e.InferComplex(task, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.InferComplex(task, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.InterfaceScore != b.InterfaceScore || a.PTMS != b.PTMS {
+		t.Error("complex inference not deterministic")
+	}
+	if a.TotalLength != 350 {
+		t.Errorf("total length = %d", a.TotalLength)
+	}
+	if a.ID != "p1+p2" {
+		t.Errorf("ID = %q", a.ID)
+	}
+}
+
+func TestComplexOOM(t *testing.T) {
+	e := testEngine()
+	// Two long chains exceed a standard GPU even single-ensemble.
+	task := complexTask([]string{"big1", "big2"}, []int{1200, 1200}, 10)
+	task.NodeMemGB = 16
+	_, err := e.InferComplex(task, nil)
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("2400-residue complex should OOM on 16 GB, got %v", err)
+	}
+	task.NodeMemGB = 128
+	if _, err := e.InferComplex(task, nil); err != nil {
+		t.Errorf("high-memory node should fit: %v", err)
+	}
+}
+
+// fixedOracle returns a preset truth for testing discrimination.
+type fixedOracle bool
+
+func (f fixedOracle) Interacts(ids []string) bool { return bool(f) }
+
+func TestComplexDiscriminatesInteractions(t *testing.T) {
+	e := testEngine()
+	// With deep MSAs, interacting pairs score clearly above
+	// non-interacting ones.
+	var posHits, negHits int
+	const n = 60
+	for i := 0; i < n; i++ {
+		ids := []string{fmt.Sprintf("x%02d", i), fmt.Sprintf("y%02d", i)}
+		task := complexTask(ids, []int{120, 140}, 30)
+		pos, err := e.InferComplex(task, fixedOracle(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		neg, err := e.InferComplex(task, fixedOracle(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pos.Interacting {
+			posHits++
+		}
+		if neg.Interacting {
+			negHits++
+		}
+		if pos.InterfaceScore <= neg.InterfaceScore {
+			t.Errorf("pair %d: interacting score %v <= non-interacting %v",
+				i, pos.InterfaceScore, neg.InterfaceScore)
+		}
+	}
+	if posHits < n*9/10 {
+		t.Errorf("recall %d/%d with deep MSAs; should be high", posHits, n)
+	}
+	if negHits > n/10 {
+		t.Errorf("false positives %d/%d with deep MSAs; should be low", negHits, n)
+	}
+}
+
+func TestComplexShallowMSAsAmbiguous(t *testing.T) {
+	e := testEngine()
+	// With Neff ~1 the interface score cannot separate the classes well:
+	// the error rate must be clearly worse than the deep-MSA case.
+	errors := 0
+	const n = 80
+	for i := 0; i < n; i++ {
+		ids := []string{fmt.Sprintf("s%02d", i), fmt.Sprintf("t%02d", i)}
+		task := complexTask(ids, []int{120, 140}, 1)
+		pos, err := e.InferComplex(task, fixedOracle(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		neg, err := e.InferComplex(task, fixedOracle(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pos.Interacting {
+			errors++
+		}
+		if neg.Interacting {
+			errors++
+		}
+	}
+	if errors < n/8 {
+		t.Errorf("only %d/%d errors with Neff 1; shallow MSAs should be ambiguous", errors, 2*n)
+	}
+}
+
+func TestComplexCostSuperadditive(t *testing.T) {
+	e := testEngine()
+	// The complex pass must cost more than the two monomer passes combined
+	// (L^1.5 superadditivity) — the quadratic-scaling argument of the
+	// paper's conclusion.
+	feats := testFeatures(200, 10, 0)
+	m1, err := e.Infer(Task{ID: "a", Length: 200, Features: feats, Model: 0, Preset: Genome, NodeMemGB: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := e.Infer(Task{ID: "b", Length: 300, Features: testFeatures(300, 10, 0), Model: 0, Preset: Genome, NodeMemGB: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cx, err := e.InferComplex(complexTask([]string{"a", "b"}, []int{200, 300}, 10), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cx.GPUSeconds <= (m1.GPUSeconds+m2.GPUSeconds)*0.8 {
+		t.Errorf("complex cost %v not superadditive vs %v + %v",
+			cx.GPUSeconds, m1.GPUSeconds, m2.GPUSeconds)
+	}
+}
+
+func TestDefaultOracleRate(t *testing.T) {
+	e := testEngine()
+	hits := 0
+	const n = 500
+	for i := 0; i < n; i++ {
+		o := hashOracle{seed: e.Seed}
+		if o.Interacts([]string{fmt.Sprintf("pa%03d", i), fmt.Sprintf("pb%03d", i)}) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.05 || frac > 0.25 {
+		t.Errorf("default interaction rate %v, want ~0.12", frac)
+	}
+	// Order invariance.
+	o := hashOracle{seed: 1}
+	if o.Interacts([]string{"a", "b"}) != o.Interacts([]string{"b", "a"}) {
+		t.Error("oracle not symmetric in chain order")
+	}
+}

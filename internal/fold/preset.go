@@ -1,0 +1,59 @@
+package fold
+
+// Preset bundles the inference configuration knobs exactly as Section 3.2.2
+// describes them: the two official AlphaFold presets (reduced_dbs and
+// casp14, fixed 3 recycles, 1 and 8 ensembles respectively) and the paper's
+// two custom presets (genome and super) that recycle dynamically until the
+// inter-recycle distogram change falls below a tolerance (0.5 and 0.1), up
+// to 20 recycles, with the cap progressively reduced to a floor of 6 for
+// sequences longer than 500 residues.
+type Preset struct {
+	Name        string
+	Ensembles   int
+	MaxRecycles int
+	// MinRecyclesLong is the floor the recycle cap shrinks to for very long
+	// sequences (dynamic presets only).
+	MinRecyclesLong int
+	// Dynamic enables the ColabFold-style early stop on distogram
+	// convergence with tolerance Tol (Å of mean pairwise-distance change).
+	// MinRecycles is the floor before the convergence check applies, so a
+	// dynamic preset never does less work than the official 3 recycles.
+	Dynamic     bool
+	Tol         float64
+	MinRecycles int
+}
+
+// The four presets of Table 1.
+var (
+	ReducedDBs = Preset{Name: "reduced_dbs", Ensembles: 1, MaxRecycles: 3, MinRecyclesLong: 3}
+	CASP14     = Preset{Name: "casp14", Ensembles: 8, MaxRecycles: 3, MinRecyclesLong: 3}
+	Genome     = Preset{Name: "genome", Ensembles: 1, MaxRecycles: 20, MinRecyclesLong: 6, Dynamic: true, Tol: 0.5, MinRecycles: 3}
+	Super      = Preset{Name: "super", Ensembles: 1, MaxRecycles: 20, MinRecyclesLong: 6, Dynamic: true, Tol: 0.1, MinRecycles: 3}
+)
+
+// AllPresets returns the four presets in Table 1 order.
+func AllPresets() []Preset { return []Preset{ReducedDBs, Genome, Super, CASP14} }
+
+// RecycleCap returns the maximum recycle count for a sequence of the given
+// length: MaxRecycles up to 500 residues, then reduced by one per 130
+// additional residues down to MinRecyclesLong (Section 3.2.2's progressive
+// reduction "to a minimum of 6").
+func (p Preset) RecycleCap(length int) int {
+	if !p.Dynamic || length <= 500 {
+		return p.MaxRecycles
+	}
+	cap := p.MaxRecycles - (length-500)/130
+	if cap < p.MinRecyclesLong {
+		cap = p.MinRecyclesLong
+	}
+	return cap
+}
+
+// NumModels is the number of AlphaFold model heads run per target; each
+// produces one structure and the best is selected by confidence.
+const NumModels = 5
+
+// TemplateModels reports whether model index m consumes structural
+// templates: per the paper, "the structural features are only used by two
+// of the five DL models".
+func TemplateModels(m int) bool { return m == 0 || m == 1 }

@@ -1,0 +1,286 @@
+package msa
+
+import "fmt"
+
+// Alignment is a pairwise alignment of a query and a subject, expressed as
+// gapped strings of equal length plus summary statistics.
+type Alignment struct {
+	QueryAln   string // query with '-' gaps
+	SubjectAln string // subject with '-' gaps
+	Score      int
+	// QueryStart/QueryEnd delimit the aligned query region (0-based,
+	// half-open); likewise for the subject. For global alignments these
+	// span the full sequences.
+	QueryStart, QueryEnd     int
+	SubjectStart, SubjectEnd int
+}
+
+// Identity returns the fraction of aligned (non-gap on both sides) columns
+// with identical residues, measured over aligned columns.
+func (a *Alignment) Identity() float64 {
+	matched, aligned := 0, 0
+	for i := 0; i < len(a.QueryAln); i++ {
+		q, s := a.QueryAln[i], a.SubjectAln[i]
+		if q == '-' || s == '-' {
+			continue
+		}
+		aligned++
+		if q == s {
+			matched++
+		}
+	}
+	if aligned == 0 {
+		return 0
+	}
+	return float64(matched) / float64(aligned)
+}
+
+// MatchCount returns the number of identical aligned residue pairs.
+func (a *Alignment) MatchCount() int {
+	n := 0
+	for i := 0; i < len(a.QueryAln); i++ {
+		if a.QueryAln[i] != '-' && a.QueryAln[i] == a.SubjectAln[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// IdentityOverShorter returns matches divided by the shorter sequence
+// length — the convention used when reporting "sequence identity match" of
+// remote homologs (robust against gappy alignments inflating per-column
+// identity).
+func (a *Alignment) IdentityOverShorter(queryLen, subjectLen int) float64 {
+	den := queryLen
+	if subjectLen < den {
+		den = subjectLen
+	}
+	if den == 0 {
+		return 0
+	}
+	return float64(a.MatchCount()) / float64(den)
+}
+
+// Coverage returns the fraction of the full query covered by the aligned
+// region.
+func (a *Alignment) Coverage(queryLen int) float64 {
+	if queryLen == 0 {
+		return 0
+	}
+	return float64(a.QueryEnd-a.QueryStart) / float64(queryLen)
+}
+
+// GapParams are affine gap penalties (positive numbers; a gap of length k
+// costs Open + k*Extend).
+type GapParams struct {
+	Open   int
+	Extend int
+}
+
+// DefaultGaps are BLOSUM62-appropriate penalties.
+var DefaultGaps = GapParams{Open: 11, Extend: 1}
+
+const negInf = int(-1) << 40
+
+// Global computes a Needleman-Wunsch global alignment with affine gaps
+// (Gotoh's algorithm).
+func Global(query, subject string, gp GapParams) (*Alignment, error) {
+	n, m := len(query), len(subject)
+	if n == 0 || m == 0 {
+		return nil, fmt.Errorf("msa: global alignment of empty sequence")
+	}
+	// M = match/mismatch ending, X = gap in subject (query consumed),
+	// Y = gap in query (subject consumed).
+	M := newMatrix(n+1, m+1)
+	X := newMatrix(n+1, m+1)
+	Y := newMatrix(n+1, m+1)
+	M[0][0] = 0
+	for i := 1; i <= n; i++ {
+		M[i][0] = negInf
+		X[i][0] = -(gp.Open + i*gp.Extend)
+		Y[i][0] = negInf
+	}
+	for j := 1; j <= m; j++ {
+		M[0][j] = negInf
+		Y[0][j] = -(gp.Open + j*gp.Extend)
+		X[0][j] = negInf
+	}
+	X[0][0], Y[0][0] = negInf, negInf
+
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			s := Score(query[i-1], subject[j-1])
+			M[i][j] = max3(M[i-1][j-1], X[i-1][j-1], Y[i-1][j-1]) + s
+			X[i][j] = maxInt(M[i-1][j]-gp.Open-gp.Extend, X[i-1][j]-gp.Extend)
+			Y[i][j] = maxInt(M[i][j-1]-gp.Open-gp.Extend, Y[i][j-1]-gp.Extend)
+		}
+	}
+
+	// Traceback from the best of the three end states.
+	state := 0
+	best := M[n][m]
+	if X[n][m] > best {
+		best, state = X[n][m], 1
+	}
+	if Y[n][m] > best {
+		best, state = Y[n][m], 2
+	}
+	qa, sa := make([]byte, 0, n+m), make([]byte, 0, n+m)
+	i, j := n, m
+	for i > 0 || j > 0 {
+		switch state {
+		case 0: // M
+			qa = append(qa, query[i-1])
+			sa = append(sa, subject[j-1])
+			s := Score(query[i-1], subject[j-1])
+			switch M[i][j] - s {
+			case M[i-1][j-1]:
+				state = 0
+			case X[i-1][j-1]:
+				state = 1
+			default:
+				state = 2
+			}
+			i--
+			j--
+		case 1: // X: gap in subject
+			qa = append(qa, query[i-1])
+			sa = append(sa, '-')
+			if i > 1 || j > 0 {
+				if X[i][j] == M[i-1][j]-gp.Open-gp.Extend {
+					state = 0
+				}
+			}
+			i--
+		default: // Y: gap in query
+			qa = append(qa, '-')
+			sa = append(sa, subject[j-1])
+			if j > 1 || i > 0 {
+				if Y[i][j] == M[i][j-1]-gp.Open-gp.Extend {
+					state = 0
+				}
+			}
+			j--
+		}
+		// Borders force gap states.
+		if i == 0 && j > 0 {
+			state = 2
+		} else if j == 0 && i > 0 {
+			state = 1
+		}
+	}
+	reverse(qa)
+	reverse(sa)
+	return &Alignment{
+		QueryAln: string(qa), SubjectAln: string(sa), Score: best,
+		QueryStart: 0, QueryEnd: n, SubjectStart: 0, SubjectEnd: m,
+	}, nil
+}
+
+// Local computes a Smith-Waterman local alignment with affine gaps.
+func Local(query, subject string, gp GapParams) (*Alignment, error) {
+	n, m := len(query), len(subject)
+	if n == 0 || m == 0 {
+		return nil, fmt.Errorf("msa: local alignment of empty sequence")
+	}
+	M := newMatrix(n+1, m+1)
+	X := newMatrix(n+1, m+1)
+	Y := newMatrix(n+1, m+1)
+	for i := 0; i <= n; i++ {
+		X[i][0], Y[i][0] = negInf, negInf
+	}
+	for j := 0; j <= m; j++ {
+		X[0][j], Y[0][j] = negInf, negInf
+	}
+
+	best, bi, bj := 0, 0, 0
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			s := Score(query[i-1], subject[j-1])
+			M[i][j] = max3(M[i-1][j-1], X[i-1][j-1], Y[i-1][j-1]) + s
+			if M[i][j] < 0 {
+				M[i][j] = 0
+			}
+			X[i][j] = maxInt(M[i-1][j]-gp.Open-gp.Extend, X[i-1][j]-gp.Extend)
+			Y[i][j] = maxInt(M[i][j-1]-gp.Open-gp.Extend, Y[i][j-1]-gp.Extend)
+			if M[i][j] > best {
+				best, bi, bj = M[i][j], i, j
+			}
+		}
+	}
+	if best == 0 {
+		return &Alignment{}, nil // no positive-scoring local alignment
+	}
+
+	qa, sa := make([]byte, 0, n), make([]byte, 0, n)
+	i, j := bi, bj
+	state := 0
+	for i > 0 && j > 0 {
+		if state == 0 && M[i][j] == 0 {
+			break
+		}
+		switch state {
+		case 0:
+			qa = append(qa, query[i-1])
+			sa = append(sa, subject[j-1])
+			s := Score(query[i-1], subject[j-1])
+			prev := M[i][j] - s
+			switch prev {
+			case M[i-1][j-1]:
+				state = 0
+			case X[i-1][j-1]:
+				state = 1
+			case Y[i-1][j-1]:
+				state = 2
+			default:
+				state = 0 // reached a 0-clamped cell
+			}
+			i--
+			j--
+		case 1:
+			qa = append(qa, query[i-1])
+			sa = append(sa, '-')
+			if X[i][j] == M[i-1][j]-gp.Open-gp.Extend {
+				state = 0
+			}
+			i--
+		default:
+			qa = append(qa, '-')
+			sa = append(sa, subject[j-1])
+			if Y[i][j] == M[i][j-1]-gp.Open-gp.Extend {
+				state = 0
+			}
+			j--
+		}
+	}
+	reverse(qa)
+	reverse(sa)
+	return &Alignment{
+		QueryAln: string(qa), SubjectAln: string(sa), Score: best,
+		QueryStart: i, QueryEnd: bi, SubjectStart: j, SubjectEnd: bj,
+	}, nil
+}
+
+func newMatrix(rows, cols int) [][]int {
+	backing := make([]int, rows*cols)
+	m := make([][]int, rows)
+	for i := range m {
+		m[i] = backing[i*cols : (i+1)*cols]
+	}
+	return m
+}
+
+func max3(a, b, c int) int { return maxInt(a, maxInt(b, c)) }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func reverse(b []byte) {
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+}

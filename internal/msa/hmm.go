@@ -1,0 +1,304 @@
+package msa
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/seq"
+)
+
+// ProfileHMM is a Plan7-style profile hidden Markov model with match,
+// insert and delete states per column, built from a multiple sequence
+// alignment. It plays the role HMMER/HHblits profiles play in the feature
+// generation stage: scoring remote homologs more sensitively than pairwise
+// alignment can.
+type ProfileHMM struct {
+	// Columns is the number of match states.
+	Columns int
+	// MatchEmit[c][a] is the log probability of emitting amino acid a from
+	// match state c.
+	MatchEmit [][]float64
+	// InsertEmit[a] is the (shared) insert-state emission log probability,
+	// equal to the background distribution.
+	InsertEmit []float64
+	// Transition log probabilities per column: M->M, M->I, M->D, I->M,
+	// I->I, D->M, D->D.
+	TMM, TMI, TMD, TIM, TII, TDM, TDD []float64
+}
+
+// BuildHMM estimates a profile HMM from gapped, equal-length aligned
+// sequences. Columns where the first (query/master) sequence has a residue
+// become match columns; weights use simple Laplace (+1) smoothing mixed
+// with the background. The master-column convention matches how AlphaFold
+// builds features in query coordinates.
+func BuildHMM(aligned []string) (*ProfileHMM, error) {
+	if len(aligned) == 0 {
+		return nil, fmt.Errorf("msa: BuildHMM with no sequences")
+	}
+	width := len(aligned[0])
+	for i, s := range aligned {
+		if len(s) != width {
+			return nil, fmt.Errorf("msa: aligned sequence %d has length %d, want %d", i, len(s), width)
+		}
+	}
+	master := aligned[0]
+	var matchCols []int
+	for c := 0; c < width; c++ {
+		if master[c] != '-' {
+			matchCols = append(matchCols, c)
+		}
+	}
+	if len(matchCols) == 0 {
+		return nil, fmt.Errorf("msa: master sequence is all gaps")
+	}
+
+	h := &ProfileHMM{Columns: len(matchCols)}
+	h.MatchEmit = make([][]float64, h.Columns)
+	h.InsertEmit = make([]float64, seq.NumAminoAcids)
+	for a := 0; a < seq.NumAminoAcids; a++ {
+		h.InsertEmit[a] = math.Log(seq.BackgroundFreq[a])
+	}
+	n := len(matchCols)
+	h.TMM = make([]float64, n)
+	h.TMI = make([]float64, n)
+	h.TMD = make([]float64, n)
+	h.TIM = make([]float64, n)
+	h.TII = make([]float64, n)
+	h.TDM = make([]float64, n)
+	h.TDD = make([]float64, n)
+
+	for ci, c := range matchCols {
+		counts := make([]float64, seq.NumAminoAcids)
+		var mm, mi, md float64 = 1, 0.1, 0.1 // pseudocounts
+		for _, s := range aligned {
+			if a := seq.Index(s[c]); a >= 0 {
+				counts[a]++
+			}
+			// Transition statistics: look at what follows this column for
+			// this sequence (residue in next match column => M->M or D->M
+			// depending on current, gap => deletion path, inter-column
+			// residues => insertion).
+			if ci+1 < len(matchCols) {
+				next := matchCols[ci+1]
+				hasIns := false
+				for p := c + 1; p < next; p++ {
+					if s[p] != '-' {
+						hasIns = true
+						break
+					}
+				}
+				cur := s[c] != '-'
+				nxt := s[next] != '-'
+				switch {
+				case hasIns:
+					mi++
+				case cur && nxt:
+					mm++
+				case cur && !nxt:
+					md++
+				}
+			}
+		}
+		var total float64
+		for a := range counts {
+			counts[a] += seq.BackgroundFreq[a] * float64(seq.NumAminoAcids) // background pseudocount
+			total += counts[a]
+		}
+		emit := make([]float64, seq.NumAminoAcids)
+		for a := range counts {
+			emit[a] = math.Log(counts[a] / total)
+		}
+		h.MatchEmit[ci] = emit
+
+		tsum := mm + mi + md
+		h.TMM[ci] = math.Log(mm / tsum)
+		h.TMI[ci] = math.Log(mi / tsum)
+		h.TMD[ci] = math.Log(md / tsum)
+		h.TIM[ci] = math.Log(0.8)
+		h.TII[ci] = math.Log(0.2)
+		h.TDM[ci] = math.Log(0.7)
+		h.TDD[ci] = math.Log(0.3)
+	}
+	return h, nil
+}
+
+// ViterbiScore returns the log-odds score (relative to the background
+// model) of the best path of the sequence through the profile, using global
+// (Needleman-Wunsch-style) profile alignment.
+func (h *ProfileHMM) ViterbiScore(s string) float64 {
+	n := len(s)
+	if n == 0 {
+		return math.Inf(-1)
+	}
+	cols := h.Columns
+	ninf := math.Inf(-1)
+
+	// vm[c], vi[c], vd[c] for the current sequence position; 1-based cols.
+	vm := make([]float64, cols+1)
+	vi := make([]float64, cols+1)
+	vd := make([]float64, cols+1)
+	nm := make([]float64, cols+1)
+	ni := make([]float64, cols+1)
+	nd := make([]float64, cols+1)
+
+	for c := 0; c <= cols; c++ {
+		vm[c], vi[c] = ninf, ninf
+	}
+	// Deletion chain along the top row (entering at column c by deletions).
+	vd[0] = ninf
+	vd[1] = h.TMD[0]
+	for c := 2; c <= cols; c++ {
+		vd[c] = vd[c-1] + h.TDD[c-1]
+	}
+
+	bg := make([]float64, 256)
+	for a := 0; a < seq.NumAminoAcids; a++ {
+		bg[seq.Alphabet[a]] = math.Log(seq.BackgroundFreq[a])
+	}
+
+	best := ninf
+	for i := 1; i <= n; i++ {
+		ch := s[i-1]
+		a := seq.Index(ch)
+		for c := 0; c <= cols; c++ {
+			nm[c], ni[c], nd[c] = ninf, ninf, ninf
+		}
+		for c := 1; c <= cols; c++ {
+			var emit float64
+			if a >= 0 {
+				emit = h.MatchEmit[c-1][a] - bg[ch]
+			} else {
+				emit = -1
+			}
+			// Match state c consumes residue i.
+			prev := ninf
+			if c == 1 {
+				if i == 1 {
+					prev = 0 // model entry
+				} else {
+					prev = vi[0]
+				}
+			} else {
+				prev = math.Max(vm[c-1]+h.TMM[c-1], math.Max(vi[c-1]+h.TIM[c-1], vd[c-1]+h.TDM[c-1]))
+			}
+			nm[c] = prev + emit
+
+			// Insert state after column c consumes residue i (score 0
+			// emission odds: insert emissions equal background).
+			ni[c] = math.Max(vm[c]+h.TMI[minIdx(c, cols-1)], vi[c]+h.TII[minIdx(c, cols-1)])
+
+			// Delete state c consumes no residue; computed from this row's
+			// match/delete at c-1.
+			if c > 1 {
+				nd[c] = math.Max(nm[c-1]+h.TMD[c-1], nd[c-1]+h.TDD[c-1])
+			}
+		}
+		// Insert state 0 (N-terminal inserts).
+		ni[0] = math.Max(vi[0], 0) // free-ish N-terminal padding
+		copy(vm, nm)
+		copy(vi, ni)
+		copy(vd, nd)
+		// Global-ish: model must end at last column, sequence may end here.
+		if end := math.Max(vm[cols], vd[cols]); i == n && end > best {
+			best = end
+		}
+	}
+	return best
+}
+
+func minIdx(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ForwardScore returns the full-likelihood log-odds score of the sequence
+// against the profile (the HMMER default): like ViterbiScore but summing
+// over all paths instead of maximizing, which is more sensitive for remote
+// homologs whose probability mass is spread over many near-optimal
+// alignments.
+func (h *ProfileHMM) ForwardScore(s string) float64 {
+	n := len(s)
+	if n == 0 {
+		return math.Inf(-1)
+	}
+	cols := h.Columns
+	ninf := math.Inf(-1)
+
+	vm := make([]float64, cols+1)
+	vi := make([]float64, cols+1)
+	vd := make([]float64, cols+1)
+	nm := make([]float64, cols+1)
+	ni := make([]float64, cols+1)
+	nd := make([]float64, cols+1)
+	for c := 0; c <= cols; c++ {
+		vm[c], vi[c] = ninf, ninf
+	}
+	vd[0] = ninf
+	vd[1] = h.TMD[0]
+	for c := 2; c <= cols; c++ {
+		vd[c] = vd[c-1] + h.TDD[c-1]
+	}
+
+	bg := make([]float64, 256)
+	for a := 0; a < seq.NumAminoAcids; a++ {
+		bg[seq.Alphabet[a]] = math.Log(seq.BackgroundFreq[a])
+	}
+
+	best := ninf
+	for i := 1; i <= n; i++ {
+		ch := s[i-1]
+		a := seq.Index(ch)
+		for c := 0; c <= cols; c++ {
+			nm[c], ni[c], nd[c] = ninf, ninf, ninf
+		}
+		for c := 1; c <= cols; c++ {
+			var emit float64
+			if a >= 0 {
+				emit = h.MatchEmit[c-1][a] - bg[ch]
+			} else {
+				emit = -1
+			}
+			prev := ninf
+			if c == 1 {
+				if i == 1 {
+					prev = 0
+				} else {
+					prev = vi[0]
+				}
+			} else {
+				prev = logSumExp3(vm[c-1]+h.TMM[c-1], vi[c-1]+h.TIM[c-1], vd[c-1]+h.TDM[c-1])
+			}
+			nm[c] = prev + emit
+			ni[c] = logSumExp2(vm[c]+h.TMI[minIdx(c, cols-1)], vi[c]+h.TII[minIdx(c, cols-1)])
+			if c > 1 {
+				nd[c] = logSumExp2(nm[c-1]+h.TMD[c-1], nd[c-1]+h.TDD[c-1])
+			}
+		}
+		ni[0] = logSumExp2(vi[0], 0)
+		copy(vm, nm)
+		copy(vi, ni)
+		copy(vd, nd)
+		if i == n {
+			if end := logSumExp2(vm[cols], vd[cols]); end > best {
+				best = end
+			}
+		}
+	}
+	return best
+}
+
+func logSumExp2(a, b float64) float64 {
+	if a < b {
+		a, b = b, a
+	}
+	if math.IsInf(a, -1) {
+		return a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}
+
+func logSumExp3(a, b, c float64) float64 {
+	return logSumExp2(logSumExp2(a, b), c)
+}

@@ -1,0 +1,128 @@
+package msa
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/seq"
+)
+
+// Iterative search: the HHblits strategy of building a profile from the
+// first-pass MSA and searching again with it, which finds remote homologs
+// that pairwise alignment misses. The paper's feature-generation stage
+// runs exactly this kind of iterated profile search (HHblits against the
+// BFD), and MSA depth is the dominant driver of prediction quality.
+
+// IterativeConfig extends SearchConfig with profile-search iterations.
+type IterativeConfig struct {
+	SearchConfig
+	// Iterations ≥ 1; iteration 1 is the plain pairwise search, each
+	// further iteration rebuilds the profile and rescans.
+	Iterations int
+	// ProfileScorePerColumn is the acceptance threshold for profile hits:
+	// a candidate joins the MSA if its Viterbi log-odds per profile column
+	// exceeds this (in nats).
+	ProfileScorePerColumn float64
+	// MaxProfileHits caps additions per iteration.
+	MaxProfileHits int
+}
+
+// DefaultIterativeConfig mirrors a 2-iteration HHblits-like setup.
+func DefaultIterativeConfig() IterativeConfig {
+	return IterativeConfig{
+		SearchConfig:          DefaultSearchConfig(),
+		Iterations:            2,
+		ProfileScorePerColumn: 0.22,
+		MaxProfileHits:        64,
+	}
+}
+
+// SearchIterative runs the iterated profile search against one library
+// (profile iteration is only worthwhile on the deep metagenomic library,
+// which is also what the real pipeline does).
+func (s *Searcher) SearchIterative(query seq.Sequence, cfg IterativeConfig) (*Result, error) {
+	if cfg.Iterations < 1 {
+		return nil, fmt.Errorf("msa: iterations must be >= 1")
+	}
+	res, err := s.Search(query)
+	if err != nil {
+		return nil, err
+	}
+	for iter := 2; iter <= cfg.Iterations; iter++ {
+		added, err := s.profilePass(query, res, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if added == 0 {
+			break // converged: no new homologs
+		}
+	}
+	return res, nil
+}
+
+// profilePass builds a profile HMM from the current MSA and scans all
+// libraries with a relaxed prefilter, adding profile-accepted homologs.
+func (s *Searcher) profilePass(query seq.Sequence, res *Result, cfg IterativeConfig) (int, error) {
+	aligned := make([]string, 0, len(res.MSA.Rows))
+	for _, row := range res.MSA.Rows {
+		aligned = append(aligned, row.Aligned)
+	}
+	hmm, err := BuildHMM(aligned)
+	if err != nil {
+		return 0, err
+	}
+	have := make(map[string]bool, len(res.MSA.Rows))
+	for _, row := range res.MSA.Rows {
+		have[row.ID] = true
+	}
+
+	names := make([]string, 0, len(s.libs))
+	for name := range s.libs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	added := 0
+	for _, name := range names {
+		if name == "pdb_seqres" {
+			continue // templates stay pairwise-validated
+		}
+		lib := s.libs[name]
+		// Relaxed prefilter: a single shared k-mer qualifies a candidate
+		// for profile scoring.
+		hits := s.indexes[name].Query(query.Residues, 1)
+		for _, h := range hits {
+			if added >= cfg.MaxProfileHits {
+				return added, nil
+			}
+			subject := lib.Entries[h.Entry].Seq
+			if have[subject.ID] {
+				continue
+			}
+			score := hmm.ViterbiScore(subject.Residues)
+			res.WorkUnits += int64(hmm.Columns) * int64(len(subject.Residues))
+			if score < cfg.ProfileScorePerColumn*float64(hmm.Columns) {
+				continue
+			}
+			// Accept: align for coordinates, but do NOT apply the pairwise
+			// identity threshold — the profile has already vouched for it.
+			aln, err := Local(query.Residues, subject.Residues, cfg.Gaps)
+			if err != nil {
+				return added, err
+			}
+			if aln.Score == 0 || aln.Coverage(query.Len()) < 0.25 {
+				continue
+			}
+			res.MSA.Rows = append(res.MSA.Rows, Row{
+				ID:       subject.ID,
+				Aligned:  projectToQuery(aln, query.Len()),
+				Identity: aln.Identity(),
+				Coverage: aln.Coverage(query.Len()),
+				Library:  name + "+profile",
+			})
+			have[subject.ID] = true
+			added++
+		}
+	}
+	return added, nil
+}

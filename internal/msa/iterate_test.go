@@ -1,0 +1,126 @@
+package msa
+
+import (
+	"testing"
+
+	"repro/internal/proteome"
+	"repro/internal/seq"
+	"repro/internal/seqdb"
+)
+
+// remoteHomologLibrary builds a library where family 0 has a mix of close
+// and remote homologs; the remote ones sit beyond the pairwise-identity
+// acceptance threshold but should be reachable via the profile.
+func remoteHomologLibrary() (*proteome.Universe, map[string]*seqdb.Library) {
+	u := proteome.NewUniverse(31, 12, 100, 160)
+	libs := map[string]*seqdb.Library{
+		// Close homologs establish the first-pass MSA.
+		"uniref90": seqdb.Build(u, seqdb.BuildSpec{
+			Name: "uniref90", EntriesPerFamily: 8,
+			MinDivergence: 0.05, MaxDivergence: 0.25,
+		}, 5),
+		// Remote homologs: mostly past the pairwise threshold.
+		"mgnify": seqdb.Build(u, seqdb.BuildSpec{
+			Name: "mgnify", EntriesPerFamily: 12,
+			MinDivergence: 0.45, MaxDivergence: 0.65,
+		}, 6),
+	}
+	return u, libs
+}
+
+func TestIterativeSearchDeepensMSA(t *testing.T) {
+	u, libs := remoteHomologLibrary()
+	cfg := DefaultIterativeConfig()
+	// Make pairwise acceptance strict so remote homologs need the profile.
+	cfg.MinIdentity = 0.45
+	s := NewSearcher(libs, cfg.SearchConfig)
+	query := seq.Sequence{ID: "q", Residues: u.Domains[0]}
+
+	one := cfg
+	one.Iterations = 1
+	resOne, err := s.SearchIterative(query, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resTwo, err := s.SearchIterative(query, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resTwo.MSA.Depth() <= resOne.MSA.Depth() {
+		t.Errorf("profile iteration did not deepen the MSA: %d -> %d",
+			resOne.MSA.Depth(), resTwo.MSA.Depth())
+	}
+	// Profile-found rows are marked and bypass the identity threshold.
+	profileRows := 0
+	for _, row := range resTwo.MSA.Rows {
+		if len(row.Library) > 8 && row.Library[len(row.Library)-8:] == "+profile" {
+			profileRows++
+			if row.Identity >= 0.9 {
+				t.Errorf("profile row %s identity %v; should be a remote homolog", row.ID, row.Identity)
+			}
+		}
+	}
+	if profileRows == 0 {
+		t.Error("no profile-accepted rows")
+	}
+	// Extra work must be accounted.
+	if resTwo.WorkUnits <= resOne.WorkUnits {
+		t.Error("profile pass did not account extra work")
+	}
+}
+
+func TestIterativeSearchValidation(t *testing.T) {
+	_, libs := remoteHomologLibrary()
+	cfg := DefaultIterativeConfig()
+	cfg.Iterations = 0
+	s := NewSearcher(libs, cfg.SearchConfig)
+	if _, err := s.SearchIterative(seq.Sequence{ID: "q", Residues: "ACDEFGHIKL"}, cfg); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}
+
+func TestIterativeSearchConverges(t *testing.T) {
+	// With many iterations the search must stop adding rows (no infinite
+	// growth) and stay deterministic.
+	u, libs := remoteHomologLibrary()
+	cfg := DefaultIterativeConfig()
+	cfg.Iterations = 5
+	s := NewSearcher(libs, cfg.SearchConfig)
+	query := seq.Sequence{ID: "q", Residues: u.Domains[1]}
+	a, err := s.SearchIterative(query, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.SearchIterative(query, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MSA.Depth() != b.MSA.Depth() {
+		t.Error("iterative search not deterministic")
+	}
+	total := libs["uniref90"].NumEntries() + libs["mgnify"].NumEntries()
+	if a.MSA.Depth() > total+1 {
+		t.Errorf("MSA deeper (%d) than the library (%d)", a.MSA.Depth(), total)
+	}
+}
+
+func TestProfilePassRespectsCap(t *testing.T) {
+	u, libs := remoteHomologLibrary()
+	cfg := DefaultIterativeConfig()
+	cfg.MaxProfileHits = 2
+	s := NewSearcher(libs, cfg.SearchConfig)
+	query := seq.Sequence{ID: "q", Residues: u.Domains[0]}
+	one := cfg
+	one.Iterations = 1
+	resOne, err := s.SearchIterative(query, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resTwo, err := s.SearchIterative(query, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resTwo.MSA.Depth() - resOne.MSA.Depth(); got > 2 {
+		t.Errorf("profile pass added %d rows, cap was 2", got)
+	}
+}

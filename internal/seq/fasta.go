@@ -1,0 +1,98 @@
+package seq
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadFASTA parses FASTA-format records from r. Header lines are split into
+// an ID (first whitespace-delimited token after '>') and a Description (the
+// remainder). Sequence lines are concatenated and upper-cased; interior
+// whitespace is removed. A record with no sequence lines is an error.
+func ReadFASTA(r io.Reader) ([]Sequence, error) {
+	var out []Sequence
+	var cur *Sequence
+	var body strings.Builder
+
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		cur.Residues = body.String()
+		if cur.Residues == "" {
+			return fmt.Errorf("seq: fasta record %q has no sequence", cur.ID)
+		}
+		out = append(out, *cur)
+		cur = nil
+		body.Reset()
+		return nil
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line[0] == '>' {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			header := strings.TrimSpace(line[1:])
+			if header == "" {
+				return nil, fmt.Errorf("seq: empty fasta header at line %d", lineNo)
+			}
+			id := header
+			desc := ""
+			if i := strings.IndexAny(header, " \t"); i >= 0 {
+				id = header[:i]
+				desc = strings.TrimSpace(header[i+1:])
+			}
+			cur = &Sequence{ID: id, Description: desc}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("seq: sequence data before first header at line %d", lineNo)
+		}
+		body.WriteString(strings.ToUpper(strings.Join(strings.Fields(line), "")))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("seq: reading fasta: %w", err)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteFASTA writes records to w in FASTA format with 60-column wrapping.
+func WriteFASTA(w io.Writer, seqs []Sequence) error {
+	bw := bufio.NewWriter(w)
+	for i := range seqs {
+		s := &seqs[i]
+		if s.Description != "" {
+			if _, err := fmt.Fprintf(bw, ">%s %s\n", s.ID, s.Description); err != nil {
+				return err
+			}
+		} else {
+			if _, err := fmt.Fprintf(bw, ">%s\n", s.ID); err != nil {
+				return err
+			}
+		}
+		for off := 0; off < len(s.Residues); off += 60 {
+			end := off + 60
+			if end > len(s.Residues) {
+				end = len(s.Residues)
+			}
+			if _, err := fmt.Fprintln(bw, s.Residues[off:end]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,294 @@
+// Package seqdb models the sequence libraries AlphaFold searches against
+// (UniProt/UniRef90, BFD, MGnify, and the PDB seqres set) and the two
+// database engineering steps the paper relies on:
+//
+//  1. the "reduced" dataset — removing identical and near-identical
+//     sequences from the BFD with a greedy identity-clustering pass
+//     (Section 3.2.1: 2.1 TB full → 420 GB reduced, with virtually
+//     identical prediction accuracy), and
+//  2. replication across the parallel filesystem — 24 identical copies with
+//     4 concurrent jobs per copy to relieve metadata-server contention.
+//
+// Libraries are generated from the shared domain universe in
+// internal/proteome, so proteome targets have genuine homologs here.
+package seqdb
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/proteome"
+	"repro/internal/rng"
+	"repro/internal/seq"
+)
+
+// Library is one sequence database.
+type Library struct {
+	Name    string
+	Entries []Entry
+}
+
+// Entry is one database sequence plus the ground-truth family it descends
+// from (used only by tests and analyses, never by the search path).
+type Entry struct {
+	Seq    seq.Sequence
+	Family int
+}
+
+// NumEntries returns the number of sequences.
+func (l *Library) NumEntries() int { return len(l.Entries) }
+
+// TotalResidues returns the summed sequence length, the proxy for on-disk
+// size used by the filesystem model.
+func (l *Library) TotalResidues() int {
+	total := 0
+	for i := range l.Entries {
+		total += l.Entries[i].Seq.Len()
+	}
+	return total
+}
+
+// SizeBytes estimates the on-disk footprint. Real HH-suite/HMMER databases
+// carry index and profile overheads of roughly 2x the raw residues.
+func (l *Library) SizeBytes() int64 { return int64(l.TotalResidues()) * 2 }
+
+// BuildSpec parameterizes library generation.
+type BuildSpec struct {
+	Name string
+	// EntriesPerFamily controls depth: how many homologs each universe
+	// family contributes.
+	EntriesPerFamily int
+	// MinDivergence and MaxDivergence bound how far entries wander from
+	// their family ancestor.
+	MinDivergence, MaxDivergence float64
+	// DuplicateFrac is the fraction of additional near-identical copies
+	// (divergence < 0.05) appended after the base entries; this is what the
+	// reduction pass removes. The real BFD is dominated by such redundancy.
+	DuplicateFrac float64
+}
+
+// Build generates a library from the universe.
+func Build(u *proteome.Universe, spec BuildSpec, seed uint64) *Library {
+	r := rng.New(seed).SplitNamed("seqdb:" + spec.Name)
+	lib := &Library{Name: spec.Name}
+	n := 0
+	for f := 0; f < u.NumFamilies(); f++ {
+		for k := 0; k < spec.EntriesPerFamily; k++ {
+			div := spec.MinDivergence + (spec.MaxDivergence-spec.MinDivergence)*r.Float64()
+			lib.Entries = append(lib.Entries, Entry{
+				Seq: seq.Sequence{
+					ID:          fmt.Sprintf("%s|%06d", spec.Name, n),
+					Description: fmt.Sprintf("family-%04d homolog", f),
+					Residues:    u.Mutate(f, div, r),
+				},
+				Family: f,
+			})
+			n++
+		}
+	}
+	// Redundant near-duplicates of random base entries.
+	nDup := int(float64(len(lib.Entries)) * spec.DuplicateFrac)
+	base := len(lib.Entries)
+	for k := 0; k < nDup; k++ {
+		src := lib.Entries[r.Intn(base)]
+		dup := src
+		dup.Seq.ID = fmt.Sprintf("%s|%06d", spec.Name, n)
+		n++
+		// Sprinkle up to 4% point mutations so duplicates are "near"
+		// identical, as in the real BFD.
+		res := []byte(src.Seq.Residues)
+		for i := range res {
+			if r.Float64() < 0.04*r.Float64() {
+				res[i] = seq.Alphabet[r.Intn(seq.NumAminoAcids)]
+			}
+		}
+		dup.Seq.Residues = string(res)
+		lib.Entries = append(lib.Entries, dup)
+	}
+	return lib
+}
+
+// StandardLibraries builds the four libraries of the AlphaFold pipeline with
+// depth proportions resembling the real ones: BFD is by far the largest and
+// the most redundant; the PDB seqres set is small.
+func StandardLibraries(u *proteome.Universe, seed uint64) map[string]*Library {
+	return map[string]*Library{
+		"uniref90": Build(u, BuildSpec{
+			Name: "uniref90", EntriesPerFamily: 20,
+			MinDivergence: 0.05, MaxDivergence: 0.6, DuplicateFrac: 0.1,
+		}, seed),
+		"bfd": Build(u, BuildSpec{
+			Name: "bfd", EntriesPerFamily: 60,
+			MinDivergence: 0.05, MaxDivergence: 0.75, DuplicateFrac: 4.0,
+		}, seed+1),
+		"mgnify": Build(u, BuildSpec{
+			Name: "mgnify", EntriesPerFamily: 30,
+			MinDivergence: 0.1, MaxDivergence: 0.8, DuplicateFrac: 0.5,
+		}, seed+2),
+		"pdb_seqres": Build(u, BuildSpec{
+			Name: "pdb_seqres", EntriesPerFamily: 2,
+			MinDivergence: 0.02, MaxDivergence: 0.4, DuplicateFrac: 0,
+		}, seed+3),
+	}
+}
+
+// KmerIndex is an inverted index from k-mers to the entries containing
+// them, the prefilter stage of the search pipeline (the role MMseqs2 or the
+// HHblits prefilter plays).
+type KmerIndex struct {
+	K        int
+	postings map[string][]int32
+	lib      *Library
+}
+
+// NewKmerIndex indexes a library with word length k.
+func NewKmerIndex(lib *Library, k int) *KmerIndex {
+	if k < 2 || k > 8 {
+		panic("seqdb: k-mer length out of supported range")
+	}
+	idx := &KmerIndex{K: k, postings: make(map[string][]int32), lib: lib}
+	for e := range lib.Entries {
+		res := lib.Entries[e].Seq.Residues
+		seen := make(map[string]bool)
+		for i := 0; i+k <= len(res); i++ {
+			w := res[i : i+k]
+			if !seen[w] {
+				seen[w] = true
+				idx.postings[w] = append(idx.postings[w], int32(e))
+			}
+		}
+	}
+	return idx
+}
+
+// Hit is one prefilter candidate: a library entry index and the number of
+// distinct query k-mers it shares.
+type Hit struct {
+	Entry  int
+	Shared int
+}
+
+// Query returns candidate entries sharing at least minShared distinct
+// k-mers with the query, sorted by descending shared count (ties by entry
+// index for determinism).
+func (idx *KmerIndex) Query(query string, minShared int) []Hit {
+	counts := make(map[int32]int)
+	seen := make(map[string]bool)
+	for i := 0; i+idx.K <= len(query); i++ {
+		w := query[i : i+idx.K]
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		for _, e := range idx.postings[w] {
+			counts[e]++
+		}
+	}
+	hits := make([]Hit, 0, len(counts))
+	for e, c := range counts {
+		if c >= minShared {
+			hits = append(hits, Hit{Entry: int(e), Shared: c})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Shared != hits[j].Shared {
+			return hits[i].Shared > hits[j].Shared
+		}
+		return hits[i].Entry < hits[j].Entry
+	})
+	return hits
+}
+
+// Reduce performs greedy identity clustering (CD-HIT-style): entries are
+// processed longest-first; an entry joins an existing cluster if it shares
+// at least identityFrac of its k-mers with the representative, otherwise it
+// founds a new cluster. The returned library holds only representatives.
+// With identityFrac ≈ 0.9 this is the "remove identical and near-identical
+// sequences from the BFD" step of Section 3.2.1.
+func Reduce(lib *Library, k int, identityFrac float64) *Library {
+	order := make([]int, len(lib.Entries))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		la := lib.Entries[order[a]].Seq.Len()
+		lb := lib.Entries[order[b]].Seq.Len()
+		if la != lb {
+			return la > lb
+		}
+		return order[a] < order[b]
+	})
+
+	reduced := &Library{Name: lib.Name + "_reduced"}
+	// Index over accepted representatives only, built incrementally.
+	repKmers := make(map[string][]int32)
+	repSets := [][]string{}
+
+	kmerSet := func(res string) []string {
+		seen := make(map[string]bool)
+		out := make([]string, 0, len(res))
+		for i := 0; i+k <= len(res); i++ {
+			w := res[i : i+k]
+			if !seen[w] {
+				seen[w] = true
+				out = append(out, w)
+			}
+		}
+		return out
+	}
+
+	for _, e := range order {
+		res := lib.Entries[e].Seq.Residues
+		words := kmerSet(res)
+		if len(words) == 0 {
+			reduced.Entries = append(reduced.Entries, lib.Entries[e])
+			continue
+		}
+		counts := make(map[int32]int)
+		for _, w := range words {
+			for _, rep := range repKmers[w] {
+				counts[rep]++
+			}
+		}
+		matched := false
+		need := int(identityFrac * float64(len(words)))
+		for _, c := range counts {
+			if c >= need {
+				matched = true
+				break
+			}
+		}
+		if matched {
+			continue // redundant with an existing representative
+		}
+		repID := int32(len(repSets))
+		repSets = append(repSets, words)
+		for _, w := range words {
+			repKmers[w] = append(repKmers[w], repID)
+		}
+		reduced.Entries = append(reduced.Entries, lib.Entries[e])
+	}
+	return reduced
+}
+
+// ReplicaSet is the filesystem replication layout of Section 3.2.1: N
+// identical copies of the reduced libraries with a bounded number of
+// concurrent jobs per copy.
+type ReplicaSet struct {
+	Copies      int
+	JobsPerCopy int
+}
+
+// PaperReplicaSet returns the deployed layout (24 copies, 4 jobs per copy).
+func PaperReplicaSet() ReplicaSet { return ReplicaSet{Copies: 24, JobsPerCopy: 4} }
+
+// MaxConcurrentJobs returns the search concurrency the layout supports.
+func (rs ReplicaSet) MaxConcurrentJobs() int { return rs.Copies * rs.JobsPerCopy }
+
+// AssignCopy deterministically maps a job index to a replica copy.
+func (rs ReplicaSet) AssignCopy(job int) int {
+	if rs.Copies <= 0 {
+		return 0
+	}
+	return job % rs.Copies
+}

@@ -1,0 +1,166 @@
+package seqdb
+
+import (
+	"testing"
+
+	"repro/internal/proteome"
+)
+
+func testUniverse() *proteome.Universe { return proteome.NewUniverse(1, 32, 60, 180) }
+
+func TestBuildDeterminismAndValidity(t *testing.T) {
+	u := testUniverse()
+	spec := BuildSpec{Name: "t", EntriesPerFamily: 5, MinDivergence: 0.05, MaxDivergence: 0.5, DuplicateFrac: 0.5}
+	a := Build(u, spec, 3)
+	b := Build(u, spec, 3)
+	if a.NumEntries() != b.NumEntries() {
+		t.Fatal("same-seed builds differ in size")
+	}
+	for i := range a.Entries {
+		if a.Entries[i].Seq.Residues != b.Entries[i].Seq.Residues {
+			t.Fatalf("entry %d differs across same-seed builds", i)
+		}
+		if err := a.Entries[i].Seq.Validate(); err != nil {
+			t.Fatalf("entry %d invalid: %v", i, err)
+		}
+	}
+	wantBase := 32 * 5
+	wantTotal := wantBase + wantBase/2
+	if a.NumEntries() != wantTotal {
+		t.Errorf("entries = %d, want %d", a.NumEntries(), wantTotal)
+	}
+}
+
+func TestStandardLibrariesShape(t *testing.T) {
+	u := testUniverse()
+	libs := StandardLibraries(u, 7)
+	for _, name := range []string{"uniref90", "bfd", "mgnify", "pdb_seqres"} {
+		if libs[name] == nil {
+			t.Fatalf("missing library %s", name)
+		}
+	}
+	if libs["bfd"].NumEntries() <= libs["uniref90"].NumEntries() {
+		t.Error("BFD must dominate uniref90 in size")
+	}
+	if libs["pdb_seqres"].NumEntries() >= libs["uniref90"].NumEntries() {
+		t.Error("pdb_seqres must be the smallest")
+	}
+	if libs["bfd"].SizeBytes() <= 0 {
+		t.Error("SizeBytes must be positive")
+	}
+}
+
+func TestKmerIndexFindsHomologs(t *testing.T) {
+	u := testUniverse()
+	lib := Build(u, BuildSpec{Name: "t", EntriesPerFamily: 8, MinDivergence: 0.05, MaxDivergence: 0.3}, 5)
+	idx := NewKmerIndex(lib, 4)
+
+	// Query with the ancestor of family 0: top hits must be family 0.
+	hits := idx.Query(u.Domains[0], 3)
+	if len(hits) == 0 {
+		t.Fatal("no hits for a family ancestor")
+	}
+	top := hits[0]
+	if lib.Entries[top.Entry].Family != 0 {
+		t.Errorf("top hit family = %d, want 0", lib.Entries[top.Entry].Family)
+	}
+	// Hits must be sorted by descending shared count.
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Shared > hits[i-1].Shared {
+			t.Fatal("hits not sorted by shared count")
+		}
+	}
+}
+
+func TestKmerIndexMinShared(t *testing.T) {
+	u := testUniverse()
+	lib := Build(u, BuildSpec{Name: "t", EntriesPerFamily: 4, MinDivergence: 0.1, MaxDivergence: 0.4}, 6)
+	idx := NewKmerIndex(lib, 4)
+	loose := idx.Query(u.Domains[1], 1)
+	strict := idx.Query(u.Domains[1], 10)
+	if len(strict) > len(loose) {
+		t.Error("higher minShared returned more hits")
+	}
+	for _, h := range strict {
+		if h.Shared < 10 {
+			t.Errorf("hit with shared=%d below threshold", h.Shared)
+		}
+	}
+}
+
+func TestKmerIndexRejectsBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k=1")
+		}
+	}()
+	NewKmerIndex(&Library{}, 1)
+}
+
+func TestReduceRemovesDuplicates(t *testing.T) {
+	u := testUniverse()
+	// Heavy duplication like the BFD.
+	full := Build(u, BuildSpec{
+		Name: "bfd", EntriesPerFamily: 10,
+		MinDivergence: 0.1, MaxDivergence: 0.6, DuplicateFrac: 4.0,
+	}, 9)
+	reduced := Reduce(full, 4, 0.8)
+
+	if reduced.NumEntries() >= full.NumEntries() {
+		t.Fatalf("reduction did not shrink: %d -> %d", full.NumEntries(), reduced.NumEntries())
+	}
+	// The paper's reduction is roughly 5x by bytes (2.1 TB -> 420 GB); with
+	// DuplicateFrac=4 the duplicate mass should mostly vanish.
+	ratio := float64(full.SizeBytes()) / float64(reduced.SizeBytes())
+	if ratio < 3 {
+		t.Errorf("reduction ratio %.2f, want >= 3 with 80%% duplicates", ratio)
+	}
+
+	// Every family must still be represented: reduction must not lose
+	// coverage (this is why accuracy is preserved).
+	covered := map[int]bool{}
+	for _, e := range reduced.Entries {
+		covered[e.Family] = true
+	}
+	for f := 0; f < u.NumFamilies(); f++ {
+		if !covered[f] {
+			t.Errorf("family %d lost by reduction", f)
+		}
+	}
+}
+
+func TestReduceIdempotent(t *testing.T) {
+	u := testUniverse()
+	full := Build(u, BuildSpec{
+		Name: "x", EntriesPerFamily: 6,
+		MinDivergence: 0.1, MaxDivergence: 0.5, DuplicateFrac: 2.0,
+	}, 10)
+	once := Reduce(full, 4, 0.8)
+	twice := Reduce(once, 4, 0.8)
+	if twice.NumEntries() != once.NumEntries() {
+		t.Errorf("reduce not idempotent: %d -> %d", once.NumEntries(), twice.NumEntries())
+	}
+}
+
+func TestReplicaSet(t *testing.T) {
+	rs := PaperReplicaSet()
+	if rs.Copies != 24 || rs.JobsPerCopy != 4 {
+		t.Errorf("paper replica set = %+v", rs)
+	}
+	if rs.MaxConcurrentJobs() != 96 {
+		t.Errorf("max concurrent jobs = %d", rs.MaxConcurrentJobs())
+	}
+	seen := map[int]int{}
+	for j := 0; j < 240; j++ {
+		c := rs.AssignCopy(j)
+		if c < 0 || c >= rs.Copies {
+			t.Fatalf("copy %d out of range", c)
+		}
+		seen[c]++
+	}
+	for c, n := range seen {
+		if n != 10 {
+			t.Errorf("copy %d assigned %d jobs, want 10", c, n)
+		}
+	}
+}
