@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	afbench [-seed N] <experiment>
+//	afbench [-seed N] [-parallelism N] <experiment>
 //
 // where <experiment> is one of: table1, fig2, fig3, fig4, features,
 // recycles, sdivinum, violations, genomerelax, annotate, campaign, or all.
@@ -128,6 +128,7 @@ var runners = []runner{
 
 func main() {
 	seed := flag.Uint64("seed", experiments.DefaultSeed, "campaign seed (changing it changes every measured number)")
+	par := flag.Int("parallelism", 0, "host worker-pool size (0 = GOMAXPROCS, 1 = serial); results are identical at any value")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -137,6 +138,7 @@ func main() {
 	name := flag.Arg(0)
 
 	env := experiments.NewEnv(*seed)
+	env.Parallelism = *par
 	selected := runners
 	if name != "all" {
 		selected = nil
@@ -166,7 +168,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: afbench [-seed N] <experiment>")
+	fmt.Fprintln(os.Stderr, "usage: afbench [-seed N] [-parallelism N] <experiment>")
 	fmt.Fprintln(os.Stderr, "experiments:")
 	for _, r := range runners {
 		fmt.Fprintf(os.Stderr, "  %-12s %s\n", r.name, r.desc)

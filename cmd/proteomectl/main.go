@@ -109,6 +109,7 @@ func runCmd(args []string) error {
 	presetName := fs.String("preset", "genome", "inference preset (reduced_dbs, genome, super, casp14)")
 	nodes := fs.Int("nodes", 32, "Summit nodes for inference")
 	seedv := fs.Uint64("seed", experiments.DefaultSeed, "campaign seed")
+	par := fs.Int("parallelism", 0, "host worker-pool size (0 = GOMAXPROCS, 1 = serial); results are identical at any value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -129,12 +130,14 @@ func runCmd(args []string) error {
 	}
 
 	env := experiments.NewEnv(*seedv)
+	env.Parallelism = *par
 	p := env.Proteome(sp)
 	proteins := p.FilterMaxLen(2500)
 	cfg := core.DefaultConfig()
 	cfg.Preset = preset
 	cfg.SummitNodes = *nodes
 	cfg.AndesNodes = 96
+	cfg.Parallelism = *par
 
 	rep, err := core.RunCampaign(env.Engine, env.FeatureGen(), proteins, env.FS, core.ReducedDatabase(), cfg)
 	if err != nil {

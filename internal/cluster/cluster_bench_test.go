@@ -1,0 +1,34 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// BenchmarkSimulateDataflow measures the virtual-time dataflow simulator on
+// a campaign-scale task set (25k tasks on 1200 workers, the paper's largest
+// wave).
+func BenchmarkSimulateDataflow(b *testing.B) {
+	r := rng.New(0xdf01)
+	tasks := make([]SimTask, 25000)
+	for i := range tasks {
+		l := 30 + r.Intn(1200)
+		tasks[i] = SimTask{
+			ID:       fmt.Sprintf("t%05d", i),
+			Weight:   float64(l),
+			Duration: 10 + 0.5*float64(l),
+		}
+	}
+	ApplyOrder(tasks, LongestFirst)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateDataflow(tasks, DataflowOptions{
+			Workers: 1200, DispatchOverhead: 1.5, StartupDelay: 300,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

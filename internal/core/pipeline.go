@@ -9,6 +9,7 @@ import (
 	"repro/internal/fold"
 	"repro/internal/fsim"
 	"repro/internal/msa"
+	"repro/internal/parallel"
 	"repro/internal/proteome"
 	"repro/internal/relax"
 )
@@ -40,6 +41,14 @@ type Config struct {
 	// (1 = plain CPU search; 38 models the GPU-HMMER kernel discussed in
 	// the paper's conclusion).
 	SearchAccel float64
+	// Parallelism bounds the host-side worker pool that executes the real
+	// compute of each stage (feature generation, the (target x model)
+	// inference fan-out, the high-memory retry wave). It controls only how
+	// fast the pipeline runs on the host, never the simulated cluster
+	// width or any reported number: results are collected in submission
+	// order and are byte-identical for every value. <= 0 selects
+	// GOMAXPROCS; 1 forces the serial reference path.
+	Parallelism int
 }
 
 // DefaultConfig mirrors the Table 1 benchmark deployment.
@@ -87,14 +96,18 @@ func FeatureStage(proteins []proteome.Protein, gen FeatureGen, fs fsim.Filesyste
 	if err := cfg.Replicas.Validate(); err != nil {
 		return nil, err
 	}
-	rep := &FeatureReport{Features: make(map[string]*msa.Features, len(proteins))}
-	tasks := make([]cluster.SimTask, 0, len(proteins))
-	for _, p := range proteins {
+	// The per-protein searches are independent, so they fan out over the
+	// worker pool; results are collected by submission index so the report
+	// is identical to the serial loop's.
+	type featOut struct {
+		f   *msa.Features
+		dur float64
+	}
+	outs, err := parallel.Map(cfg.Parallelism, proteins, func(_ int, p proteome.Protein) (featOut, error) {
 		f, err := gen.Features(p)
 		if err != nil {
-			return nil, err
+			return featOut{}, err
 		}
-		rep.Features[p.Seq.ID] = f
 		accel := cfg.SearchAccel
 		if accel < 1 {
 			accel = 1
@@ -102,12 +115,21 @@ func FeatureStage(proteins []proteome.Protein, gen FeatureGen, fs fsim.Filesyste
 		base := FeatureCostAccel(f, accel)
 		dur, err := fs.SearchTime(db, base, cfg.Replicas.JobsPerCopy)
 		if err != nil {
-			return nil, err
+			return featOut{}, err
 		}
+		return featOut{f: f, dur: dur}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &FeatureReport{Features: make(map[string]*msa.Features, len(proteins))}
+	tasks := make([]cluster.SimTask, 0, len(proteins))
+	for i, p := range proteins {
+		rep.Features[p.Seq.ID] = outs[i].f
 		tasks = append(tasks, cluster.SimTask{
 			ID:       p.Seq.ID,
 			Weight:   float64(p.Seq.Len()),
-			Duration: dur,
+			Duration: outs[i].dur,
 		})
 	}
 	cluster.ApplyOrder(tasks, cfg.Order)
@@ -170,40 +192,59 @@ func InferenceStage(engine *fold.Engine, proteins []proteome.Protein, features m
 		target string
 		model  int
 	}
-	preds := make(map[taskKey]*fold.Prediction)
+	preds := make(map[taskKey]*fold.Prediction, len(proteins)*fold.NumModels)
 	byID := make(map[string]proteome.Protein, len(proteins))
 
-	var stdTasks []cluster.SimTask
-	var oomTasks []fold.Task
-	onHighMem := make(map[string]bool)
-
+	// Flatten the (target x model) fan-out — the task granularity the
+	// paper's Dask deployment uses — and execute it over the worker pool.
+	// The engine is concurrency-safe (per-(seed, target, model) randomness),
+	// and the OOM outcomes are data, not control flow, so each slot records
+	// either a prediction or its OOM task and the serial assembly below
+	// reconstructs the exact serial-order stdTasks and oomTasks slices.
+	allTasks := make([]fold.Task, 0, len(proteins)*fold.NumModels)
 	for _, p := range proteins {
 		byID[p.Seq.ID] = p
 		f := features[p.Seq.ID]
 		for m := 0; m < fold.NumModels; m++ {
-			task := fold.Task{
+			allTasks = append(allTasks, fold.Task{
 				ID:        p.Seq.ID,
 				Length:    p.Seq.Len(),
 				Features:  f,
 				Model:     m,
 				Preset:    cfg.Preset,
 				NodeMemGB: standardNodeGPUMemGB,
-			}
-			pred, err := engine.Infer(task)
-			if err != nil {
-				if errors.Is(err, fold.ErrOutOfMemory) {
-					oomTasks = append(oomTasks, task)
-					continue
-				}
-				return nil, err
-			}
-			preds[taskKey{p.Seq.ID, m}] = pred
-			stdTasks = append(stdTasks, cluster.SimTask{
-				ID:       fmt.Sprintf("%s/m%d", p.Seq.ID, m),
-				Weight:   float64(p.Seq.Len()),
-				Duration: pred.GPUSeconds,
 			})
 		}
+	}
+	infOuts, err := parallel.Map(cfg.Parallelism, allTasks, func(_ int, task fold.Task) (*fold.Prediction, error) {
+		pred, err := engine.Infer(task)
+		if err != nil {
+			if errors.Is(err, fold.ErrOutOfMemory) {
+				return nil, nil // nil prediction marks an OOM for the retry wave
+			}
+			return nil, err
+		}
+		return pred, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	stdTasks := make([]cluster.SimTask, 0, len(allTasks))
+	var oomTasks []fold.Task
+	onHighMem := make(map[string]bool)
+	for i, task := range allTasks {
+		pred := infOuts[i]
+		if pred == nil {
+			oomTasks = append(oomTasks, task)
+			continue
+		}
+		preds[taskKey{task.ID, task.Model}] = pred
+		stdTasks = append(stdTasks, cluster.SimTask{
+			ID:       fmt.Sprintf("%s/m%d", task.ID, task.Model),
+			Weight:   float64(task.Length),
+			Duration: pred.GPUSeconds,
+		})
 	}
 
 	cluster.ApplyOrder(stdTasks, cfg.Order)
@@ -219,17 +260,27 @@ func InferenceStage(engine *fold.Engine, proteins []proteome.Protein, features m
 	rep.WalltimeSec = sim.Makespan
 	rep.NodeHours = float64(cfg.SummitNodes) * sim.Makespan / 3600
 
-	// High-memory retry wave for OOM tasks.
+	// High-memory retry wave for OOM tasks, fanned out the same way.
 	if len(oomTasks) > 0 && cfg.HighMemNodes > 0 {
-		var hmTasks []cluster.SimTask
-		for _, t := range oomTasks {
+		hmOuts, err := parallel.Map(cfg.Parallelism, oomTasks, func(_ int, t fold.Task) (*fold.Prediction, error) {
 			t.NodeMemGB = highMemNodeGPUMemGB
 			pred, err := engine.Infer(t)
 			if err != nil {
 				if errors.Is(err, fold.ErrOutOfMemory) {
-					continue // beyond even high-mem: dropped
+					return nil, nil // beyond even high-mem: dropped
 				}
 				return nil, err
+			}
+			return pred, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		hmTasks := make([]cluster.SimTask, 0, len(oomTasks))
+		for i, t := range oomTasks {
+			pred := hmOuts[i]
+			if pred == nil {
+				continue
 			}
 			preds[taskKey{t.ID, t.Model}] = pred
 			onHighMem[t.ID] = true
@@ -263,6 +314,7 @@ func InferenceStage(engine *fold.Engine, proteins []proteome.Protein, features m
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
+	rep.Targets = make([]TargetResult, 0, len(ids))
 	for _, id := range ids {
 		p := byID[id]
 		tr := TargetResult{ID: id, Length: p.Seq.Len(), OnHighMem: onHighMem[id]}
@@ -297,7 +349,7 @@ func RelaxStage(targets []TargetResult, cfg Config, platform relax.Platform) (*R
 	if cfg.RelaxNodes <= 0 {
 		return nil, fmt.Errorf("core: relax stage needs nodes")
 	}
-	var tasks []cluster.SimTask
+	tasks := make([]cluster.SimTask, 0, len(targets))
 	for _, t := range targets {
 		if t.Best == nil {
 			continue

@@ -9,6 +9,7 @@ import (
 	"repro/internal/fold"
 	"repro/internal/fsim"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/proteome"
 )
 
@@ -46,33 +47,40 @@ func Ablations(env *Env) (*AblationResult, error) {
 		ReplicaWallHours:   map[int]float64{},
 	}
 
-	// Precompute per-(target,model) predictions once.
+	// Precompute per-(target,model) predictions once, fanned out over the
+	// worker pool (one item per protein, collected in submission order).
 	type pred struct {
 		dur  float64
 		ptms float64
 	}
-	perTask := map[string][fold.NumModels]pred{}
-	for _, p := range proteins {
+	rows, err := parallel.Map(env.Parallelism, proteins, func(_ int, p proteome.Protein) ([fold.NumModels]pred, error) {
+		var row [fold.NumModels]pred
 		f, err := gen.Features(p)
 		if err != nil {
-			return nil, err
+			return row, err
 		}
-		feats[p.Seq.ID] = &taskFeat{length: p.Seq.Len()}
-		var row [fold.NumModels]pred
 		for m := 0; m < fold.NumModels; m++ {
 			pr, err := env.Engine.Infer(foldTask(p, f, m))
 			if err != nil {
-				return nil, err
+				return row, err
 			}
 			row[m] = pred{dur: pr.GPUSeconds, ptms: pr.PTMS}
 		}
-		perTask[p.Seq.ID] = row
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	perTask := make(map[string][fold.NumModels]pred, len(proteins))
+	for i, p := range proteins {
+		feats[p.Seq.ID] = &taskFeat{length: p.Seq.Len()}
+		perTask[p.Seq.ID] = rows[i]
 	}
 
 	// --- Ordering ablation on (model,target) tasks, 32 nodes.
 	// Iterate the protein slice (not the map) so submission order is
 	// deterministic.
-	var pairTasks []cluster.SimTask
+	pairTasks := make([]cluster.SimTask, 0, len(proteins)*fold.NumModels)
 	for _, p := range proteins {
 		row := perTask[p.Seq.ID]
 		for m := 0; m < fold.NumModels; m++ {
@@ -109,7 +117,7 @@ func Ablations(env *Env) (*AblationResult, error) {
 		return nil, err
 	}
 	res.PairWallHours = simPair.Makespan / 3600
-	var wholeTasks []cluster.SimTask
+	wholeTasks := make([]cluster.SimTask, 0, len(proteins))
 	for _, p := range proteins {
 		row := perTask[p.Seq.ID]
 		var total float64
@@ -141,7 +149,7 @@ func Ablations(env *Env) (*AblationResult, error) {
 
 	// --- Replica sweep: wall hours of the feature stage per copy count.
 	for _, copies := range []int{1, 4, 8, 24} {
-		cfg := core.DefaultConfig()
+		cfg := env.config()
 		cfg.AndesNodes = 96
 		cfg.Replicas = fsim.ReplicaLayout{Copies: copies, JobsPerCopy: 96 / copies}
 		if copies == 24 {
@@ -162,7 +170,7 @@ func Ablations(env *Env) (*AblationResult, error) {
 		return nil, err
 	}
 	for _, preset := range []fold.Preset{fold.ReducedDBs, fold.Genome} {
-		cfg := core.DefaultConfig()
+		cfg := env.config()
 		cfg.Preset = preset
 		rep, err := core.InferenceStage(env.Engine, bench, bfeats, cfg)
 		if err != nil {
@@ -185,7 +193,7 @@ func Ablations(env *Env) (*AblationResult, error) {
 	}
 
 	// --- Reduced vs full library feature cost.
-	cfg := core.DefaultConfig()
+	cfg := env.config()
 	cfg.AndesNodes = 96
 	fr, err := core.FeatureStage(proteins, gen, env.FS, core.ReducedDatabase(), cfg)
 	if err != nil {
@@ -244,7 +252,7 @@ type GPUSearchResult struct {
 func GPUSearch(env *Env) (*GPUSearchResult, error) {
 	dvu := env.Proteome(proteome.DVulgaris)
 	proteins := dvu.FilterMaxLen(2500)
-	cfg := core.DefaultConfig()
+	cfg := env.config()
 	cfg.AndesNodes = 96
 
 	cpu, err := core.FeatureStage(proteins, env.FeatureGen(), env.FS, core.ReducedDatabase(), cfg)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/fold"
+	"repro/internal/parallel"
 	"repro/internal/proteome"
 )
 
@@ -52,48 +53,63 @@ func ComplexScreen(env *Env) (*ComplexScreenResult, error) {
 		neff float64
 		tmpl bool
 	}
-	chains := make([]chain, len(subset))
-	var monomerGPU float64
-	for i, p := range subset {
+	// Monomer baselines fan out over the worker pool (one item per chain).
+	chains, err := parallel.Map(env.Parallelism, subset, func(_ int, p proteome.Protein) (chain, error) {
 		f, err := gen.Features(p)
 		if err != nil {
-			return nil, err
+			return chain{}, err
 		}
 		pred, err := env.Engine.Infer(foldTask(p, f, 0))
 		if err != nil {
-			return nil, err
+			return chain{}, err
 		}
-		monomerGPU += pred.GPUSeconds
-		chains[i] = chain{id: p.Seq.ID, l: p.Seq.Len(), feat: pred, neff: f.Neff, tmpl: len(f.Templates) > 0}
+		return chain{id: p.Seq.ID, l: p.Seq.Len(), feat: pred, neff: f.Neff, tmpl: len(f.Templates) > 0}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var monomerGPU float64
+	for _, c := range chains {
+		monomerGPU += c.feat.GPUSeconds
 	}
 	res.MonomerGPUHours = monomerGPU / 3600
 
-	var tasks []cluster.SimTask
-	var screenGPU float64
+	// The quadratic all-vs-all screen is the heaviest loop in the package:
+	// flatten the i<j pair triangle and fan it out. Pair order (and so
+	// every accumulated statistic) is the serial loop's.
+	type pairIdx struct{ i, j int }
+	pairs := make([]pairIdx, 0, len(chains)*(len(chains)-1)/2)
 	for i := 0; i < len(chains); i++ {
 		for j := i + 1; j < len(chains); j++ {
-			a, b := chains[i], chains[j]
-			cp, err := env.Engine.InferComplex(fold.ComplexTask{
-				IDs:     []string{a.id, b.id},
-				Lengths: []int{a.l, b.l},
-				Features: []*fold.FeaturesRef{
-					fold.ComplexFeatures(a.neff, a.tmpl),
-					fold.ComplexFeatures(b.neff, b.tmpl),
-				},
-				Model: 0, Preset: fold.Genome, NodeMemGB: 64,
-			}, nil)
-			if err != nil {
-				return nil, err
-			}
-			res.Pairs++
-			screenGPU += cp.GPUSeconds
-			if cp.Interacting {
-				res.Interactions++
-			}
-			tasks = append(tasks, cluster.SimTask{
-				ID: cp.ID, Weight: float64(cp.TotalLength), Duration: cp.GPUSeconds,
-			})
+			pairs = append(pairs, pairIdx{i, j})
 		}
+	}
+	preds, err := parallel.Map(env.Parallelism, pairs, func(_ int, pr pairIdx) (*fold.ComplexPrediction, error) {
+		a, b := chains[pr.i], chains[pr.j]
+		return env.Engine.InferComplex(fold.ComplexTask{
+			IDs:     []string{a.id, b.id},
+			Lengths: []int{a.l, b.l},
+			Features: []*fold.FeaturesRef{
+				fold.ComplexFeatures(a.neff, a.tmpl),
+				fold.ComplexFeatures(b.neff, b.tmpl),
+			},
+			Model: 0, Preset: fold.Genome, NodeMemGB: 64,
+		}, nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	tasks := make([]cluster.SimTask, 0, len(pairs))
+	var screenGPU float64
+	for _, cp := range preds {
+		res.Pairs++
+		screenGPU += cp.GPUSeconds
+		if cp.Interacting {
+			res.Interactions++
+		}
+		tasks = append(tasks, cluster.SimTask{
+			ID: cp.ID, Weight: float64(cp.TotalLength), Duration: cp.GPUSeconds,
+		})
 	}
 	res.ScreenGPUHours = screenGPU / 3600
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/fold"
 	"repro/internal/fsim"
 	"repro/internal/msa"
+	"repro/internal/parallel"
 	"repro/internal/proteome"
 )
 
@@ -23,8 +24,15 @@ type Env struct {
 	GT       *core.GroundTruth
 	Engine   *fold.Engine
 	FS       fsim.Filesystem
+	// Parallelism bounds the host-side worker pool every experiment's
+	// compute fans out over (see internal/parallel). It never changes a
+	// reported number: results are collected in submission order, so runs
+	// at any value are byte-identical. <= 0 selects GOMAXPROCS; 1 forces
+	// the serial reference path the determinism tests compare against.
+	Parallelism int
 
 	proteomes map[string]*proteome.Proteome
+	featGen   *core.CachedFeatureGen
 }
 
 // DefaultSeed is the campaign seed used by all published numbers in
@@ -42,6 +50,7 @@ func NewEnv(seed uint64) *Env {
 		Engine:    fold.NewEngine(gt, seed^0xabcdef),
 		FS:        fsim.DefaultFilesystem(),
 		proteomes: make(map[string]*proteome.Proteome),
+		featGen:   core.NewCachedFeatureGen(core.DefaultFastFeatureGen(seed ^ 0x5eed)),
 	}
 }
 
@@ -63,21 +72,40 @@ func (e *Env) Benchmark559() []proteome.Protein {
 	return e.Proteome(proteome.DVulgaris).Hypotheticals()
 }
 
-// FeatureGen returns the campaign-scale feature generator.
+// FeatureGen returns the campaign-scale feature generator. The returned
+// generator memoizes per-protein results for the lifetime of the Env, so
+// experiments that revisit a proteome (all of them do) derive each
+// protein's features exactly once per seed.
 func (e *Env) FeatureGen() core.FeatureGen {
-	return core.DefaultFastFeatureGen(e.Seed ^ 0x5eed)
+	return e.featGen
 }
 
-// FeaturesFor computes features for a protein set, keyed by ID.
+// FeaturesFor computes features for a protein set, keyed by ID. Proteins
+// fan out over the Env's worker pool; results are identical at any
+// parallelism.
 func (e *Env) FeaturesFor(proteins []proteome.Protein) (map[string]*msa.Features, error) {
 	gen := e.FeatureGen()
-	out := make(map[string]*msa.Features, len(proteins))
-	for _, p := range proteins {
+	feats, err := parallel.Map(e.Parallelism, proteins, func(_ int, p proteome.Protein) (*msa.Features, error) {
 		f, err := gen.Features(p)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: features for %s: %w", p.Seq.ID, err)
 		}
-		out[p.Seq.ID] = f
+		return f, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*msa.Features, len(proteins))
+	for i, p := range proteins {
+		out[p.Seq.ID] = feats[i]
 	}
 	return out, nil
+}
+
+// config returns the standard deployment config with the Env's host-side
+// parallelism threaded through.
+func (e *Env) config() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Parallelism = e.Parallelism
+	return cfg
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/proteome"
 )
 
@@ -37,23 +38,34 @@ func Fig2(env *Env) (*Fig2Result, error) {
 	proteins := sd.FilterMaxLen(2500)
 	gen := env.FeatureGen()
 
-	var tasks []cluster.SimTask
-	for _, p := range proteins {
+	// One work item per protein (its five model inferences); per-protein
+	// task groups come back in submission order, so the flattened task list
+	// is identical to the serial loop's.
+	perProtein, err := parallel.Map(env.Parallelism, proteins, func(_ int, p proteome.Protein) ([]cluster.SimTask, error) {
 		f, err := gen.Features(p)
 		if err != nil {
 			return nil, err
 		}
+		group := make([]cluster.SimTask, 0, 5)
 		for m := 0; m < 5; m++ {
 			pred, err := env.Engine.Infer(foldTask(p, f, m))
 			if err != nil {
 				continue // long-tail OOM handled elsewhere; skip here
 			}
-			tasks = append(tasks, cluster.SimTask{
+			group = append(group, cluster.SimTask{
 				ID:       fmt.Sprintf("%s/m%d", p.Seq.ID, m),
 				Weight:   float64(p.Seq.Len()),
 				Duration: pred.GPUSeconds,
 			})
 		}
+		return group, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tasks := make([]cluster.SimTask, 0, len(proteins)*5)
+	for _, group := range perProtein {
+		tasks = append(tasks, group...)
 	}
 
 	const workers = 1200

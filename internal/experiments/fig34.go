@@ -7,6 +7,7 @@ import (
 	"repro/internal/casp"
 	"repro/internal/geom"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/relax"
 )
 
@@ -57,57 +58,83 @@ func Fig3(env *Env) (*Fig3Result, error) {
 		specSeries[p] = &series{}
 	}
 
-	for _, tg := range set.Targets {
+	// One work item per (crystal target, model): the item runs all three
+	// relax protocols — the expensive minimizations — on the worker pool,
+	// and the statistics are folded serially in submission order so every
+	// floating-point accumulation matches the serial run bit for bit.
+	type fig3Item struct {
+		target       *casp.Target
+		model        *casp.Model
+		crystalPoses []geom.ResiduePose // hoisted: shared by the target's items
+	}
+	var items []fig3Item
+	for ti := range set.Targets {
+		tg := &set.Targets[ti]
 		if !tg.HasCrystal {
 			continue
 		}
 		crystalPoses := posesOf(tg.Crystal.CA, tg.Crystal.SC)
-		for _, m := range set.ModelsOf(tg.ID) {
-			if m.ModelNum > 2 {
+		models := set.ModelsOf(tg.ID)
+		for mi := range models {
+			if models[mi].ModelNum > 2 {
 				continue // two models per target keep the run affordable
 			}
-			tmB, err := geom.TMScore(m.CA, tg.Crystal.CA)
-			if err != nil {
-				return nil, err
-			}
-			specB, err := geom.SPECSScore(posesOf(m.CA, m.SC), crystalPoses)
-			if err != nil {
-				return nil, err
-			}
-			pt := Fig3Point{
-				TargetID: tg.ID, ModelNum: m.ModelNum,
-				TMBefore: tmB, SPECBefore: specB,
-				TMAfter:   map[relax.Platform]float64{},
-				SPECAfter: map[relax.Platform]float64{},
-			}
-			for _, platform := range fig3Platforms {
-				opt := relax.DefaultOptions(platform)
-				opt.HeavyAtoms = m.HeavyAtoms
-				rr, err := relax.Relax(geom.Clone(m.CA), geom.Clone(m.SC), opt)
-				if err != nil {
-					return nil, err
-				}
-				tmA, err := geom.TMScore(rr.CA, tg.Crystal.CA)
-				if err != nil {
-					return nil, err
-				}
-				specA, err := geom.SPECSScore(posesOf(rr.CA, rr.SC), crystalPoses)
-				if err != nil {
-					return nil, err
-				}
-				pt.TMAfter[platform] = tmA
-				pt.SPECAfter[platform] = specA
-				tmSeries[platform].before = append(tmSeries[platform].before, tmB)
-				tmSeries[platform].after = append(tmSeries[platform].after, tmA)
-				specSeries[platform].before = append(specSeries[platform].before, specB)
-				specSeries[platform].after = append(specSeries[platform].after, specA)
-				if drop := tmB - tmA; drop > res.MaxTMDrop {
-					res.MaxTMDrop = drop
-				}
-				res.MeanSPECDelta[platform] += specA - specB
-			}
-			res.Points = append(res.Points, pt)
+			items = append(items, fig3Item{target: tg, model: &models[mi], crystalPoses: crystalPoses})
 		}
+	}
+	points, err := parallel.Map(env.Parallelism, items, func(_ int, it fig3Item) (Fig3Point, error) {
+		tg, m := it.target, it.model
+		crystalPoses := it.crystalPoses
+		tmB, err := geom.TMScore(m.CA, tg.Crystal.CA)
+		if err != nil {
+			return Fig3Point{}, err
+		}
+		specB, err := geom.SPECSScore(posesOf(m.CA, m.SC), crystalPoses)
+		if err != nil {
+			return Fig3Point{}, err
+		}
+		pt := Fig3Point{
+			TargetID: tg.ID, ModelNum: m.ModelNum,
+			TMBefore: tmB, SPECBefore: specB,
+			TMAfter:   map[relax.Platform]float64{},
+			SPECAfter: map[relax.Platform]float64{},
+		}
+		for _, platform := range fig3Platforms {
+			opt := relax.DefaultOptions(platform)
+			opt.HeavyAtoms = m.HeavyAtoms
+			rr, err := relax.Relax(geom.Clone(m.CA), geom.Clone(m.SC), opt)
+			if err != nil {
+				return Fig3Point{}, err
+			}
+			tmA, err := geom.TMScore(rr.CA, tg.Crystal.CA)
+			if err != nil {
+				return Fig3Point{}, err
+			}
+			specA, err := geom.SPECSScore(posesOf(rr.CA, rr.SC), crystalPoses)
+			if err != nil {
+				return Fig3Point{}, err
+			}
+			pt.TMAfter[platform] = tmA
+			pt.SPECAfter[platform] = specA
+		}
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, pt := range points {
+		for _, platform := range fig3Platforms {
+			tmA, specA := pt.TMAfter[platform], pt.SPECAfter[platform]
+			tmSeries[platform].before = append(tmSeries[platform].before, pt.TMBefore)
+			tmSeries[platform].after = append(tmSeries[platform].after, tmA)
+			specSeries[platform].before = append(specSeries[platform].before, pt.SPECBefore)
+			specSeries[platform].after = append(specSeries[platform].after, specA)
+			if drop := pt.TMBefore - tmA; drop > res.MaxTMDrop {
+				res.MaxTMDrop = drop
+			}
+			res.MeanSPECDelta[platform] += specA - pt.SPECBefore
+		}
+		res.Points = append(res.Points, pt)
 	}
 	for _, platform := range fig3Platforms {
 		n := float64(len(tmSeries[platform].before))
@@ -180,17 +207,25 @@ func Fig4(env *Env) (*Fig4Result, error) {
 	res := &Fig4Result{}
 	var gpuSpeedups, cpuSpeedups []float64
 
-	for _, m := range set.Models {
+	// The AF2-protocol relaxations (the expensive part: violation-retry
+	// rounds of real minimization) fan out over the worker pool; the
+	// speedup statistics fold serially in submission order.
+	var models []*casp.Model
+	for mi := range set.Models {
+		m := &set.Models[mi]
 		if m.ModelNum != 1 && m.TargetID != "T1080" {
 			continue // one model per target for the curve; all five for T1080
 		}
+		models = append(models, m)
+	}
+	points, err := parallel.Map(env.Parallelism, models, func(_ int, m *casp.Model) (Fig4Point, error) {
 		opt := relax.DefaultOptions(relax.PlatformAF2)
 		opt.HeavyAtoms = m.HeavyAtoms
 		rr, err := relax.Relax(geom.Clone(m.CA), geom.Clone(m.SC), opt)
 		if err != nil {
-			return nil, err
+			return Fig4Point{}, err
 		}
-		pt := Fig4Point{
+		return Fig4Point{
 			TargetID:   m.TargetID,
 			HeavyAtoms: m.HeavyAtoms,
 			AF2Rounds:  rr.Rounds,
@@ -199,12 +234,17 @@ func Fig4(env *Env) (*Fig4Result, error) {
 				relax.PlatformCPU: relax.ModelTime(relax.PlatformCPU, m.HeavyAtoms, 1),
 				relax.PlatformGPU: relax.ModelTime(relax.PlatformGPU, m.HeavyAtoms, 1),
 			},
-		}
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, pt := range points {
 		res.Points = append(res.Points, pt)
 
 		gpuS := pt.Seconds[relax.PlatformAF2] / pt.Seconds[relax.PlatformGPU]
 		cpuS := pt.Seconds[relax.PlatformAF2] / pt.Seconds[relax.PlatformCPU]
-		if m.TargetID == "T1080" {
+		if pt.TargetID == "T1080" {
 			if h := pt.Seconds[relax.PlatformAF2] / 3600; h > res.T1080AF2Hours {
 				res.T1080AF2Hours = h
 				res.T1080GPUMinutes = pt.Seconds[relax.PlatformGPU] / 60

@@ -11,6 +11,7 @@ import (
 	"repro/internal/fold"
 	"repro/internal/geom"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/proteome"
 	"repro/internal/relax"
 )
@@ -34,7 +35,7 @@ type FeatureGenResult struct {
 func FeatureGenExperiment(env *Env) (*FeatureGenResult, error) {
 	dvu := env.Proteome(proteome.DVulgaris)
 	proteins := dvu.FilterMaxLen(2500)
-	cfg := core.DefaultConfig()
+	cfg := env.config()
 	cfg.AndesNodes = 96 // 24 copies x 4 jobs
 
 	feat, err := core.FeatureStage(proteins, env.FeatureGen(), env.FS, core.ReducedDatabase(), cfg)
@@ -116,9 +117,11 @@ func RecycleGains(env *Env) (*RecycleGainsResult, error) {
 	type gain struct {
 		delta    float64
 		recycles int
+		ok       bool
 	}
-	var gains []gain
-	for _, p := range bench {
+	// Each protein runs its 2x5 preset-pair inferences on the worker pool;
+	// the gain statistics fold serially in submission order below.
+	perTarget, err := parallel.Map(env.Parallelism, bench, func(_ int, p proteome.Protein) (gain, error) {
 		f := feats[p.Seq.ID]
 		var shortBest, longBest *fold.Prediction
 		for m := 0; m < fold.NumModels; m++ {
@@ -142,11 +145,21 @@ func RecycleGains(env *Env) (*RecycleGainsResult, error) {
 			}
 		}
 		if shortBest == nil || longBest == nil {
-			continue
+			return gain{}, nil
 		}
 		if d := longBest.PTMS - shortBest.PTMS; d > 0 {
-			gains = append(gains, gain{delta: d, recycles: longBest.Recycles})
-			res.TotalGain += d
+			return gain{delta: d, recycles: longBest.Recycles, ok: true}, nil
+		}
+		return gain{}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var gains []gain
+	for _, g := range perTarget {
+		if g.ok {
+			gains = append(gains, g)
+			res.TotalGain += g.delta
 		}
 	}
 	var bigGain, medGain, bigRecycles float64
@@ -202,7 +215,7 @@ type SDivinumResult struct {
 func SDivinum(env *Env) (*SDivinumResult, error) {
 	sd := env.Proteome(proteome.SDivinum)
 	proteins := sd.FilterMaxLen(2500)
-	cfg := core.DefaultConfig()
+	cfg := env.config()
 	cfg.AndesNodes = 96
 	cfg.SummitNodes = 200
 	cfg.HighMemNodes = 4
@@ -289,19 +302,41 @@ func Violations(env *Env) (*ViolationsResult, error) {
 	for _, p := range fig3Platforms {
 		after[p] = &[2][]float64{}
 	}
-	for _, m := range set.Models {
-		v := relax.CountViolations(m.CA)
-		cb = append(cb, float64(v.Clashes))
-		bb = append(bb, float64(v.Bumps))
-		for _, platform := range fig3Platforms {
+	// One item per model: its three relax-protocol runs execute on the
+	// worker pool; counts are folded serially in submission order.
+	type violOut struct {
+		before  relax.Violations
+		clashes [3]int
+		bumps   [3]int
+	}
+	models := make([]*casp.Model, len(set.Models))
+	for mi := range set.Models {
+		models[mi] = &set.Models[mi]
+	}
+	outs, err := parallel.Map(env.Parallelism, models, func(_ int, m *casp.Model) (violOut, error) {
+		var out violOut
+		out.before = relax.CountViolations(m.CA)
+		for pi, platform := range fig3Platforms {
 			opt := relax.DefaultOptions(platform)
 			opt.HeavyAtoms = m.HeavyAtoms
 			rr, err := relax.Relax(geom.Clone(m.CA), geom.Clone(m.SC), opt)
 			if err != nil {
-				return nil, err
+				return violOut{}, err
 			}
-			after[platform][0] = append(after[platform][0], float64(rr.After.Clashes))
-			after[platform][1] = append(after[platform][1], float64(rr.After.Bumps))
+			out.clashes[pi] = rr.After.Clashes
+			out.bumps[pi] = rr.After.Bumps
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, out := range outs {
+		cb = append(cb, float64(out.before.Clashes))
+		bb = append(bb, float64(out.before.Bumps))
+		for pi, platform := range fig3Platforms {
+			after[platform][0] = append(after[platform][0], float64(out.clashes[pi]))
+			after[platform][1] = append(after[platform][1], float64(out.bumps[pi]))
 		}
 	}
 	res.ClashesBefore = metrics.Summarize(cb)
@@ -342,7 +377,7 @@ type GenomeRelaxResult struct {
 func GenomeRelax(env *Env) (*GenomeRelaxResult, error) {
 	dvu := env.Proteome(proteome.DVulgaris)
 	proteins := dvu.FilterMaxLen(2500)
-	cfg := core.DefaultConfig()
+	cfg := env.config()
 	feat, err := core.FeatureStage(proteins, env.FeatureGen(), env.FS, core.ReducedDatabase(), cfg)
 	if err != nil {
 		return nil, err
@@ -401,9 +436,12 @@ func Annotation(env *Env) (*AnnotationResult, error) {
 	}
 	db := analysis.BuildPDB70(env.Universe, covered, env.Seed)
 
-	var anns []*analysis.Annotation
+	// Each protein's model ranking, coordinate materialization, and
+	// structure search run as one work item; annotations come back in
+	// submission order so the aggregate and the novel-example tie-breaks
+	// match the serial loop exactly.
 	res := &AnnotationResult{}
-	for _, p := range hypos {
+	perProtein, err := parallel.Map(env.Parallelism, hypos, func(_ int, p proteome.Protein) (*analysis.Annotation, error) {
 		// Rank the five models by pTMS and analyse the top one, as the
 		// paper's pipeline does.
 		bestModel, bestPTMS := 0, -1.0
@@ -421,11 +459,17 @@ func Annotation(env *Env) (*AnnotationResult, error) {
 		task.WantCoords = true
 		pred, err := env.Engine.Infer(task)
 		if err != nil {
-			continue
+			return nil, nil // e.g. OOM: the target is skipped, as serially
 		}
-		ann, err := analysis.Annotate(db, p.Seq.ID, pred.CA, p.Seq.Residues, pred.MeanPLDDT)
-		if err != nil {
-			return nil, err
+		return analysis.Annotate(db, p.Seq.ID, pred.CA, p.Seq.Residues, pred.MeanPLDDT)
+	})
+	if err != nil {
+		return nil, err
+	}
+	anns := make([]*analysis.Annotation, 0, len(perProtein))
+	for _, ann := range perProtein {
+		if ann == nil {
+			continue
 		}
 		anns = append(anns, ann)
 		if ann.NovelFoldCandidate && (res.NovelExampleID == "" || ann.Top.TM < res.NovelExampleTM) {
@@ -468,7 +512,7 @@ func Campaign(env *Env) (*CampaignResult, error) {
 	for _, sp := range proteome.PaperSpecies() {
 		p := env.Proteome(sp)
 		proteins := p.FilterMaxLen(2500)
-		cfg := core.DefaultConfig()
+		cfg := env.config()
 		cfg.AndesNodes = 96
 		cfg.SummitNodes = 200
 		cfg.HighMemNodes = 4

@@ -54,7 +54,7 @@ func Table1(env *Env) (*Table1Result, error) {
 	res := &Table1Result{Benchmark: len(bench)}
 
 	for _, preset := range fold.AllPresets() {
-		cfg := core.DefaultConfig()
+		cfg := env.config()
 		cfg.Preset = preset
 		cfg.SummitNodes = 32
 		cfg.HighMemNodes = 0 // Table 1 reports the OOM losses directly

@@ -1,6 +1,9 @@
 package msa
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Alignment is a pairwise alignment of a query and a subject, expressed as
 // gapped strings of equal length plus summary statistics.
@@ -82,6 +85,39 @@ var DefaultGaps = GapParams{Open: 11, Extend: 1}
 
 const negInf = int(-1) << 40
 
+// dpScratch is the reusable working set of one alignment call: the three
+// Gotoh matrices as one flat backing array plus the traceback byte buffer.
+// Gotoh needs the full matrices for traceback, but not 3(n+1) separate row
+// allocations per call — the alignment kernels run millions of times per
+// campaign (every library-search candidate), so the backing arrays are
+// pooled and reused across calls and goroutines.
+type dpScratch struct {
+	dp []int  // M, X, Y concatenated: 3 * rows * cols
+	tb []byte // qa then sa, each up to rows+cols
+}
+
+var dpPool = sync.Pool{New: func() any { return new(dpScratch) }}
+
+// matrices returns the three rows x cols matrices as flat slices (index
+// with i*cols + j), growing the pooled backing array as needed.
+func (s *dpScratch) matrices(rows, cols int) (M, X, Y []int) {
+	rc := rows * cols
+	if cap(s.dp) < 3*rc {
+		s.dp = make([]int, 3*rc)
+	}
+	buf := s.dp[:3*rc]
+	return buf[:rc], buf[rc : 2*rc], buf[2*rc : 3*rc]
+}
+
+// traceback returns two zero-length byte buffers with capacity n each.
+func (s *dpScratch) traceback(n int) (qa, sa []byte) {
+	if cap(s.tb) < 2*n {
+		s.tb = make([]byte, 2*n)
+	}
+	buf := s.tb[:2*n]
+	return buf[:0:n], buf[n : n : 2*n]
+}
+
 // Global computes a Needleman-Wunsch global alignment with affine gaps
 // (Gotoh's algorithm).
 func Global(query, subject string, gp GapParams) (*Alignment, error) {
@@ -89,43 +125,47 @@ func Global(query, subject string, gp GapParams) (*Alignment, error) {
 	if n == 0 || m == 0 {
 		return nil, fmt.Errorf("msa: global alignment of empty sequence")
 	}
+	scratch := dpPool.Get().(*dpScratch)
+	defer dpPool.Put(scratch)
+	cols := m + 1
 	// M = match/mismatch ending, X = gap in subject (query consumed),
-	// Y = gap in query (subject consumed).
-	M := newMatrix(n+1, m+1)
-	X := newMatrix(n+1, m+1)
-	Y := newMatrix(n+1, m+1)
-	M[0][0] = 0
+	// Y = gap in query (subject consumed); cell (i, j) lives at i*cols+j.
+	M, X, Y := scratch.matrices(n+1, cols)
+	M[0] = 0
 	for i := 1; i <= n; i++ {
-		M[i][0] = negInf
-		X[i][0] = -(gp.Open + i*gp.Extend)
-		Y[i][0] = negInf
+		M[i*cols] = negInf
+		X[i*cols] = -(gp.Open + i*gp.Extend)
+		Y[i*cols] = negInf
 	}
 	for j := 1; j <= m; j++ {
-		M[0][j] = negInf
-		Y[0][j] = -(gp.Open + j*gp.Extend)
-		X[0][j] = negInf
+		M[j] = negInf
+		Y[j] = -(gp.Open + j*gp.Extend)
+		X[j] = negInf
 	}
-	X[0][0], Y[0][0] = negInf, negInf
+	X[0], Y[0] = negInf, negInf
 
 	for i := 1; i <= n; i++ {
+		row := i * cols
+		prev := row - cols
+		qc := query[i-1]
 		for j := 1; j <= m; j++ {
-			s := Score(query[i-1], subject[j-1])
-			M[i][j] = max3(M[i-1][j-1], X[i-1][j-1], Y[i-1][j-1]) + s
-			X[i][j] = maxInt(M[i-1][j]-gp.Open-gp.Extend, X[i-1][j]-gp.Extend)
-			Y[i][j] = maxInt(M[i][j-1]-gp.Open-gp.Extend, Y[i][j-1]-gp.Extend)
+			s := Score(qc, subject[j-1])
+			M[row+j] = max3(M[prev+j-1], X[prev+j-1], Y[prev+j-1]) + s
+			X[row+j] = maxInt(M[prev+j]-gp.Open-gp.Extend, X[prev+j]-gp.Extend)
+			Y[row+j] = maxInt(M[row+j-1]-gp.Open-gp.Extend, Y[row+j-1]-gp.Extend)
 		}
 	}
 
 	// Traceback from the best of the three end states.
 	state := 0
-	best := M[n][m]
-	if X[n][m] > best {
-		best, state = X[n][m], 1
+	best := M[n*cols+m]
+	if X[n*cols+m] > best {
+		best, state = X[n*cols+m], 1
 	}
-	if Y[n][m] > best {
-		best, state = Y[n][m], 2
+	if Y[n*cols+m] > best {
+		best, state = Y[n*cols+m], 2
 	}
-	qa, sa := make([]byte, 0, n+m), make([]byte, 0, n+m)
+	qa, sa := scratch.traceback(n + m)
 	i, j := n, m
 	for i > 0 || j > 0 {
 		switch state {
@@ -133,10 +173,10 @@ func Global(query, subject string, gp GapParams) (*Alignment, error) {
 			qa = append(qa, query[i-1])
 			sa = append(sa, subject[j-1])
 			s := Score(query[i-1], subject[j-1])
-			switch M[i][j] - s {
-			case M[i-1][j-1]:
+			switch M[i*cols+j] - s {
+			case M[(i-1)*cols+j-1]:
 				state = 0
-			case X[i-1][j-1]:
+			case X[(i-1)*cols+j-1]:
 				state = 1
 			default:
 				state = 2
@@ -147,7 +187,7 @@ func Global(query, subject string, gp GapParams) (*Alignment, error) {
 			qa = append(qa, query[i-1])
 			sa = append(sa, '-')
 			if i > 1 || j > 0 {
-				if X[i][j] == M[i-1][j]-gp.Open-gp.Extend {
+				if X[i*cols+j] == M[(i-1)*cols+j]-gp.Open-gp.Extend {
 					state = 0
 				}
 			}
@@ -156,7 +196,7 @@ func Global(query, subject string, gp GapParams) (*Alignment, error) {
 			qa = append(qa, '-')
 			sa = append(sa, subject[j-1])
 			if j > 1 || i > 0 {
-				if Y[i][j] == M[i][j-1]-gp.Open-gp.Extend {
+				if Y[i*cols+j] == M[i*cols+j-1]-gp.Open-gp.Extend {
 					state = 0
 				}
 			}
@@ -183,28 +223,35 @@ func Local(query, subject string, gp GapParams) (*Alignment, error) {
 	if n == 0 || m == 0 {
 		return nil, fmt.Errorf("msa: local alignment of empty sequence")
 	}
-	M := newMatrix(n+1, m+1)
-	X := newMatrix(n+1, m+1)
-	Y := newMatrix(n+1, m+1)
+	scratch := dpPool.Get().(*dpScratch)
+	defer dpPool.Put(scratch)
+	cols := m + 1
+	M, X, Y := scratch.matrices(n+1, cols)
 	for i := 0; i <= n; i++ {
-		X[i][0], Y[i][0] = negInf, negInf
+		M[i*cols] = 0
+		X[i*cols], Y[i*cols] = negInf, negInf
 	}
 	for j := 0; j <= m; j++ {
-		X[0][j], Y[0][j] = negInf, negInf
+		M[j] = 0
+		X[j], Y[j] = negInf, negInf
 	}
 
 	best, bi, bj := 0, 0, 0
 	for i := 1; i <= n; i++ {
+		row := i * cols
+		prev := row - cols
+		qc := query[i-1]
 		for j := 1; j <= m; j++ {
-			s := Score(query[i-1], subject[j-1])
-			M[i][j] = max3(M[i-1][j-1], X[i-1][j-1], Y[i-1][j-1]) + s
-			if M[i][j] < 0 {
-				M[i][j] = 0
+			s := Score(qc, subject[j-1])
+			v := max3(M[prev+j-1], X[prev+j-1], Y[prev+j-1]) + s
+			if v < 0 {
+				v = 0
 			}
-			X[i][j] = maxInt(M[i-1][j]-gp.Open-gp.Extend, X[i-1][j]-gp.Extend)
-			Y[i][j] = maxInt(M[i][j-1]-gp.Open-gp.Extend, Y[i][j-1]-gp.Extend)
-			if M[i][j] > best {
-				best, bi, bj = M[i][j], i, j
+			M[row+j] = v
+			X[row+j] = maxInt(M[prev+j]-gp.Open-gp.Extend, X[prev+j]-gp.Extend)
+			Y[row+j] = maxInt(M[row+j-1]-gp.Open-gp.Extend, Y[row+j-1]-gp.Extend)
+			if v > best {
+				best, bi, bj = v, i, j
 			}
 		}
 	}
@@ -212,11 +259,11 @@ func Local(query, subject string, gp GapParams) (*Alignment, error) {
 		return &Alignment{}, nil // no positive-scoring local alignment
 	}
 
-	qa, sa := make([]byte, 0, n), make([]byte, 0, n)
+	qa, sa := scratch.traceback(n + m)
 	i, j := bi, bj
 	state := 0
 	for i > 0 && j > 0 {
-		if state == 0 && M[i][j] == 0 {
+		if state == 0 && M[i*cols+j] == 0 {
 			break
 		}
 		switch state {
@@ -224,13 +271,13 @@ func Local(query, subject string, gp GapParams) (*Alignment, error) {
 			qa = append(qa, query[i-1])
 			sa = append(sa, subject[j-1])
 			s := Score(query[i-1], subject[j-1])
-			prev := M[i][j] - s
+			prev := M[i*cols+j] - s
 			switch prev {
-			case M[i-1][j-1]:
+			case M[(i-1)*cols+j-1]:
 				state = 0
-			case X[i-1][j-1]:
+			case X[(i-1)*cols+j-1]:
 				state = 1
-			case Y[i-1][j-1]:
+			case Y[(i-1)*cols+j-1]:
 				state = 2
 			default:
 				state = 0 // reached a 0-clamped cell
@@ -240,14 +287,14 @@ func Local(query, subject string, gp GapParams) (*Alignment, error) {
 		case 1:
 			qa = append(qa, query[i-1])
 			sa = append(sa, '-')
-			if X[i][j] == M[i-1][j]-gp.Open-gp.Extend {
+			if X[i*cols+j] == M[(i-1)*cols+j]-gp.Open-gp.Extend {
 				state = 0
 			}
 			i--
 		default:
 			qa = append(qa, '-')
 			sa = append(sa, subject[j-1])
-			if Y[i][j] == M[i][j-1]-gp.Open-gp.Extend {
+			if Y[i*cols+j] == M[i*cols+j-1]-gp.Open-gp.Extend {
 				state = 0
 			}
 			j--
@@ -259,15 +306,6 @@ func Local(query, subject string, gp GapParams) (*Alignment, error) {
 		QueryAln: string(qa), SubjectAln: string(sa), Score: best,
 		QueryStart: i, QueryEnd: bi, SubjectStart: j, SubjectEnd: bj,
 	}, nil
-}
-
-func newMatrix(rows, cols int) [][]int {
-	backing := make([]int, rows*cols)
-	m := make([][]int, rows)
-	for i := range m {
-		m[i] = backing[i*cols : (i+1)*cols]
-	}
-	return m
 }
 
 func max3(a, b, c int) int { return maxInt(a, maxInt(b, c)) }

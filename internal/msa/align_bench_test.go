@@ -1,0 +1,48 @@
+package msa
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/seq"
+)
+
+// benchSeq returns a deterministic pseudo-random protein sequence.
+func benchSeq(seed uint64, n int) string {
+	r := rng.New(seed)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seq.Alphabet[r.Intn(seq.NumAminoAcids)]
+	}
+	return string(b)
+}
+
+// BenchmarkGlobalAlign measures the Gotoh global-alignment kernel on a
+// genome-typical pair (~300 x ~280 residues). Run with -benchmem: the
+// allocation count per call is the quantity the pooled-matrix optimization
+// targets.
+func BenchmarkGlobalAlign(b *testing.B) {
+	q := benchSeq(1, 300)
+	s := benchSeq(2, 280)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Global(q, s, DefaultGaps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLocalAlign measures the Smith-Waterman kernel the library search
+// path (Searcher.Search) calls for every candidate hit.
+func BenchmarkLocalAlign(b *testing.B) {
+	q := benchSeq(3, 300)
+	s := benchSeq(4, 280)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Local(q, s, DefaultGaps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

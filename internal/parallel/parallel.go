@@ -1,0 +1,134 @@
+// Package parallel provides the deterministic parallel execution layer of
+// the pipeline: a bounded worker pool whose results are collected by
+// submission index, never by completion order.
+//
+// Determinism is the hard constraint of this repository — every table and
+// figure must regenerate byte-identical numbers on every run — so the
+// contract here is strict:
+//
+//   - fn(i, item) must be a pure function of its arguments (all compute
+//     stages in this repo derive per-item randomness from stable keys, so
+//     they qualify);
+//   - results land in out[i] regardless of which worker finished first, so
+//     a parallel run is indistinguishable from the serial loop;
+//   - on error the pool cancels outstanding work and returns the error of
+//     the *lowest* submission index that failed — exactly the error the
+//     serial loop would have surfaced — not whichever failure happened to
+//     complete first.
+//
+// Workers == 1 bypasses the pool entirely and runs the plain serial loop,
+// which is what the parallel-vs-serial equivalence tests compare against.
+package parallel
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a requested worker count: values <= 0 select
+// runtime.GOMAXPROCS(0), and the count is clamped to n so tiny inputs do
+// not spawn idle goroutines.
+func Workers(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map applies fn to every element of items on up to `workers` goroutines
+// (<= 0 means GOMAXPROCS) and returns the results in submission order.
+// On failure it returns the error with the smallest item index, matching
+// serial semantics; items after a known failure are skipped cooperatively.
+func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	err := run(workers, len(items), func(i int) error {
+		r, err := fn(i, items[i])
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForEach runs fn(i) for i in [0, n) on up to `workers` goroutines with the
+// same ordering and error guarantees as Map.
+func ForEach(workers, n int, fn func(i int) error) error {
+	return run(workers, n, fn)
+}
+
+type indexedError struct {
+	index int
+	err   error
+}
+
+func run(workers, n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		// Serial reference path: the behaviour every parallel run must
+		// reproduce exactly.
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		mu      sync.Mutex
+		firstBy = indexedError{index: math.MaxInt}
+		next    int
+	)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				// Claim the next index and read the failure watermark in one
+				// critical section. Cancellation is cooperative: items below
+				// the first failing index still run, because the serial loop
+				// would have run them too.
+				mu.Lock()
+				i := next
+				next++
+				skip := firstBy.index < i
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				if skip {
+					continue
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < firstBy.index {
+						firstBy = indexedError{index: i, err: err}
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstBy.index < math.MaxInt {
+		return firstBy.err
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapPreservesSubmissionOrder(t *testing.T) {
+	items := make([]int, 1000)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 2, 7, 64} {
+		got, err := Map(workers, items, func(i, v int) (string, error) {
+			return fmt.Sprintf("%d:%d", i, v*v), nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range items {
+			want := fmt.Sprintf("%d:%d", i, v*v)
+			if got[i] != want {
+				t.Fatalf("workers=%d: out[%d] = %q, want %q", workers, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	items := make([]int, 257)
+	for i := range items {
+		items[i] = 3*i + 1
+	}
+	fn := func(i, v int) (int, error) { return v*v - i, nil }
+	serial, err := Map(1, items, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Map(16, items, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("parallel result differs from serial")
+	}
+}
+
+func TestFirstErrorByIndexNotCompletion(t *testing.T) {
+	// Two failing items: a slow one early and a fast one late. The serial
+	// loop would report index 3; the pool must do the same even though
+	// index 90 finishes failing first.
+	n := 100
+	errEarly := errors.New("early")
+	errLate := errors.New("late")
+	for trial := 0; trial < 20; trial++ {
+		err := ForEach(8, n, func(i int) error {
+			switch i {
+			case 3:
+				for j := 0; j < 1000; j++ {
+					runtime.Gosched()
+				}
+				return errEarly
+			case 90:
+				return errLate
+			}
+			return nil
+		})
+		if !errors.Is(err, errEarly) {
+			t.Fatalf("trial %d: got %v, want the lowest-index error", trial, err)
+		}
+	}
+}
+
+func TestErrorCancelsLaterWork(t *testing.T) {
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	err := ForEach(4, 100000, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if got := ran.Load(); got == 100000 {
+		t.Fatal("error did not cancel outstanding work")
+	}
+}
+
+func TestWorkersClamp(t *testing.T) {
+	if w := Workers(0, 10); w != runtime.GOMAXPROCS(0) && w != 10 {
+		t.Fatalf("Workers(0,10) = %d", w)
+	}
+	if w := Workers(8, 3); w != 3 {
+		t.Fatalf("Workers(8,3) = %d, want 3", w)
+	}
+	if w := Workers(-1, 0); w != 1 {
+		t.Fatalf("Workers(-1,0) = %d, want 1", w)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	out, err := Map(8, nil, func(i, v int) (int, error) { return v, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty map: %v %v", out, err)
+	}
+	if err := ForEach(8, 0, func(i int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -20,6 +20,7 @@ package relax
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/geom"
 )
@@ -56,6 +57,17 @@ type System struct {
 	N   int         // residues
 	Pos []geom.Vec3 // 2N atoms
 	Ref []geom.Vec3 // restraint reference (the unrelaxed input), 2N atoms
+
+	// Reusable per-system scratch: the neighbor grid rebuilt by every
+	// EnergyForces call and the minimizer's force/velocity buffers. The
+	// energy kernel runs thousands of times per relaxation, so these are
+	// allocated once per system, not once per call. A System is therefore
+	// not safe for concurrent use — the parallel execution layer gives
+	// each worker its own System, which is the natural unit anyway.
+	nb     *grid
+	forces []geom.Vec3
+	vel    []geom.Vec3
+	ca     []geom.Vec3
 }
 
 // NewSystem builds a system from Cα and side-chain traces.
@@ -78,11 +90,20 @@ func NewSystem(ca, sc []geom.Vec3, ff ForceField) (*System, error) {
 
 // CA returns the current Cα trace.
 func (s *System) CA() []geom.Vec3 {
-	out := make([]geom.Vec3, s.N)
-	for i := range out {
-		out[i] = s.Pos[2*i]
+	return s.CAInto(nil)
+}
+
+// CAInto writes the current Cα trace into dst (grown as needed) and
+// returns it, letting protocol loops reuse one buffer across rounds.
+func (s *System) CAInto(dst []geom.Vec3) []geom.Vec3 {
+	if cap(dst) < s.N {
+		dst = make([]geom.Vec3, s.N)
 	}
-	return out
+	dst = dst[:s.N]
+	for i := range dst {
+		dst[i] = s.Pos[2*i]
+	}
+	return dst
 }
 
 // SC returns the current side-chain centroids.
@@ -94,18 +115,64 @@ func (s *System) SC() []geom.Vec3 {
 	return out
 }
 
-// grid is a uniform spatial hash for neighbor search.
+// grid is a uniform spatial hash for neighbor search. Grids are reusable:
+// rebind bumps a generation counter instead of sweeping the map, so
+// steady-state rebuilds (every energy evaluation as atoms move) allocate
+// nothing and cost only the atoms actually present — cells left over from
+// earlier generations read as empty without being visited.
 type grid struct {
 	cell  float64
-	cells map[[3]int][]int
+	gen   uint64
+	cells map[[3]int]*gridCell
 }
 
-func buildGrid(pos []geom.Vec3, cell float64) *grid {
-	g := &grid{cell: cell, cells: make(map[[3]int][]int, len(pos))}
+// gridCell is one occupancy list; it is live only when its gen matches
+// the grid's current generation.
+type gridCell struct {
+	atoms []int
+	gen   uint64
+}
+
+// rebind repopulates the grid for a new position set, reusing the cell
+// map and its occupancy slices. Neighbor iteration order (cell ring
+// order, then insertion order by atom index) is unchanged, so results
+// stay bitwise identical to a freshly built grid.
+func (g *grid) rebind(pos []geom.Vec3, cell float64) {
+	g.cell = cell
+	if g.cells == nil {
+		g.cells = make(map[[3]int]*gridCell, len(pos))
+	}
+	g.gen++
 	for i, p := range pos {
 		k := g.key(p)
-		g.cells[k] = append(g.cells[k], i)
+		c := g.cells[k]
+		if c == nil {
+			c = &gridCell{}
+			g.cells[k] = c
+		}
+		if c.gen != g.gen {
+			c.atoms = c.atoms[:0]
+			c.gen = g.gen
+		}
+		c.atoms = append(c.atoms, i)
 	}
+}
+
+// at returns the occupancy list of one cell for the current generation.
+func (g *grid) at(k [3]int) []int {
+	if c := g.cells[k]; c != nil && c.gen == g.gen {
+		return c.atoms
+	}
+	return nil
+}
+
+// gridPool recycles grids for the package-level entry points
+// (CountViolations) that have no System to hang scratch off.
+var gridPool = sync.Pool{New: func() any { return new(grid) }}
+
+func buildGrid(pos []geom.Vec3, cell float64) *grid {
+	g := gridPool.Get().(*grid)
+	g.rebind(pos, cell)
 	return g
 }
 
@@ -123,12 +190,28 @@ func (g *grid) neighbors(p geom.Vec3, fn func(j int)) {
 	for dx := -1; dx <= 1; dx++ {
 		for dy := -1; dy <= 1; dy++ {
 			for dz := -1; dz <= 1; dz++ {
-				for _, j := range g.cells[[3]int{k[0] + dx, k[1] + dy, k[2] + dz}] {
+				for _, j := range g.at([3]int{k[0] + dx, k[1] + dy, k[2] + dz}) {
 					fn(j)
 				}
 			}
 		}
 	}
+}
+
+// addBond accumulates one harmonic bond term into forces, returning its
+// energy contribution (hoisted out of EnergyForces so the hot loop carries
+// no per-call closure).
+func (s *System) addBond(forces []geom.Vec3, a, b int, r0, k float64) float64 {
+	d := s.Pos[a].Sub(s.Pos[b])
+	r := d.Norm()
+	if r < 1e-9 {
+		return 0
+	}
+	dr := r - r0
+	f := d.Scale(-2 * k * dr / r)
+	forces[a] = forces[a].Add(f)
+	forces[b] = forces[b].Sub(f)
+	return k * dr * dr
 }
 
 // EnergyForces computes the total potential energy and per-atom forces
@@ -140,25 +223,12 @@ func (s *System) EnergyForces(forces []geom.Vec3) float64 {
 	var e float64
 	ff := &s.FF
 
-	addBond := func(a, b int, r0, k float64) {
-		d := s.Pos[a].Sub(s.Pos[b])
-		r := d.Norm()
-		if r < 1e-9 {
-			return
-		}
-		dr := r - r0
-		e += k * dr * dr
-		f := d.Scale(-2 * k * dr / r)
-		forces[a] = forces[a].Add(f)
-		forces[b] = forces[b].Sub(f)
-	}
-
 	// Bonded terms.
 	for i := 0; i < s.N; i++ {
 		if i+1 < s.N {
-			addBond(2*i, 2*(i+1), ff.CABond, ff.BondK)
+			e += s.addBond(forces, 2*i, 2*(i+1), ff.CABond, ff.BondK)
 		}
-		addBond(2*i, 2*i+1, ff.SCBond, ff.BondK)
+		e += s.addBond(forces, 2*i, 2*i+1, ff.SCBond, ff.BondK)
 	}
 
 	// Positional restraints (every atom, k = 10 as in the paper).
@@ -169,33 +239,46 @@ func (s *System) EnergyForces(forces []geom.Vec3) float64 {
 	}
 
 	// Non-bonded soft-sphere repulsion via spatial hashing. The grid cell
-	// equals the largest onset distance so one ring covers all pairs.
+	// equals the largest onset distance so one ring covers all pairs; the
+	// grid itself is system-owned scratch, rebound (not reallocated) each
+	// call, and the cell ring is iterated inline — no per-atom closure.
 	cut := ff.CARepDist
 	if ff.SCRepDist > cut {
 		cut = ff.SCRepDist
 	}
-	g := buildGrid(s.Pos, cut)
+	if s.nb == nil {
+		s.nb = new(grid)
+	}
+	g := s.nb
+	g.rebind(s.Pos, cut)
 	for a := range s.Pos {
 		pa := s.Pos[a]
-		g.neighbors(pa, func(b int) {
-			if b <= a || s.excluded(a, b) {
-				return
+		k := g.key(pa)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for dz := -1; dz <= 1; dz++ {
+					for _, b := range g.at([3]int{k[0] + dx, k[1] + dy, k[2] + dz}) {
+						if b <= a || s.excluded(a, b) {
+							continue
+						}
+						r0 := ff.SCRepDist
+						if a%2 == 0 && b%2 == 0 {
+							r0 = ff.CARepDist
+						}
+						d := pa.Sub(s.Pos[b])
+						r := d.Norm()
+						if r >= r0 || r < 1e-9 {
+							continue
+						}
+						dr := r0 - r
+						e += ff.RepK * dr * dr
+						f := d.Scale(2 * ff.RepK * dr / r)
+						forces[a] = forces[a].Add(f)
+						forces[b] = forces[b].Sub(f)
+					}
+				}
 			}
-			r0 := ff.SCRepDist
-			if a%2 == 0 && b%2 == 0 {
-				r0 = ff.CARepDist
-			}
-			d := pa.Sub(s.Pos[b])
-			r := d.Norm()
-			if r >= r0 || r < 1e-9 {
-				return
-			}
-			dr := r0 - r
-			e += ff.RepK * dr * dr
-			f := d.Scale(2 * ff.RepK * dr / r)
-			forces[a] = forces[a].Add(f)
-			forces[b] = forces[b].Sub(f)
-		})
+		}
 	}
 	return e
 }
@@ -232,6 +315,7 @@ func (v Violations) Clashed() bool { return v.Clashes > 4 || v.Bumps > 50 }
 func CountViolations(ca []geom.Vec3) Violations {
 	var v Violations
 	g := buildGrid(ca, 3.6)
+	defer gridPool.Put(g)
 	for i := range ca {
 		g.neighbors(ca[i], func(j int) {
 			if j <= i || j-i < 2 {

@@ -35,8 +35,18 @@ type MinimizeResult struct {
 // contacts: steepest-descent-like robustness with adaptive acceleration.
 func Minimize(s *System, opt MinimizeOptions) MinimizeResult {
 	n := len(s.Pos)
-	forces := make([]geom.Vec3, n)
-	vel := make([]geom.Vec3, n)
+	// Force/velocity buffers are system-owned scratch, reused across the
+	// protocol's minimization rounds. Velocities start at zero each round,
+	// matching the fresh-allocation behaviour.
+	if cap(s.forces) < n {
+		s.forces = make([]geom.Vec3, n)
+		s.vel = make([]geom.Vec3, n)
+	}
+	forces := s.forces[:n]
+	vel := s.vel[:n]
+	for i := range vel {
+		vel[i] = geom.Vec3{}
+	}
 
 	const (
 		dtInit = 0.002

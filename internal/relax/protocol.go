@@ -94,7 +94,10 @@ func Relax(ca, sc []geom.Vec3, opt Options) (*Result, error) {
 			break // optimized protocol: exactly one minimization
 		}
 		// AF2 original protocol: re-minimize while any violation remains.
-		v := CountViolations(sys.CA())
+		// The Cα trace is extracted into system-owned scratch, not a fresh
+		// copy per round.
+		sys.ca = sys.CAInto(sys.ca)
+		v := CountViolations(sys.ca)
 		if (v.Clashes == 0 && v.Bumps == 0) || rounds >= opt.MaxRounds {
 			break
 		}
