@@ -3,10 +3,15 @@
 //
 // Usage:
 //
-//	afbench [-seed N] [-parallelism N] <experiment>
+//	afbench [-seed N] [-parallelism N] [-executor pool|flow] <experiment>
 //
 // where <experiment> is one of: table1, fig2, fig3, fig4, features,
 // recycles, sdivinum, violations, genomerelax, annotate, campaign, or all.
+//
+// -executor selects the execution back end: "pool" (default) fans compute
+// out over the in-process worker pool, "flow" serializes it through the
+// dataflow scheduler/worker/client protocol over loopback TCP. Results
+// are byte-identical either way.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/experiments"
 )
 
@@ -129,6 +135,7 @@ var runners = []runner{
 func main() {
 	seed := flag.Uint64("seed", experiments.DefaultSeed, "campaign seed (changing it changes every measured number)")
 	par := flag.Int("parallelism", 0, "host worker-pool size (0 = GOMAXPROCS, 1 = serial); results are identical at any value")
+	executor := flag.String("executor", "pool", "execution back end: pool (in-process) or flow (dataflow scheduler over loopback TCP); results are identical either way")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -139,6 +146,15 @@ func main() {
 
 	env := experiments.NewEnv(*seed)
 	env.Parallelism = *par
+	ex, err := newExecutor(*executor, *par)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "afbench: %v\n", err)
+		os.Exit(2)
+	}
+	if ex != nil {
+		defer ex.Close()
+		env.Executor = ex
+	}
 	selected := runners
 	if name != "all" {
 		selected = nil
@@ -167,8 +183,21 @@ func main() {
 	}
 }
 
+// newExecutor builds the non-default execution back end, or nil for the
+// pool (which the Env selects when no executor is configured).
+func newExecutor(name string, parallelism int) (exec.Executor, error) {
+	switch name {
+	case "pool", "":
+		return nil, nil
+	case "flow":
+		return exec.NewFlow(parallelism)
+	default:
+		return nil, fmt.Errorf("unknown -executor %q (want pool or flow)", name)
+	}
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: afbench [-seed N] [-parallelism N] <experiment>")
+	fmt.Fprintln(os.Stderr, "usage: afbench [-seed N] [-parallelism N] [-executor pool|flow] <experiment>")
 	fmt.Fprintln(os.Stderr, "experiments:")
 	for _, r := range runners {
 		fmt.Fprintf(os.Stderr, "  %-12s %s\n", r.name, r.desc)

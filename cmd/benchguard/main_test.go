@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testBaseline = `{
+  "machine": "test",
+  "benchmarks": {
+    "BenchmarkGlobalAlign": {
+      "current": {"ns_per_op": 471832, "bytes_per_op": 784, "allocs_per_op": 3}
+    },
+    "BenchmarkEnergyForces": {
+      "current": {"ns_per_op": 582059, "bytes_per_op": 30, "allocs_per_op": 0}
+    }
+  }
+}`
+
+func writeBaseline(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(testBaseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runGuard(t *testing.T, baseline, require, input string) (bool, string) {
+	t.Helper()
+	var report strings.Builder
+	ok := run(baseline, require, 8.0, 1.25, 64, bufio.NewScanner(strings.NewReader(input)), &report)
+	return ok, report.String()
+}
+
+func TestParseBench(t *testing.T) {
+	m, ok := parseBench("BenchmarkGlobalAlign-4   \t    2577\t    464921 ns/op\t     784 B/op\t       3 allocs/op")
+	if !ok || m.name != "BenchmarkGlobalAlign" || m.allocs != 3 || !m.hasMem {
+		t.Fatalf("parsed %+v ok=%v", m, ok)
+	}
+	if m.nsOp != 464921 || m.bOp != 784 {
+		t.Errorf("values: %+v", m)
+	}
+	// No -cpu suffix, no memory stats.
+	m, ok = parseBench("BenchmarkX 	 100 	 12.5 ns/op")
+	if !ok || m.name != "BenchmarkX" || m.hasMem {
+		t.Fatalf("parsed %+v ok=%v", m, ok)
+	}
+	if _, ok := parseBench("ok  	repro/internal/msa	1.250s"); ok {
+		t.Error("non-benchmark line parsed")
+	}
+	if _, ok := parseBench("goos: linux"); ok {
+		t.Error("header line parsed")
+	}
+}
+
+func TestGatePasses(t *testing.T) {
+	input := `goos: linux
+BenchmarkGlobalAlign-2   2577   464921 ns/op   784 B/op   3 allocs/op
+BenchmarkEnergyForces    1948   571401 ns/op    30 B/op   0 allocs/op
+PASS`
+	ok, report := runGuard(t, writeBaseline(t), "BenchmarkGlobalAlign,BenchmarkEnergyForces", input)
+	if !ok {
+		t.Fatalf("gate failed:\n%s", report)
+	}
+}
+
+func TestAllocRegressionFails(t *testing.T) {
+	input := "BenchmarkGlobalAlign-2   2577   464921 ns/op   784 B/op   11 allocs/op\n"
+	ok, report := runGuard(t, writeBaseline(t), "", input)
+	if ok {
+		t.Fatal("alloc regression passed the gate")
+	}
+	if !strings.Contains(report, "allocs/op regressed: 11 != baseline 3") {
+		t.Errorf("report:\n%s", report)
+	}
+}
+
+func TestAllocImprovementAlsoFailsExactGate(t *testing.T) {
+	input := "BenchmarkGlobalAlign-2   2577   464921 ns/op   784 B/op   1 allocs/op\n"
+	ok, report := runGuard(t, writeBaseline(t), "", input)
+	if ok {
+		t.Fatal("alloc drift passed the exact gate")
+	}
+	if !strings.Contains(report, "improved") || !strings.Contains(report, "update BENCH_BASELINE.json") {
+		t.Errorf("report:\n%s", report)
+	}
+}
+
+func TestNsRegressionFailsOnlyPastTolerance(t *testing.T) {
+	// 2x baseline: within the generous 8x tolerance.
+	ok, report := runGuard(t, writeBaseline(t), "",
+		"BenchmarkGlobalAlign-2   100   943664 ns/op   784 B/op   3 allocs/op\n")
+	if !ok {
+		t.Fatalf("2x ns/op failed the gate:\n%s", report)
+	}
+	// 10x baseline: past tolerance.
+	ok, report = runGuard(t, writeBaseline(t), "",
+		"BenchmarkGlobalAlign-2   100   4718320 ns/op   784 B/op   3 allocs/op\n")
+	if ok {
+		t.Fatal("10x ns/op passed the gate")
+	}
+	if !strings.Contains(report, "exceeds 8x baseline") {
+		t.Errorf("report:\n%s", report)
+	}
+}
+
+func TestMissingRequiredBenchmarkFails(t *testing.T) {
+	input := "BenchmarkGlobalAlign-2   2577   464921 ns/op   784 B/op   3 allocs/op\n"
+	ok, report := runGuard(t, writeBaseline(t), "BenchmarkGlobalAlign,BenchmarkEnergyForces", input)
+	if ok {
+		t.Fatal("missing required benchmark passed the gate")
+	}
+	if !strings.Contains(report, "BenchmarkEnergyForces: required benchmark missing") {
+		t.Errorf("report:\n%s", report)
+	}
+}
+
+func TestUnknownBenchmarkSkippedAndEmptyInputFails(t *testing.T) {
+	ok, report := runGuard(t, writeBaseline(t), "",
+		"BenchmarkNovel-2   10   5 ns/op   0 B/op   0 allocs/op\n")
+	if ok {
+		t.Fatal("input with zero compared benchmarks must fail")
+	}
+	if !strings.Contains(report, "no baseline entry") || !strings.Contains(report, "no benchmarks compared") {
+		t.Errorf("report:\n%s", report)
+	}
+}
+
+func TestMissingMemStatsFails(t *testing.T) {
+	ok, report := runGuard(t, writeBaseline(t), "",
+		"BenchmarkGlobalAlign-2   2577   464921 ns/op\n")
+	if ok {
+		t.Fatal("input without -benchmem stats passed the exact-allocs gate")
+	}
+	if !strings.Contains(report, "-benchmem") {
+		t.Errorf("report:\n%s", report)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/experiments"
 	"repro/internal/fold"
 	"repro/internal/pdb"
@@ -54,7 +55,7 @@ func usage() {
 commands:
   species                       list the paper's four species
   generate -species C -out F    write a synthetic proteome as FASTA
-  run -species C [-preset P] [-nodes N] [-seed S]
+  run -species C [-preset P] [-nodes N] [-seed S] [-executor pool|flow]
                                 run the three-stage pipeline on the simulator
   predict -species C -id ID [-out F] [-seed S]
                                 predict + relax one protein, write PDB`)
@@ -110,6 +111,7 @@ func runCmd(args []string) error {
 	nodes := fs.Int("nodes", 32, "Summit nodes for inference")
 	seedv := fs.Uint64("seed", experiments.DefaultSeed, "campaign seed")
 	par := fs.Int("parallelism", 0, "host worker-pool size (0 = GOMAXPROCS, 1 = serial); results are identical at any value")
+	executor := fs.String("executor", "pool", "execution back end: pool (in-process) or flow (dataflow scheduler over loopback TCP); results are identical either way")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -138,6 +140,20 @@ func runCmd(args []string) error {
 	cfg.SummitNodes = *nodes
 	cfg.AndesNodes = 96
 	cfg.Parallelism = *par
+	switch *executor {
+	case "pool", "":
+		// default: in-process pool bounded at -parallelism
+	case "flow":
+		fl, err := exec.NewFlow(*par)
+		if err != nil {
+			return err
+		}
+		defer fl.Close()
+		env.Executor = fl
+		cfg.Executor = fl
+	default:
+		return fmt.Errorf("unknown -executor %q (want pool or flow)", *executor)
+	}
 
 	rep, err := core.RunCampaign(env.Engine, env.FeatureGen(), proteins, env.FS, core.ReducedDatabase(), cfg)
 	if err != nil {

@@ -12,16 +12,32 @@
 //
 // Every compute stage — feature generation, the (target x model)
 // inference fan-out, the high-memory retry wave, the relaxation
-// protocols, and the all-vs-all complex screen — executes on the
-// deterministic parallel execution layer in internal/parallel: a bounded
-// worker pool that collects results by submission index, never by
-// completion order, and surfaces the lowest-index error exactly as the
-// serial loop would. Parallelism therefore changes only wall-clock time:
-// every table and figure is byte-identical at any worker count (enforced
-// by TestTable1ParallelMatchesSerial), which keeps the reproduction's
-// hard determinism requirement intact while the host pipeline exploits
-// the same parallelism the paper's deployment is about. Set the pool
-// size with afbench -parallelism or Env.Parallelism (0 = GOMAXPROCS).
+// protocols, the all-vs-all complex screen, and the independent
+// multi-wave dataflow simulations — fans out through the Executor
+// abstraction in internal/exec, which unifies the repository's two
+// execution back ends behind one deterministic contract: results are
+// collected by submission index, never by completion order, and the
+// lowest-index error surfaces exactly as the serial loop would.
+//
+// Two executors implement the contract. The pool executor wraps the
+// bounded in-process worker pool of internal/parallel. The flow executor
+// serializes every batch through the dataflow engine of internal/flow —
+// the same scheduler/worker/client protocol the paper deploys Dask in —
+// over loopback TCP, one flow task per work item, pulled by workers in
+// dataflow fashion. Because nothing observable depends on completion
+// order, the two back ends are interchangeable: every table and figure is
+// byte-identical across executors and worker counts (enforced by
+// TestTable1CrossExecutor and TestCampaignCrossExecutor, extending
+// TestTable1ParallelMatchesSerial). Select the back end with
+// afbench/proteomectl -executor=pool|flow (and the worker budget with
+// -parallelism, 0 = GOMAXPROCS), or programmatically via Env.Executor and
+// core.Config.Executor.
+//
+// CI enforces the perf + determinism contract: a bench-regression job
+// gates the kernel microbenchmarks against BENCH_BASELINE.json through
+// cmd/benchguard (allocs/op exactly, ns/op with generous tolerance), and
+// the execution-layer packages (internal/flow, internal/parallel,
+// internal/exec) carry a coverage floor.
 //
 // Start with README.md, run experiments with cmd/afbench, and see
 // EXPERIMENTS.md for the paper-versus-measured record. The benchmarks in

@@ -1,0 +1,23 @@
+package cluster
+
+import "repro/internal/exec"
+
+// Wave is one independent dataflow simulation: a task list (already in
+// submission order) plus the cluster options to run it under. Multi-wave
+// campaigns — ordering ablations, per-policy contrasts, workers-per-node
+// sweeps — build a Wave per variant.
+type Wave struct {
+	Tasks []SimTask
+	Opt   DataflowOptions
+}
+
+// SimulateWaves runs independent waves through the executor and returns
+// their results indexed by wave. Each wave's heap inner loop is still
+// serial (it is a sequential discrete-event simulation), but independent
+// waves now run concurrently; results are collected by submission index,
+// so the output is byte-identical to looping over SimulateDataflow.
+func SimulateWaves(ex exec.Executor, waves []Wave) ([]*SimResult, error) {
+	return exec.Map(ex, waves, func(_ int, w Wave) (*SimResult, error) {
+		return SimulateDataflow(w.Tasks, w.Opt)
+	})
+}

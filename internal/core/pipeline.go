@@ -6,10 +6,10 @@ import (
 	"sort"
 
 	"repro/internal/cluster"
+	"repro/internal/exec"
 	"repro/internal/fold"
 	"repro/internal/fsim"
 	"repro/internal/msa"
-	"repro/internal/parallel"
 	"repro/internal/proteome"
 	"repro/internal/relax"
 )
@@ -49,6 +49,12 @@ type Config struct {
 	// order and are byte-identical for every value. <= 0 selects
 	// GOMAXPROCS; 1 forces the serial reference path.
 	Parallelism int
+	// Executor, when set, overrides the default in-process pool: every
+	// stage fans its compute out through it (e.g. exec.NewFlow serializes
+	// the campaign through the flow scheduler/worker/client protocol).
+	// Results are byte-identical across executors and worker counts; nil
+	// selects the pool bounded at Parallelism.
+	Executor exec.Executor
 }
 
 // DefaultConfig mirrors the Table 1 benchmark deployment.
@@ -97,13 +103,13 @@ func FeatureStage(proteins []proteome.Protein, gen FeatureGen, fs fsim.Filesyste
 		return nil, err
 	}
 	// The per-protein searches are independent, so they fan out over the
-	// worker pool; results are collected by submission index so the report
-	// is identical to the serial loop's.
+	// configured executor; results are collected by submission index so the
+	// report is identical to the serial loop's.
 	type featOut struct {
 		f   *msa.Features
 		dur float64
 	}
-	outs, err := parallel.Map(cfg.Parallelism, proteins, func(_ int, p proteome.Protein) (featOut, error) {
+	outs, err := exec.Map(exec.Resolve(cfg.Executor, cfg.Parallelism), proteins, func(_ int, p proteome.Protein) (featOut, error) {
 		f, err := gen.Features(p)
 		if err != nil {
 			return featOut{}, err
@@ -196,7 +202,7 @@ func InferenceStage(engine *fold.Engine, proteins []proteome.Protein, features m
 	byID := make(map[string]proteome.Protein, len(proteins))
 
 	// Flatten the (target x model) fan-out — the task granularity the
-	// paper's Dask deployment uses — and execute it over the worker pool.
+	// paper's Dask deployment uses — and execute it over the executor.
 	// The engine is concurrency-safe (per-(seed, target, model) randomness),
 	// and the OOM outcomes are data, not control flow, so each slot records
 	// either a prediction or its OOM task and the serial assembly below
@@ -216,7 +222,8 @@ func InferenceStage(engine *fold.Engine, proteins []proteome.Protein, features m
 			})
 		}
 	}
-	infOuts, err := parallel.Map(cfg.Parallelism, allTasks, func(_ int, task fold.Task) (*fold.Prediction, error) {
+	x := exec.Resolve(cfg.Executor, cfg.Parallelism)
+	infOuts, err := exec.Map(x, allTasks, func(_ int, task fold.Task) (*fold.Prediction, error) {
 		pred, err := engine.Infer(task)
 		if err != nil {
 			if errors.Is(err, fold.ErrOutOfMemory) {
@@ -262,7 +269,7 @@ func InferenceStage(engine *fold.Engine, proteins []proteome.Protein, features m
 
 	// High-memory retry wave for OOM tasks, fanned out the same way.
 	if len(oomTasks) > 0 && cfg.HighMemNodes > 0 {
-		hmOuts, err := parallel.Map(cfg.Parallelism, oomTasks, func(_ int, t fold.Task) (*fold.Prediction, error) {
+		hmOuts, err := exec.Map(x, oomTasks, func(_ int, t fold.Task) (*fold.Prediction, error) {
 			t.NodeMemGB = highMemNodeGPUMemGB
 			pred, err := engine.Infer(t)
 			if err != nil {

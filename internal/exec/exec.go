@@ -1,0 +1,69 @@
+// Package exec unifies the repository's two execution back ends behind one
+// Executor abstraction: the bounded in-process worker pool of
+// internal/parallel, and the flow dataflow engine (scheduler + workers +
+// client over loopback TCP) of internal/flow.
+//
+// Every compute stage of the pipeline — feature generation, the
+// (target x model) inference fan-out, the high-memory retry wave,
+// relaxation, annotation, and the independent multi-wave dataflow
+// simulations — fans out through an Executor, so the same campaign can run
+// on the host pool or through the scheduler/worker/client protocol the
+// paper deploys Dask in, with byte-identical results.
+//
+// The determinism contract is the one internal/parallel established:
+//
+//   - fn(i, item) must be a pure function of its arguments;
+//   - results land in out[i] regardless of which worker finished first, so
+//     any executor at any worker count is indistinguishable from the
+//     serial loop;
+//   - on failure the error of the lowest submission index is returned —
+//     exactly what the serial loop would have surfaced.
+//
+// TestTable1CrossExecutor and TestCampaignCrossExecutor in
+// internal/experiments enforce the contract end to end.
+package exec
+
+// Executor runs n independent work items, identified by index, with the
+// package-level determinism contract. Implementations decide where the
+// work runs (in-process pool, flow workers); callers decide what runs.
+type Executor interface {
+	// Name identifies the back end ("pool", "flow") for flags and reports.
+	Name() string
+	// ForEach runs fn(i) for i in [0, n). fn must be safe for concurrent
+	// invocation on distinct indices. On failure the lowest-index error is
+	// returned and the output of other indices must be discarded.
+	ForEach(n int, fn func(i int) error) error
+	// Close releases executor resources (workers, connections). Close is
+	// idempotent; the zero-cost executors treat it as a no-op.
+	Close() error
+}
+
+// Map applies fn to every element of items through the executor and
+// returns the results in submission order — the generic entry point every
+// compute stage uses, independent of the back end.
+func Map[T, R any](ex Executor, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	err := ex.ForEach(len(items), func(i int) error {
+		r, err := fn(i, items[i])
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Resolve returns ex when one was configured, else the default in-process
+// pool bounded at `workers` (<= 0 selects GOMAXPROCS, 1 forces the serial
+// reference path). Stages call this so an unset Executor preserves the
+// pre-Executor Parallelism behaviour exactly.
+func Resolve(ex Executor, workers int) Executor {
+	if ex != nil {
+		return ex
+	}
+	return &Pool{Workers: workers}
+}

@@ -1,0 +1,185 @@
+package exec
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/flow"
+)
+
+// Flow is the dataflow-backed Executor: a private flow cluster (one
+// Scheduler, W Workers, one Client) over loopback TCP. Every ForEach batch
+// is serialized through the scheduler/worker/client protocol — each index
+// becomes one flow.Task, workers pull tasks in dataflow fashion, and the
+// closure runs in-process on the worker's goroutine, so campaign results
+// are written into the caller's slices exactly as the pool executor would.
+//
+// Completion order is whatever the network delivers, but nothing
+// observable depends on it: results are keyed by index and errors are
+// reduced to the lowest index, so a flow run at any worker count is
+// byte-identical to the pool and to the serial loop.
+type Flow struct {
+	sched   *flow.Scheduler
+	workers []*flow.Worker
+	client  *flow.Client
+
+	// mu serializes batches: the worker handler resolves tasks against the
+	// single current batch.
+	mu    sync.Mutex
+	batch atomic.Pointer[flowBatch]
+
+	closeOnce sync.Once
+}
+
+// flowBatch is the state of one in-flight ForEach call. bmu orders every
+// handler's bookkeeping before the caller's final read, which also makes
+// the closure's writes (out[i] in Map) visible to the caller.
+type flowBatch struct {
+	fn  func(i int) error
+	bmu sync.Mutex
+	// ran guards against a task being delivered twice (the scheduler
+	// requeues on worker disconnect); in-process workers never disconnect,
+	// but the contract of fn is exactly-once per index.
+	ran  []bool
+	errs []error
+}
+
+// NewFlow starts a loopback flow cluster with the given number of workers
+// (<= 0 selects GOMAXPROCS). The returned executor must be closed.
+func NewFlow(workers int) (*Flow, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	f := &Flow{sched: flow.NewScheduler()}
+	addr, err := f.sched.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("exec: flow scheduler: %w", err)
+	}
+	for i := 0; i < workers; i++ {
+		w := flow.NewWorker(fmt.Sprintf("exec-w%03d", i), f.handle)
+		if err := w.Connect(addr); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("exec: flow worker %d: %w", i, err)
+		}
+		f.workers = append(f.workers, w)
+	}
+	c, err := flow.ConnectClient(addr)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("exec: flow client: %w", err)
+	}
+	// The progress deadline exists to fail fast against a wedged remote
+	// scheduler. Here scheduler, workers, and client share one process —
+	// a wedge is a bug the flow tests catch — while a single work item
+	// (a heavy stage under -race, a large simulated wave) can legitimately
+	// outlast any fixed deadline, which would hard-fail a healthy run the
+	// pool executor completes. Disable it for the in-process cluster.
+	c.ResultTimeout = 0
+	f.client = c
+	return f, nil
+}
+
+// Name implements Executor.
+func (f *Flow) Name() string { return "flow" }
+
+// NumWorkers reports the size of the worker fleet (for flags and tests).
+func (f *Flow) NumWorkers() int { return len(f.workers) }
+
+// handle is the shared worker handler: it maps the task ID back to the
+// batch index and runs the batch closure on the worker's goroutine.
+func (f *Flow) handle(t flow.Task) (json.RawMessage, error) {
+	b := f.batch.Load()
+	i, err := strconv.Atoi(t.ID)
+	if b == nil || err != nil || i < 0 || i >= len(b.errs) {
+		return nil, fmt.Errorf("exec: stray flow task %q", t.ID)
+	}
+	b.bmu.Lock()
+	if b.ran[i] {
+		b.bmu.Unlock()
+		return nil, nil
+	}
+	b.ran[i] = true
+	b.bmu.Unlock()
+
+	ferr := b.fn(i)
+
+	b.bmu.Lock()
+	b.errs[i] = ferr
+	b.bmu.Unlock()
+	if ferr != nil {
+		return nil, ferr
+	}
+	return nil, nil
+}
+
+// ForEach implements Executor: one flow task per index, submitted as a
+// single batch through the client's Map. Unlike the pool's cooperative
+// cancellation, every index runs even after a failure — fn is pure, so the
+// only observable effect is identical: the lowest-index error.
+//
+// Batches serialize on the executor: fn must not call back into the same
+// executor (the pipeline's stages fan out one batch at a time, never
+// nested, so all call sites satisfy this).
+func (f *Flow) ForEach(n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.client == nil {
+		return fmt.Errorf("exec: flow executor is closed")
+	}
+
+	b := &flowBatch{fn: fn, ran: make([]bool, n), errs: make([]error, n)}
+	f.batch.Store(b)
+	defer f.batch.Store(nil)
+
+	tasks := make([]flow.Task, n)
+	for i := range tasks {
+		tasks[i] = flow.Task{ID: strconv.Itoa(i)}
+	}
+	results, err := f.client.Map(tasks, nil)
+	if err != nil {
+		return fmt.Errorf("exec: flow batch: %w", err)
+	}
+	if len(results) != n {
+		return fmt.Errorf("exec: flow batch returned %d/%d results", len(results), n)
+	}
+
+	// Client.Map returned only after every worker finished, and each
+	// handler's errs write is ordered before this lock — so the batch (and
+	// everything fn wrote) is fully visible here.
+	b.bmu.Lock()
+	defer b.bmu.Unlock()
+	for _, e := range b.errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// Close tears down the client, workers, and scheduler. It waits for any
+// in-flight batch to drain first (batches and Close serialize on the same
+// lock).
+func (f *Flow) Close() error {
+	f.closeOnce.Do(func() {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.client != nil {
+			f.client.Close()
+		}
+		for _, w := range f.workers {
+			w.Close()
+		}
+		if f.sched != nil {
+			f.sched.Close()
+		}
+		f.client = nil
+	})
+	return nil
+}

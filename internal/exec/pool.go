@@ -1,0 +1,27 @@
+package exec
+
+import "repro/internal/parallel"
+
+// Pool is the in-process Executor: a thin adapter over the bounded,
+// deterministic worker pool in internal/parallel. The zero value runs at
+// GOMAXPROCS; Workers == 1 is the serial reference path the determinism
+// tests compare every other executor against.
+type Pool struct {
+	// Workers bounds the pool (<= 0 selects GOMAXPROCS).
+	Workers int
+}
+
+// NewPool returns a pool executor bounded at workers.
+func NewPool(workers int) *Pool { return &Pool{Workers: workers} }
+
+// Name implements Executor.
+func (p *Pool) Name() string { return "pool" }
+
+// ForEach implements Executor by delegating to parallel.ForEach, which
+// collects by submission index and surfaces the lowest-index error.
+func (p *Pool) ForEach(n int, fn func(i int) error) error {
+	return parallel.ForEach(p.Workers, n, fn)
+}
+
+// Close implements Executor; the pool holds no persistent resources.
+func (p *Pool) Close() error { return nil }

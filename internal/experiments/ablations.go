@@ -6,10 +6,10 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/fold"
 	"repro/internal/fsim"
 	"repro/internal/metrics"
-	"repro/internal/parallel"
 	"repro/internal/proteome"
 )
 
@@ -53,7 +53,7 @@ func Ablations(env *Env) (*AblationResult, error) {
 		dur  float64
 		ptms float64
 	}
-	rows, err := parallel.Map(env.Parallelism, proteins, func(_ int, p proteome.Protein) ([fold.NumModels]pred, error) {
+	rows, err := exec.Map(env.executor(), proteins, func(_ int, p proteome.Protein) ([fold.NumModels]pred, error) {
 		var row [fold.NumModels]pred
 		f, err := gen.Features(p)
 		if err != nil {
@@ -92,7 +92,9 @@ func Ablations(env *Env) (*AblationResult, error) {
 		}
 	}
 	opt := cluster.DataflowOptions{Workers: 32 * 6, DispatchOverhead: 1.5, StartupDelay: 300}
-	for _, order := range []cluster.OrderPolicy{cluster.LongestFirst, cluster.ShortestFirst, cluster.SubmissionOrder} {
+	orders := []cluster.OrderPolicy{cluster.LongestFirst, cluster.ShortestFirst, cluster.SubmissionOrder}
+	orderWaves := make([]cluster.Wave, 0, len(orders))
+	for _, order := range orders {
 		tasks := append([]cluster.SimTask(nil), pairTasks...)
 		if order == cluster.SubmissionOrder {
 			r := newShuffleSource(env.Seed + 1)
@@ -100,12 +102,16 @@ func Ablations(env *Env) (*AblationResult, error) {
 		} else {
 			cluster.ApplyOrder(tasks, order)
 		}
-		sim, err := cluster.SimulateDataflow(tasks, opt)
-		if err != nil {
-			return nil, err
-		}
-		res.OrderWallHours[order.String()] = sim.Makespan / 3600
-		res.OrderSpreadMin[order.String()] = sim.FinishSpread() / 60
+		orderWaves = append(orderWaves, cluster.Wave{Tasks: tasks, Opt: opt})
+	}
+	// The per-policy runs are independent, so they fan out as waves.
+	orderSims, err := cluster.SimulateWaves(env.executor(), orderWaves)
+	if err != nil {
+		return nil, err
+	}
+	for i, order := range orders {
+		res.OrderWallHours[order.String()] = orderSims[i].Makespan / 3600
+		res.OrderSpreadMin[order.String()] = orderSims[i].FinishSpread() / 60
 	}
 
 	// --- Granularity: whole-target tasks bundle all five models into one
@@ -135,16 +141,24 @@ func Ablations(env *Env) (*AblationResult, error) {
 	}
 	res.WholeTargetWallHours = simWhole.Makespan / 3600
 
-	// --- Workers per node: fewer workers per node means idle GPUs.
-	for _, perNode := range []int{1, 3, 6} {
-		tasks := append([]cluster.SimTask(nil), sorted...)
-		sim, err := cluster.SimulateDataflow(tasks, cluster.DataflowOptions{
-			Workers: 32 * perNode, DispatchOverhead: 1.5, StartupDelay: 300,
+	// --- Workers per node: fewer workers per node means idle GPUs. The
+	// three widths are independent waves over the same sorted tasks.
+	perNodes := []int{1, 3, 6}
+	nodeWaves := make([]cluster.Wave, 0, len(perNodes))
+	for _, perNode := range perNodes {
+		nodeWaves = append(nodeWaves, cluster.Wave{
+			Tasks: append([]cluster.SimTask(nil), sorted...),
+			Opt: cluster.DataflowOptions{
+				Workers: 32 * perNode, DispatchOverhead: 1.5, StartupDelay: 300,
+			},
 		})
-		if err != nil {
-			return nil, err
-		}
-		res.WorkersPerNodeWall[perNode] = sim.Makespan / 3600
+	}
+	nodeSims, err := cluster.SimulateWaves(env.executor(), nodeWaves)
+	if err != nil {
+		return nil, err
+	}
+	for i, perNode := range perNodes {
+		res.WorkersPerNodeWall[perNode] = nodeSims[i].Makespan / 3600
 	}
 
 	// --- Replica sweep: wall hours of the feature stage per copy count.

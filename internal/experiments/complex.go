@@ -5,8 +5,8 @@ import (
 	"io"
 
 	"repro/internal/cluster"
+	"repro/internal/exec"
 	"repro/internal/fold"
-	"repro/internal/parallel"
 	"repro/internal/proteome"
 )
 
@@ -54,7 +54,7 @@ func ComplexScreen(env *Env) (*ComplexScreenResult, error) {
 		tmpl bool
 	}
 	// Monomer baselines fan out over the worker pool (one item per chain).
-	chains, err := parallel.Map(env.Parallelism, subset, func(_ int, p proteome.Protein) (chain, error) {
+	chains, err := exec.Map(env.executor(), subset, func(_ int, p proteome.Protein) (chain, error) {
 		f, err := gen.Features(p)
 		if err != nil {
 			return chain{}, err
@@ -84,7 +84,7 @@ func ComplexScreen(env *Env) (*ComplexScreenResult, error) {
 			pairs = append(pairs, pairIdx{i, j})
 		}
 	}
-	preds, err := parallel.Map(env.Parallelism, pairs, func(_ int, pr pairIdx) (*fold.ComplexPrediction, error) {
+	preds, err := exec.Map(env.executor(), pairs, func(_ int, pr pairIdx) (*fold.ComplexPrediction, error) {
 		a, b := chains[pr.i], chains[pr.j]
 		return env.Engine.InferComplex(fold.ComplexTask{
 			IDs:     []string{a.id, b.id},

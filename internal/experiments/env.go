@@ -9,10 +9,10 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/fold"
 	"repro/internal/fsim"
 	"repro/internal/msa"
-	"repro/internal/parallel"
 	"repro/internal/proteome"
 )
 
@@ -30,6 +30,13 @@ type Env struct {
 	// at any value are byte-identical. <= 0 selects GOMAXPROCS; 1 forces
 	// the serial reference path the determinism tests compare against.
 	Parallelism int
+	// Executor, when set, replaces the default in-process pool with an
+	// alternative back end (exec.NewFlow drives every experiment through
+	// the flow scheduler/worker/client protocol). Results are
+	// byte-identical across executors and worker counts; nil selects the
+	// pool bounded at Parallelism. The Env does not own the executor — the
+	// caller closes it.
+	Executor exec.Executor
 
 	proteomes map[string]*proteome.Proteome
 	featGen   *core.CachedFeatureGen
@@ -80,12 +87,18 @@ func (e *Env) FeatureGen() core.FeatureGen {
 	return e.featGen
 }
 
+// executor resolves the Env's execution back end: the configured Executor,
+// or the default pool bounded at Parallelism.
+func (e *Env) executor() exec.Executor {
+	return exec.Resolve(e.Executor, e.Parallelism)
+}
+
 // FeaturesFor computes features for a protein set, keyed by ID. Proteins
-// fan out over the Env's worker pool; results are identical at any
-// parallelism.
+// fan out over the Env's executor; results are identical at any
+// parallelism and on any back end.
 func (e *Env) FeaturesFor(proteins []proteome.Protein) (map[string]*msa.Features, error) {
 	gen := e.FeatureGen()
-	feats, err := parallel.Map(e.Parallelism, proteins, func(_ int, p proteome.Protein) (*msa.Features, error) {
+	feats, err := exec.Map(e.executor(), proteins, func(_ int, p proteome.Protein) (*msa.Features, error) {
 		f, err := gen.Features(p)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: features for %s: %w", p.Seq.ID, err)
@@ -103,9 +116,10 @@ func (e *Env) FeaturesFor(proteins []proteome.Protein) (map[string]*msa.Features
 }
 
 // config returns the standard deployment config with the Env's host-side
-// parallelism threaded through.
+// parallelism and executor threaded through.
 func (e *Env) config() core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Parallelism = e.Parallelism
+	cfg.Executor = e.Executor
 	return cfg
 }

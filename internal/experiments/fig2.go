@@ -5,8 +5,8 @@ import (
 	"io"
 
 	"repro/internal/cluster"
+	"repro/internal/exec"
 	"repro/internal/metrics"
-	"repro/internal/parallel"
 	"repro/internal/proteome"
 )
 
@@ -41,7 +41,7 @@ func Fig2(env *Env) (*Fig2Result, error) {
 	// One work item per protein (its five model inferences); per-protein
 	// task groups come back in submission order, so the flattened task list
 	// is identical to the serial loop's.
-	perProtein, err := parallel.Map(env.Parallelism, proteins, func(_ int, p proteome.Protein) ([]cluster.SimTask, error) {
+	perProtein, err := exec.Map(env.executor(), proteins, func(_ int, p proteome.Protein) ([]cluster.SimTask, error) {
 		f, err := gen.Features(p)
 		if err != nil {
 			return nil, err
@@ -74,20 +74,23 @@ func Fig2(env *Env) (*Fig2Result, error) {
 	sorted := make([]cluster.SimTask, len(tasks))
 	copy(sorted, tasks)
 	cluster.ApplyOrder(sorted, cluster.LongestFirst)
-	simSorted, err := cluster.SimulateDataflow(sorted, opt)
-	if err != nil {
-		return nil, err
-	}
 
 	random := make([]cluster.SimTask, len(tasks))
 	copy(random, tasks)
 	// Deterministic shuffle via the env seed.
 	r := newShuffleSource(env.Seed)
 	r.Shuffle(len(random), func(i, j int) { random[i], random[j] = random[j], random[i] })
-	simRandom, err := cluster.SimulateDataflow(random, opt)
+
+	// The sorted and random waves are independent simulations of the same
+	// workload, so they run concurrently on the executor.
+	sims, err := cluster.SimulateWaves(env.executor(), []cluster.Wave{
+		{Tasks: sorted, Opt: opt},
+		{Tasks: random, Opt: opt},
+	})
 	if err != nil {
 		return nil, err
 	}
+	simSorted, simRandom := sims[0], sims[1]
 
 	res := &Fig2Result{
 		Workers:               workers,

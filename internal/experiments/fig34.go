@@ -5,9 +5,9 @@ import (
 	"io"
 
 	"repro/internal/casp"
+	"repro/internal/exec"
 	"repro/internal/geom"
 	"repro/internal/metrics"
-	"repro/internal/parallel"
 	"repro/internal/relax"
 )
 
@@ -82,7 +82,7 @@ func Fig3(env *Env) (*Fig3Result, error) {
 			items = append(items, fig3Item{target: tg, model: &models[mi], crystalPoses: crystalPoses})
 		}
 	}
-	points, err := parallel.Map(env.Parallelism, items, func(_ int, it fig3Item) (Fig3Point, error) {
+	points, err := exec.Map(env.executor(), items, func(_ int, it fig3Item) (Fig3Point, error) {
 		tg, m := it.target, it.model
 		crystalPoses := it.crystalPoses
 		tmB, err := geom.TMScore(m.CA, tg.Crystal.CA)
@@ -218,7 +218,7 @@ func Fig4(env *Env) (*Fig4Result, error) {
 		}
 		models = append(models, m)
 	}
-	points, err := parallel.Map(env.Parallelism, models, func(_ int, m *casp.Model) (Fig4Point, error) {
+	points, err := exec.Map(env.executor(), models, func(_ int, m *casp.Model) (Fig4Point, error) {
 		opt := relax.DefaultOptions(relax.PlatformAF2)
 		opt.HeavyAtoms = m.HeavyAtoms
 		rr, err := relax.Relax(geom.Clone(m.CA), geom.Clone(m.SC), opt)

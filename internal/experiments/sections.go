@@ -8,10 +8,10 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/casp"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/fold"
 	"repro/internal/geom"
 	"repro/internal/metrics"
-	"repro/internal/parallel"
 	"repro/internal/proteome"
 	"repro/internal/relax"
 )
@@ -121,7 +121,7 @@ func RecycleGains(env *Env) (*RecycleGainsResult, error) {
 	}
 	// Each protein runs its 2x5 preset-pair inferences on the worker pool;
 	// the gain statistics fold serially in submission order below.
-	perTarget, err := parallel.Map(env.Parallelism, bench, func(_ int, p proteome.Protein) (gain, error) {
+	perTarget, err := exec.Map(env.executor(), bench, func(_ int, p proteome.Protein) (gain, error) {
 		f := feats[p.Seq.ID]
 		var shortBest, longBest *fold.Prediction
 		for m := 0; m < fold.NumModels; m++ {
@@ -313,7 +313,7 @@ func Violations(env *Env) (*ViolationsResult, error) {
 	for mi := range set.Models {
 		models[mi] = &set.Models[mi]
 	}
-	outs, err := parallel.Map(env.Parallelism, models, func(_ int, m *casp.Model) (violOut, error) {
+	outs, err := exec.Map(env.executor(), models, func(_ int, m *casp.Model) (violOut, error) {
 		var out violOut
 		out.before = relax.CountViolations(m.CA)
 		for pi, platform := range fig3Platforms {
@@ -441,7 +441,7 @@ func Annotation(env *Env) (*AnnotationResult, error) {
 	// submission order so the aggregate and the novel-example tie-breaks
 	// match the serial loop exactly.
 	res := &AnnotationResult{}
-	perProtein, err := parallel.Map(env.Parallelism, hypos, func(_ int, p proteome.Protein) (*analysis.Annotation, error) {
+	perProtein, err := exec.Map(env.executor(), hypos, func(_ int, p proteome.Protein) (*analysis.Annotation, error) {
 		// Rank the five models by pTMS and analyse the top one, as the
 		// paper's pipeline does.
 		bestModel, bestPTMS := 0, -1.0

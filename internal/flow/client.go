@@ -11,7 +11,22 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 )
+
+// DefaultResultTimeout is the per-result progress deadline a new Client
+// starts with: Map fails if no message arrives for this long. It exists so
+// a wedged scheduler fails fast instead of hanging a CI -race job until
+// the suite times out; it is generous enough that any live cluster —
+// including one whose workers are still warming up — keeps renewing it
+// with results.
+const DefaultResultTimeout = 2 * time.Minute
+
+// dialTimeout bounds connection establishment for clients and workers.
+const dialTimeout = 10 * time.Second
+
+// resultWriteTimeout bounds a worker's result send to the scheduler.
+const resultWriteTimeout = 30 * time.Second
 
 // Client is the driving script of the workflow (Section 3.3 step 3): it
 // submits the full batch of tasks with a single Map call and streams back
@@ -21,20 +36,27 @@ type Client struct {
 	enc  *json.Encoder
 	dec  *json.Decoder
 
+	// ResultTimeout is the progress deadline of Map: the longest Map waits
+	// between consecutive scheduler messages before failing. Zero disables
+	// the deadline. Set it before calling Map.
+	ResultTimeout time.Duration
+
 	mu     sync.Mutex
 	closed bool
 }
 
-// ConnectClient dials the scheduler. The returned client must be closed.
+// ConnectClient dials the scheduler (bounded by dialTimeout). The returned
+// client must be closed.
 func ConnectClient(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("flow: client dial: %w", err)
 	}
 	return &Client{
-		conn: conn,
-		enc:  json.NewEncoder(conn),
-		dec:  json.NewDecoder(bufio.NewReader(conn)),
+		conn:          conn,
+		enc:           json.NewEncoder(conn),
+		dec:           json.NewDecoder(bufio.NewReader(conn)),
+		ResultTimeout: DefaultResultTimeout,
 	}, nil
 }
 
@@ -70,9 +92,13 @@ func (c *Client) Map(tasks []Task, statsCSV io.Writer) ([]Result, error) {
 		ids[t.ID] = true
 	}
 
+	if c.ResultTimeout > 0 {
+		_ = c.conn.SetWriteDeadline(time.Now().Add(c.ResultTimeout))
+	}
 	if err := c.enc.Encode(message{Type: msgSubmit, Tasks: tasks}); err != nil {
 		return nil, fmt.Errorf("flow: submit: %w", err)
 	}
+	_ = c.conn.SetWriteDeadline(time.Time{})
 
 	var cw *csv.Writer
 	if statsCSV != nil {
@@ -85,6 +111,12 @@ func (c *Client) Map(tasks []Task, statsCSV io.Writer) ([]Result, error) {
 	results := make([]Result, 0, len(tasks))
 	accepted := false
 	for len(results) < len(tasks) {
+		// Renew the progress deadline before every read: any message from
+		// the scheduler counts as progress, but a wedged scheduler (or a
+		// dead cluster) surfaces as a timeout error instead of a hang.
+		if c.ResultTimeout > 0 {
+			_ = c.conn.SetReadDeadline(time.Now().Add(c.ResultTimeout))
+		}
 		var m message
 		if err := c.dec.Decode(&m); err != nil {
 			return results, fmt.Errorf("flow: awaiting results (%d/%d done): %w",
@@ -115,6 +147,7 @@ func (c *Client) Map(tasks []Task, statsCSV io.Writer) ([]Result, error) {
 		}
 	}
 	_ = accepted
+	_ = c.conn.SetReadDeadline(time.Time{})
 	if cw != nil {
 		cw.Flush()
 		if err := cw.Error(); err != nil {

@@ -1,0 +1,272 @@
+package flow
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// wedgedListener accepts connections and then never reads or writes — the
+// pathological scheduler the deadline hardening is for.
+func wedgedListener(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			// Drain nothing, answer nothing: the peer's deadlines must fire.
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestClientMapFailsFastOnWedgedScheduler is the CI-flakiness guard: a
+// scheduler that accepts the connection but never answers must surface as
+// a timeout error within the progress deadline, not hang Map until the
+// test binary times out.
+func TestClientMapFailsFastOnWedgedScheduler(t *testing.T) {
+	addr := wedgedListener(t)
+	c, err := ConnectClient(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.ResultTimeout != DefaultResultTimeout {
+		t.Fatalf("new client ResultTimeout = %v, want %v", c.ResultTimeout, DefaultResultTimeout)
+	}
+	c.ResultTimeout = 150 * time.Millisecond
+
+	start := time.Now()
+	_, err = c.Map(makeTasks(3), nil)
+	if err == nil {
+		t.Fatal("Map against a wedged scheduler must fail")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Errorf("error = %v, want a net timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("Map took %v to fail; deadline did not fire fast", elapsed)
+	}
+}
+
+// TestWorkerReadTimeoutUnblocksLoop: a worker with a read deadline pointed
+// at a scheduler that never assigns work exits its loop instead of
+// blocking Close forever.
+func TestWorkerReadTimeoutUnblocksLoop(t *testing.T) {
+	addr := wedgedListener(t)
+	w := NewWorker("deadlined", echoHandler)
+	w.ReadTimeout = 100 * time.Millisecond
+	if err := w.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		w.Close() // waits for the loop, which only exits via the deadline
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker loop did not exit on read timeout")
+	}
+}
+
+// failingWriter errors after a byte budget, exercising the stats-CSV
+// error branches of Client.Map.
+type failingWriter struct {
+	budget int
+}
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.budget <= 0 {
+		return 0, fmt.Errorf("disk full")
+	}
+	n := len(p)
+	if n > f.budget {
+		n = f.budget
+	}
+	f.budget -= n
+	if n < len(p) {
+		return n, fmt.Errorf("disk full")
+	}
+	return n, nil
+}
+
+func TestStatsCSVWriterErrorFailsMap(t *testing.T) {
+	_, _, c := startCluster(t, 2, echoHandler)
+	// Budget covers the header and roughly one row, then fails: Map must
+	// surface the write error rather than silently dropping stats.
+	_, err := c.Map(makeTasks(10), &failingWriter{budget: 80})
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Errorf("Map error = %v, want the CSV writer's failure", err)
+	}
+
+	// A writer that fails immediately dies on the header/first flush.
+	_, err = c.Map(makeTasks(5), &failingWriter{})
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Errorf("Map error = %v, want the CSV writer's failure", err)
+	}
+}
+
+func TestStatsCSVRecordsHandlerErrors(t *testing.T) {
+	h := func(task Task) (json.RawMessage, error) {
+		if task.ID == "t001" {
+			return nil, fmt.Errorf("kaboom")
+		}
+		return nil, nil
+	}
+	_, _, c := startCluster(t, 2, h)
+	var buf bytes.Buffer
+	if _, err := c.Map(makeTasks(4), &buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, row := range rows[1:] {
+		if row[0] == "t001" {
+			found = true
+			if !strings.Contains(row[5], "kaboom") {
+				t.Errorf("error column = %q, want the handler error", row[5])
+			}
+		} else if row[5] != "" {
+			t.Errorf("task %s has spurious error %q", row[0], row[5])
+		}
+	}
+	if !found {
+		t.Error("no stats row for the failing task")
+	}
+}
+
+// TestIdleWorkerDisconnectReschedules covers the scheduler's free-list
+// removal and send-failure requeue branches: a worker that registers and
+// dies while idle must not strand the queue — a later worker drains it.
+func TestIdleWorkerDisconnectReschedules(t *testing.T) {
+	s := NewScheduler()
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	ghost := NewWorker("ghost", echoHandler)
+	if err := ghost.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	ghost.Close() // dies idle: scheduler must drop it from the free list
+
+	c, err := ConnectClient(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	done := make(chan error, 1)
+	var results []Result
+	go func() {
+		var mapErr error
+		results, mapErr = c.Map(makeTasks(6), nil)
+		done <- mapErr
+	}()
+
+	// Whether the scheduler saw the disconnect before or after assigning
+	// to the ghost, the live worker must end up with every task.
+	time.Sleep(20 * time.Millisecond)
+	live := NewWorker("live", echoHandler)
+	if err := live.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(live.Close)
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("batch did not complete after idle-worker disconnect")
+	}
+	if len(results) != 6 {
+		t.Fatalf("results = %d, want 6", len(results))
+	}
+	for _, r := range results {
+		if r.WorkerID != "live" {
+			t.Errorf("task %s ran on %q, want the live worker", r.TaskID, r.WorkerID)
+		}
+	}
+}
+
+// TestClientDisconnectOrphansItsTasks covers the clientGone branches: a
+// client that vanishes mid-batch must have its queued tasks dropped and
+// its in-flight tasks orphaned without wedging the scheduler for the next
+// client.
+func TestClientDisconnectOrphansItsTasks(t *testing.T) {
+	s := NewScheduler()
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	slow := func(task Task) (json.RawMessage, error) {
+		time.Sleep(5 * time.Millisecond)
+		return nil, nil
+	}
+	w := NewWorker("only", slow)
+	if err := w.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+
+	// The doomed client submits a long batch and disconnects while the
+	// single slow worker is still chewing on it.
+	doomed, err := ConnectClient(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go doomed.Map(makeTasks(50), nil) //nolint:errcheck // the disconnect error is the point
+	time.Sleep(15 * time.Millisecond)
+	doomed.Close()
+
+	// A fresh client's batch must still complete: the orphaned queue was
+	// dropped, the orphaned in-flight result discarded, the worker freed.
+	c, err := ConnectClient(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	c.ResultTimeout = 10 * time.Second
+	tasks := makeTasks(5)
+	for i := range tasks {
+		tasks[i].ID = "fresh-" + tasks[i].ID
+	}
+	results, err := c.Map(tasks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("fresh batch results = %d, want 5", len(results))
+	}
+	// The orphaned batch must not have survived: the worker processed the
+	// fresh tasks plus at most the few in flight before the disconnect.
+	if p := w.Processed(); p >= 55 {
+		t.Errorf("worker processed %d tasks; orphaned queue was not dropped", p)
+	}
+}

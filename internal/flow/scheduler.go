@@ -239,9 +239,13 @@ func (s *Scheduler) eventLoop() {
 						q.client.pending--
 					}
 				}
+				// Only a worker that was actually busy returns to the free
+				// list: a stray result (unknown task, duplicate reply) must
+				// not enlist the worker twice.
+				wasBusy := e.wc.busy
 				e.wc.current = nil
 				e.wc.busy = false
-				if workers[e.wc] {
+				if workers[e.wc] && wasBusy {
 					free = append(free, e.wc)
 				}
 				assign()

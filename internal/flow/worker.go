@@ -21,6 +21,13 @@ type Worker struct {
 	ID      string
 	handler Handler
 
+	// ReadTimeout, when set before Connect, bounds how long the worker
+	// waits for the next scheduler message. An idle worker legitimately
+	// waits forever, so the default (zero) disables it; set it in tests or
+	// supervised deployments where a wedged scheduler should fail the
+	// worker fast instead of leaving it hanging.
+	ReadTimeout time.Duration
+
 	conn net.Conn
 	wg   sync.WaitGroup
 
@@ -51,19 +58,21 @@ func (w *Worker) ConnectFile(path string) error {
 	return w.Connect(sf.Address)
 }
 
-// Connect registers with the scheduler and starts the task loop in the
-// background.
+// Connect registers with the scheduler (dial bounded by dialTimeout) and
+// starts the task loop in the background.
 func (w *Worker) Connect(addr string) error {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
 		return fmt.Errorf("flow: worker dial: %w", err)
 	}
 	w.conn = conn
 	enc := json.NewEncoder(conn)
+	_ = conn.SetWriteDeadline(time.Now().Add(dialTimeout))
 	if err := enc.Encode(message{Type: msgRegister, WorkerID: w.ID, Slots: 1}); err != nil {
 		conn.Close()
 		return fmt.Errorf("flow: worker register: %w", err)
 	}
+	_ = conn.SetWriteDeadline(time.Time{})
 	w.wg.Add(1)
 	go w.loop(enc)
 	return nil
@@ -71,8 +80,15 @@ func (w *Worker) Connect(addr string) error {
 
 func (w *Worker) loop(enc *json.Encoder) {
 	defer w.wg.Done()
+	// The loop can now exit on a healthy connection (read/write deadline
+	// fired); close it so the scheduler observes workerGone and requeues
+	// any in-flight task instead of assigning into a dead worker.
+	defer w.conn.Close()
 	dec := json.NewDecoder(bufio.NewReader(w.conn))
 	for {
+		if w.ReadTimeout > 0 {
+			_ = w.conn.SetReadDeadline(time.Now().Add(w.ReadTimeout))
+		}
 		var m message
 		if err := dec.Decode(&m); err != nil {
 			return
@@ -95,9 +111,13 @@ func (w *Worker) loop(enc *json.Encoder) {
 		w.mu.Lock()
 		w.processed++
 		w.mu.Unlock()
+		// Bound the result send so a scheduler that stopped reading cannot
+		// wedge the worker goroutine forever.
+		_ = w.conn.SetWriteDeadline(time.Now().Add(resultWriteTimeout))
 		if err := enc.Encode(message{Type: msgResult, Result: &res}); err != nil {
 			return
 		}
+		_ = w.conn.SetWriteDeadline(time.Time{})
 	}
 }
 

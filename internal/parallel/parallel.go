@@ -18,6 +18,10 @@
 //
 // Workers == 1 bypasses the pool entirely and runs the plain serial loop,
 // which is what the parallel-vs-serial equivalence tests compare against.
+//
+// This package is the pool back end of the Executor abstraction in
+// internal/exec; the generic Map over items lives there (exec.Map), so
+// the contract has a single implementation shared by every back end.
 package parallel
 
 import (
@@ -43,28 +47,10 @@ func Workers(requested, n int) int {
 	return w
 }
 
-// Map applies fn to every element of items on up to `workers` goroutines
-// (<= 0 means GOMAXPROCS) and returns the results in submission order.
-// On failure it returns the error with the smallest item index, matching
-// serial semantics; items after a known failure are skipped cooperatively.
-func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
-	out := make([]R, len(items))
-	err := run(workers, len(items), func(i int) error {
-		r, err := fn(i, items[i])
-		if err != nil {
-			return err
-		}
-		out[i] = r
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
-}
-
-// ForEach runs fn(i) for i in [0, n) on up to `workers` goroutines with the
-// same ordering and error guarantees as Map.
+// ForEach runs fn(i) for i in [0, n) on up to `workers` goroutines
+// (<= 0 means GOMAXPROCS). On failure it returns the error with the
+// smallest index, matching serial semantics; items after a known failure
+// are skipped cooperatively.
 func ForEach(workers, n int, fn func(i int) error) error {
 	return run(workers, n, fn)
 }

@@ -9,20 +9,19 @@ import (
 	"testing"
 )
 
-func TestMapPreservesSubmissionOrder(t *testing.T) {
-	items := make([]int, 1000)
-	for i := range items {
-		items[i] = i
-	}
+func TestForEachPreservesIndexing(t *testing.T) {
+	const n = 1000
 	for _, workers := range []int{1, 2, 7, 64} {
-		got, err := Map(workers, items, func(i, v int) (string, error) {
-			return fmt.Sprintf("%d:%d", i, v*v), nil
+		got := make([]string, n)
+		err := ForEach(workers, n, func(i int) error {
+			got[i] = fmt.Sprintf("%d:%d", i, i*i)
+			return nil
 		})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
-		for i, v := range items {
-			want := fmt.Sprintf("%d:%d", i, v*v)
+		for i := range got {
+			want := fmt.Sprintf("%d:%d", i, i*i)
 			if got[i] != want {
 				t.Fatalf("workers=%d: out[%d] = %q, want %q", workers, i, got[i], want)
 			}
@@ -31,16 +30,21 @@ func TestMapPreservesSubmissionOrder(t *testing.T) {
 }
 
 func TestParallelMatchesSerial(t *testing.T) {
-	items := make([]int, 257)
-	for i := range items {
-		items[i] = 3*i + 1
+	const n = 257
+	run := func(workers int) ([]int, error) {
+		out := make([]int, n)
+		err := ForEach(workers, n, func(i int) error {
+			v := 3*i + 1
+			out[i] = v*v - i
+			return nil
+		})
+		return out, err
 	}
-	fn := func(i, v int) (int, error) { return v*v - i, nil }
-	serial, err := Map(1, items, fn)
+	serial, err := run(1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Map(16, items, fn)
+	par, err := run(16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,10 +110,6 @@ func TestWorkersClamp(t *testing.T) {
 }
 
 func TestEmptyInput(t *testing.T) {
-	out, err := Map(8, nil, func(i, v int) (int, error) { return v, nil })
-	if err != nil || len(out) != 0 {
-		t.Fatalf("empty map: %v %v", out, err)
-	}
 	if err := ForEach(8, 0, func(i int) error { return errors.New("never") }); err != nil {
 		t.Fatal(err)
 	}
