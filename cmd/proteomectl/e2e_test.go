@@ -1,0 +1,182 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	osexec "os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/flow"
+)
+
+// binPath is the proteomectl binary TestMain builds once for the
+// subprocess end-to-end tests; buildErr records a failed build without
+// blocking the in-process unit tests.
+var (
+	binPath  string
+	buildErr error
+)
+
+func TestMain(m *testing.M) {
+	os.Exit(testMain(m))
+}
+
+func testMain(m *testing.M) int {
+	flag.Parse()
+	if testing.Short() {
+		// Every binPath consumer skips under -short; don't pay the build.
+		return m.Run()
+	}
+	dir, err := os.MkdirTemp("", "proteomectl-e2e")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "e2e: tempdir:", err)
+		return 1
+	}
+	defer os.RemoveAll(dir)
+	binPath = filepath.Join(dir, "proteomectl")
+	// Build the subprocess binary with the race detector whenever the
+	// harness has it, so the scheduler/worker/submit processes — where all
+	// the interesting concurrency runs — are race-checked too.
+	buildArgs := []string{"build"}
+	if raceEnabled {
+		buildArgs = append(buildArgs, "-race")
+	}
+	buildArgs = append(buildArgs, "-o", binPath, ".")
+	cmd := osexec.Command("go", buildArgs...)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		buildErr = fmt.Errorf("building proteomectl: %v\n%s", err, out)
+	}
+	return m.Run()
+}
+
+// e2eCluster spawns a real scheduler process and n worker processes
+// connected through a scheduler file, returning the file path. All
+// processes are killed at test cleanup.
+func e2eCluster(t *testing.T, n int) string {
+	t.Helper()
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	dir := t.TempDir()
+	schedFile := filepath.Join(dir, "sched.json")
+
+	spawn := func(name string, args ...string) {
+		t.Helper()
+		cmd := osexec.Command(binPath, args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting %s: %v", name, err)
+		}
+		t.Cleanup(func() {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		})
+	}
+
+	spawn("scheduler", "sched", "-listen", "127.0.0.1:0", "-scheduler-file", schedFile)
+
+	// The scheduler file appears once the scheduler is listening.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		data, err := os.ReadFile(schedFile)
+		if err == nil {
+			if _, err := flow.ParseSchedulerFile(data); err == nil {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("scheduler file %s not written in time", schedFile)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	for i := 0; i < n; i++ {
+		spawn("worker", "worker", "-scheduler-file", schedFile, "-id", fmt.Sprintf("e2e-w%d", i))
+	}
+	return schedFile
+}
+
+// run invokes the built proteomectl binary and returns its stdout.
+func runBin(t *testing.T, args ...string) []byte {
+	t.Helper()
+	cmd := osexec.Command(binPath, args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("proteomectl %v: %v", args, err)
+	}
+	return out
+}
+
+// TestCampaignMultiProcess is the deployment acceptance test: a campaign
+// run across separate scheduler and worker OS processes — every stage
+// shipped to the workers as named-job specs, nothing computed in the
+// client but the dataflow simulation — must produce a report
+// byte-identical to the in-process pool executor and to the loopback flow
+// executor.
+func TestCampaignMultiProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	schedFile := e2eCluster(t, 3)
+
+	campaign := []string{"-species", "DVU", "-preset", "genome", "-limit", "220", "-seed", "20220125"}
+
+	remote := runBin(t, append([]string{"submit", "-scheduler-file", schedFile}, campaign...)...)
+	pool := runBin(t, append([]string{"run", "-executor", "pool"}, campaign...)...)
+	loopback := runBin(t, append([]string{"run", "-executor", "flow"}, campaign...)...)
+
+	if len(remote) == 0 {
+		t.Fatal("multi-process campaign produced no report")
+	}
+	if string(remote) != string(pool) {
+		t.Errorf("multi-process report differs from pool executor:\n--- multi-process ---\n%s--- pool ---\n%s", remote, pool)
+	}
+	if string(remote) != string(loopback) {
+		t.Errorf("multi-process report differs from loopback flow executor:\n--- multi-process ---\n%s--- loopback ---\n%s", remote, loopback)
+	}
+}
+
+// TestSubmitSurvivesWorkerChurn kills one worker mid-campaign: the
+// scheduler requeues its in-flight task and the remaining workers finish
+// the batch with the identical report — the fault-tolerance half of the
+// deployment contract.
+func TestSubmitSurvivesWorkerChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	schedFile := e2eCluster(t, 2)
+
+	// An extra worker that dies shortly after the campaign starts.
+	churn := osexec.Command(binPath, "worker", "-scheduler-file", schedFile, "-id", "e2e-churn")
+	churn.Stdout = os.Stderr
+	churn.Stderr = os.Stderr
+	if err := churn.Start(); err != nil {
+		t.Fatalf("starting churn worker: %v", err)
+	}
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		_ = churn.Process.Kill()
+	}()
+	t.Cleanup(func() {
+		_ = churn.Process.Kill()
+		_, _ = churn.Process.Wait()
+	})
+
+	campaign := []string{"-species", "DVU", "-preset", "reduced_dbs", "-limit", "150", "-seed", "7"}
+	remote := runBin(t, append([]string{"submit", "-scheduler-file", schedFile}, campaign...)...)
+	pool := runBin(t, append([]string{"run", "-executor", "pool"}, campaign...)...)
+	if string(remote) != string(pool) {
+		t.Errorf("report after worker churn differs from pool executor:\n--- multi-process ---\n%s--- pool ---\n%s", remote, pool)
+	}
+}

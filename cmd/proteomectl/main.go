@@ -1,6 +1,9 @@
 // Command proteomectl drives the pipeline interactively: generate synthetic
 // proteomes, run the three workflow stages against the cluster simulator,
-// predict and export individual structures, and print campaign reports.
+// predict and export individual structures, print campaign reports — and
+// deploy the flow dataflow engine across real processes and hosts, with a
+// standalone scheduler, remote workers, and a submitting client, mirroring
+// the paper's Summit deployment (Section 3.3).
 //
 // Usage:
 //
@@ -8,16 +11,27 @@
 //	proteomectl run -species DVU -preset genome -nodes 32
 //	proteomectl predict -species DVU -id DVU_00001 -out model.pdb
 //	proteomectl species
+//
+// Multi-process deployment (one command per terminal or host):
+//
+//	proteomectl sched -listen :8786 -scheduler-file sched.json
+//	proteomectl worker -scheduler-file sched.json
+//	proteomectl submit -scheduler-file sched.json -species DVU
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/experiments"
+	"repro/internal/flow"
 	"repro/internal/fold"
 	"repro/internal/pdb"
 	"repro/internal/proteome"
@@ -33,21 +47,53 @@ func main() {
 	var err error
 	switch os.Args[1] {
 	case "species":
-		err = speciesCmd()
+		err = speciesCmd(os.Stdout)
 	case "generate":
-		err = generateCmd(os.Args[2:])
+		err = generateCmd(os.Args[2:], os.Stdout)
 	case "run":
-		err = runCmd(os.Args[2:])
+		err = runCmd(os.Args[2:], os.Stdout)
 	case "predict":
 		err = predictCmd(os.Args[2:])
+	case "sched":
+		err = schedCmd(os.Args[2:], os.Stdout)
+	case "worker":
+		err = workerCmd(os.Args[2:], os.Stdout)
+	case "submit":
+		err = submitCmd(os.Args[2:], os.Stdout)
 	default:
 		usage()
 		os.Exit(2)
 	}
 	if err != nil {
+		// -h/-help already printed the flag defaults; it is not a failure.
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		// The FlagSet already reported parse errors with usage; exit 2 as
+		// flag.ExitOnError would, without printing the message twice.
+		if errors.Is(err, errFlagParse) {
+			os.Exit(2)
+		}
 		fmt.Fprintf(os.Stderr, "proteomectl: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// errFlagParse wraps FlagSet.Parse failures, which the FlagSet has
+// already printed together with the command's usage.
+var errFlagParse = errors.New("invalid command-line flags")
+
+// parseFlags normalizes FlagSet.Parse errors: help requests pass through
+// for a clean exit 0, anything else becomes errFlagParse (exit 2, no
+// duplicate message).
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return errFlagParse
+	}
+	return nil
 }
 
 func usage() {
@@ -55,10 +101,16 @@ func usage() {
 commands:
   species                       list the paper's four species
   generate -species C -out F    write a synthetic proteome as FASTA
-  run -species C [-preset P] [-nodes N] [-seed S] [-executor pool|flow]
-                                run the three-stage pipeline on the simulator
+  run -species C [-preset P] [-nodes N] [-seed S] [-limit K]
+      [-executor pool|flow]     run the three-stage pipeline on the simulator
   predict -species C -id ID [-out F] [-seed S]
-                                predict + relax one protein, write PDB`)
+                                predict + relax one protein, write PDB
+  sched -listen A [-scheduler-file F]
+                                start a standalone dataflow scheduler
+  worker (-connect A | -scheduler-file F) [-id ID]
+                                start a worker serving the campaign kernels
+  submit (-connect A | -scheduler-file F) -species C [-preset P] [-nodes N]
+      [-seed S] [-limit K]      run the campaign on the remote cluster`)
 }
 
 func findSpecies(code string) (proteome.Species, error) {
@@ -70,20 +122,29 @@ func findSpecies(code string) (proteome.Species, error) {
 	return proteome.Species{}, fmt.Errorf("unknown species %q (try: PMER, RRU, DVU, SPDIV)", code)
 }
 
-func speciesCmd() error {
-	fmt.Printf("%-6s %-40s %-11s %9s\n", "CODE", "NAME", "KINGDOM", "PROTEINS")
+func findPreset(name string) (fold.Preset, error) {
+	for _, p := range fold.AllPresets() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return fold.Preset{}, fmt.Errorf("unknown preset %q", name)
+}
+
+func speciesCmd(w io.Writer) error {
+	fmt.Fprintf(w, "%-6s %-40s %-11s %9s\n", "CODE", "NAME", "KINGDOM", "PROTEINS")
 	for _, sp := range proteome.PaperSpecies() {
-		fmt.Printf("%-6s %-40s %-11s %9d\n", sp.Code, sp.Name, sp.Kingdom, sp.NumProteins)
+		fmt.Fprintf(w, "%-6s %-40s %-11s %9d\n", sp.Code, sp.Name, sp.Kingdom, sp.NumProteins)
 	}
 	return nil
 }
 
-func generateCmd(args []string) error {
-	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+func generateCmd(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
 	code := fs.String("species", "DVU", "species code")
 	out := fs.String("out", "", "output FASTA path (default stdout)")
 	seedv := fs.Uint64("seed", experiments.DefaultSeed, "campaign seed")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	sp, err := findSpecies(*code)
@@ -92,7 +153,7 @@ func generateCmd(args []string) error {
 	}
 	env := experiments.NewEnv(*seedv)
 	p := env.Proteome(sp)
-	w := os.Stdout
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -104,82 +165,247 @@ func generateCmd(args []string) error {
 	return seq.WriteFASTA(w, p.Sequences())
 }
 
-func runCmd(args []string) error {
-	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	code := fs.String("species", "DVU", "species code")
-	presetName := fs.String("preset", "genome", "inference preset (reduced_dbs, genome, super, casp14)")
-	nodes := fs.Int("nodes", 32, "Summit nodes for inference")
-	seedv := fs.Uint64("seed", experiments.DefaultSeed, "campaign seed")
-	par := fs.Int("parallelism", 0, "host worker-pool size (0 = GOMAXPROCS, 1 = serial); results are identical at any value")
+// campaignFlags is the flag block shared by `run` and `submit`: the same
+// campaign must be expressible on the simulator and on a remote cluster so
+// the two reports can be compared byte for byte.
+type campaignFlags struct {
+	species string
+	preset  string
+	nodes   int
+	seed    uint64
+	limit   int
+	par     int
+}
+
+func (c *campaignFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&c.species, "species", "DVU", "species code")
+	fs.StringVar(&c.preset, "preset", "genome", "inference preset (reduced_dbs, genome, super, casp14)")
+	fs.IntVar(&c.nodes, "nodes", 32, "Summit nodes for inference")
+	fs.Uint64Var(&c.seed, "seed", experiments.DefaultSeed, "campaign seed")
+	fs.IntVar(&c.limit, "limit", 0, "run only the first K proteins (0 = all); smoke-test and e2e knob")
+	// -parallelism is registered by `run` only: `submit` computes on the
+	// remote workers, so a host pool-size knob would be inert there.
+}
+
+// campaignRun is the resolved world a `run` or `submit` operates on.
+type campaignRun struct {
+	env      *experiments.Env
+	sp       proteome.Species
+	proteins []proteome.Protein
+	cfg      core.Config
+	// limited records that -limit truncated the protein set, so the
+	// report header can say so instead of blaming the length exclusion.
+	limited bool
+}
+
+// campaign resolves the flag block into the world the run operates on.
+func (c *campaignFlags) campaign() (*campaignRun, error) {
+	sp, err := findSpecies(c.species)
+	if err != nil {
+		return nil, err
+	}
+	preset, err := findPreset(c.preset)
+	if err != nil {
+		return nil, err
+	}
+	env := experiments.NewEnv(c.seed)
+	env.Parallelism = c.par
+	proteins := env.Proteome(sp).FilterMaxLen(2500)
+	limited := c.limit > 0 && c.limit < len(proteins)
+	if limited {
+		proteins = proteins[:c.limit]
+	}
+	cfg := core.DefaultConfig()
+	cfg.Preset = preset
+	cfg.SummitNodes = c.nodes
+	cfg.AndesNodes = 96
+	cfg.Parallelism = c.par
+	return &campaignRun{env: env, sp: sp, proteins: proteins, cfg: cfg, limited: limited}, nil
+}
+
+// printReport renders a campaign report. `run` and `submit` share it so a
+// remote multi-process run is byte-comparable to a local one.
+func printReport(w io.Writer, cr *campaignRun, rep *core.CampaignReport) {
+	sp, cfg, preset := cr.sp, cr.cfg, cr.cfg.Preset
+	if cr.limited {
+		fmt.Fprintf(w, "%s: first %d proteins (of %d; -limit applied, ≥2500 AA excluded)\n", sp.Name, len(cr.proteins), sp.NumProteins)
+	} else {
+		fmt.Fprintf(w, "%s: %d proteins (of %d; ≥2500 AA excluded)\n", sp.Name, len(cr.proteins), sp.NumProteins)
+	}
+	fmt.Fprintf(w, "feature generation  %8.1f node-hours, wall %6.1f h on %d Andes workers\n",
+		rep.Feature.NodeHours, rep.Feature.WalltimeSec/3600, cfg.AndesNodes)
+	fmt.Fprintf(w, "inference (%s)  %8.1f node-hours, wall %6.1f h on %d Summit nodes (%d completed, %d OOM-dropped)\n",
+		preset.Name, rep.Inference.NodeHours, rep.Inference.WalltimeSec/3600, cfg.SummitNodes,
+		rep.Inference.Completed, rep.Inference.OOMDropped)
+	fmt.Fprintf(w, "relaxation          %8.1f node-hours, wall %6.1f min on %d nodes\n",
+		rep.Relax.NodeHours, rep.Relax.WalltimeSec/60, cfg.RelaxNodes)
+	for _, m := range rep.Ledger.Machines() {
+		fmt.Fprintf(w, "ledger[%s] = %.1f node-hours\n", m, rep.Ledger.Total(m))
+	}
+}
+
+func runCmd(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	var cf campaignFlags
+	cf.register(fs)
+	fs.IntVar(&cf.par, "parallelism", 0, "host worker-pool size (0 = GOMAXPROCS, 1 = serial); results are identical at any value")
 	executor := fs.String("executor", "pool", "execution back end: pool (in-process) or flow (dataflow scheduler over loopback TCP); results are identical either way")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
-	sp, err := findSpecies(*code)
+	cr, err := cf.campaign()
 	if err != nil {
 		return err
 	}
-	var preset fold.Preset
-	found := false
-	for _, p := range fold.AllPresets() {
-		if p.Name == *presetName {
-			preset = p
-			found = true
-		}
-	}
-	if !found {
-		return fmt.Errorf("unknown preset %q", *presetName)
-	}
-
-	env := experiments.NewEnv(*seedv)
-	env.Parallelism = *par
-	p := env.Proteome(sp)
-	proteins := p.FilterMaxLen(2500)
-	cfg := core.DefaultConfig()
-	cfg.Preset = preset
-	cfg.SummitNodes = *nodes
-	cfg.AndesNodes = 96
-	cfg.Parallelism = *par
 	switch *executor {
 	case "pool", "":
 		// default: in-process pool bounded at -parallelism
 	case "flow":
-		fl, err := exec.NewFlow(*par)
+		fl, err := exec.NewFlow(cf.par)
 		if err != nil {
 			return err
 		}
 		defer fl.Close()
-		env.Executor = fl
-		cfg.Executor = fl
+		cr.env.Executor = fl
+		cr.cfg.Executor = fl
 	default:
 		return fmt.Errorf("unknown -executor %q (want pool or flow)", *executor)
 	}
 
-	rep, err := core.RunCampaign(env.Engine, env.FeatureGen(), proteins, env.FS, core.ReducedDatabase(), cfg)
+	rep, err := core.RunCampaign(cr.env.Engine, cr.env.FeatureGen(), cr.proteins, cr.env.FS, core.ReducedDatabase(), cr.cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s: %d proteins (of %d; ≥2500 AA excluded)\n", sp.Name, len(proteins), sp.NumProteins)
-	fmt.Printf("feature generation  %8.1f node-hours, wall %6.1f h on %d Andes workers\n",
-		rep.Feature.NodeHours, rep.Feature.WalltimeSec/3600, cfg.AndesNodes)
-	fmt.Printf("inference (%s)  %8.1f node-hours, wall %6.1f h on %d Summit nodes (%d completed, %d OOM-dropped)\n",
-		preset.Name, rep.Inference.NodeHours, rep.Inference.WalltimeSec/3600, *nodes,
-		rep.Inference.Completed, rep.Inference.OOMDropped)
-	fmt.Printf("relaxation          %8.1f node-hours, wall %6.1f min on %d nodes\n",
-		rep.Relax.NodeHours, rep.Relax.WalltimeSec/60, cfg.RelaxNodes)
-	for _, m := range rep.Ledger.Machines() {
-		fmt.Printf("ledger[%s] = %.1f node-hours\n", m, rep.Ledger.Total(m))
+	printReport(stdout, cr, rep)
+	return nil
+}
+
+// schedCmd runs a standalone dataflow scheduler until interrupted —
+// terminal 1 of the three-terminal deployment. The scheduler file it
+// writes is how workers and clients find it, as in the paper's Summit
+// deployment (Dask's scheduler-file mechanism).
+func schedCmd(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sched", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:8786", "address to listen on (host:port; port 0 picks one)")
+	schedFile := fs.String("scheduler-file", "", "write a JSON scheduler file advertising the bound address")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	s := flow.NewScheduler()
+	addr, err := s.Start(*listen)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	if *schedFile != "" {
+		if err := s.WriteSchedulerFile(*schedFile); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stdout, "flow scheduler listening on %s\n", addr)
+	waitForSignal()
+	return nil
+}
+
+// workerCmd runs one dataflow worker serving the registered campaign
+// kernels — terminal 2 (started once per GPU in the paper, up to 6,000
+// times). It exits when interrupted or when the scheduler goes away.
+func workerCmd(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("worker", flag.ContinueOnError)
+	connect := fs.String("connect", "", "scheduler address (host:port)")
+	schedFile := fs.String("scheduler-file", "", "scheduler file to read the address from")
+	id := fs.String("id", fmt.Sprintf("worker-%d", os.Getpid()), "worker identity")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if (*connect == "") == (*schedFile == "") {
+		return fmt.Errorf("worker needs exactly one of -connect or -scheduler-file")
+	}
+	experiments.RegisterCampaignKernels()
+	w := flow.NewWorker(*id, flow.SpecHandler())
+	var err error
+	if *connect != "" {
+		err = w.Connect(*connect)
+	} else {
+		err = w.ConnectFile(*schedFile)
+	}
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	fmt.Fprintf(stdout, "worker %s serving kernels %v\n", *id, flow.DefaultRegistry().Names())
+
+	// Exit on a signal or when the scheduler connection drops.
+	done := make(chan struct{})
+	go func() {
+		w.Wait()
+		close(done)
+	}()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-done:
+	case <-sig:
 	}
 	return nil
 }
 
+// submitCmd runs the campaign against a remote cluster — terminal 3, the
+// driving script. Every stage ships named-job specs to the workers; the
+// printed report is byte-identical to `run -executor=pool`.
+func submitCmd(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+	var cf campaignFlags
+	cf.register(fs)
+	connect := fs.String("connect", "", "scheduler address (host:port)")
+	schedFile := fs.String("scheduler-file", "", "scheduler file to read the address from")
+	resultTimeout := fs.Duration("result-timeout", flow.DefaultResultTimeout,
+		"fail when no result arrives for this long (0 disables); raise it when individual tasks run long")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if (*connect == "") == (*schedFile == "") {
+		return fmt.Errorf("submit needs exactly one of -connect or -scheduler-file")
+	}
+	cr, err := cf.campaign()
+	if err != nil {
+		return err
+	}
+	var fl *exec.Flow
+	if *connect != "" {
+		fl, err = exec.ConnectFlow(*connect)
+	} else {
+		fl, err = exec.ConnectFlowFile(*schedFile)
+	}
+	if err != nil {
+		return err
+	}
+	defer fl.Close()
+	fl.SetResultTimeout(*resultTimeout)
+	cr.cfg.Executor = fl
+	cr.cfg.Remote = &core.RemoteCampaign{Seed: cf.seed, Species: cr.sp.Code}
+
+	rep, err := core.RunCampaign(cr.env.Engine, cr.env.FeatureGen(), cr.proteins, cr.env.FS, core.ReducedDatabase(), cr.cfg)
+	if err != nil {
+		return err
+	}
+	printReport(stdout, cr, rep)
+	return nil
+}
+
+func waitForSignal() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+}
+
 func predictCmd(args []string) error {
-	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	fs := flag.NewFlagSet("predict", flag.ContinueOnError)
 	code := fs.String("species", "DVU", "species code")
 	id := fs.String("id", "", "protein ID (e.g. DVU_00001)")
 	out := fs.String("out", "", "output PDB path (default stdout)")
 	seedv := fs.Uint64("seed", experiments.DefaultSeed, "campaign seed")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *id == "" {

@@ -1,0 +1,221 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func TestFindSpecies(t *testing.T) {
+	tests := []struct {
+		code    string
+		wantErr bool
+		name    string
+	}{
+		{code: "DVU", name: "Desulfovibrio vulgaris Hildenborough"},
+		{code: "PMER", name: "Pseudodesulfovibrio mercurii"},
+		{code: "RRU", name: "Rhodospirillum rubrum"},
+		{code: "SPDIV", name: "Sphagnum divinum"},
+		{code: "dvu", wantErr: true},
+		{code: "", wantErr: true},
+		{code: "ECOLI", wantErr: true},
+	}
+	for _, tt := range tests {
+		sp, err := findSpecies(tt.code)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("findSpecies(%q) error = %v, wantErr %v", tt.code, err, tt.wantErr)
+			continue
+		}
+		if err == nil && sp.Name != tt.name {
+			t.Errorf("findSpecies(%q) = %q, want %q", tt.code, sp.Name, tt.name)
+		}
+	}
+}
+
+func TestFindPreset(t *testing.T) {
+	for _, name := range []string{"reduced_dbs", "genome", "super", "casp14"} {
+		p, err := findPreset(name)
+		if err != nil {
+			t.Errorf("findPreset(%q): %v", name, err)
+		} else if p.Name != name {
+			t.Errorf("findPreset(%q).Name = %q", name, p.Name)
+		}
+	}
+	if _, err := findPreset("turbo"); err == nil {
+		t.Error("findPreset(turbo) succeeded, want error")
+	}
+}
+
+func TestSpeciesCmd(t *testing.T) {
+	var buf bytes.Buffer
+	if err := speciesCmd(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, code := range []string{"PMER", "RRU", "DVU", "SPDIV"} {
+		if !strings.Contains(out, code) {
+			t.Errorf("species listing missing %q:\n%s", code, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 5 { // header + 4 species
+		t.Errorf("species listing has %d lines, want 5", lines)
+	}
+}
+
+func TestCampaignFlags(t *testing.T) {
+	tests := []struct {
+		name     string
+		args     []string
+		wantErr  bool
+		species  string
+		proteins int // expected protein count (0 = don't check)
+	}{
+		{name: "defaults", args: nil, species: "DVU"},
+		{name: "limit", args: []string{"-species", "DVU", "-limit", "7"}, species: "DVU", proteins: 7},
+		{name: "limit beyond size is a no-op", args: []string{"-species", "DVU", "-limit", "9999999"}, species: "DVU"},
+		{name: "bad species", args: []string{"-species", "NOPE"}, wantErr: true},
+		{name: "bad preset", args: []string{"-preset", "warp"}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			fs := flag.NewFlagSet("test", flag.ContinueOnError)
+			var cf campaignFlags
+			cf.register(fs)
+			if err := fs.Parse(tt.args); err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			cr, err := cf.campaign()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("campaign() error = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err != nil {
+				return
+			}
+			if cr.sp.Code != tt.species {
+				t.Errorf("species = %q, want %q", cr.sp.Code, tt.species)
+			}
+			if tt.proteins > 0 && len(cr.proteins) != tt.proteins {
+				t.Errorf("got %d proteins, want %d", len(cr.proteins), tt.proteins)
+			}
+			if tt.proteins > 0 && !cr.limited {
+				t.Error("limited = false after -limit truncation")
+			}
+			if cr.cfg.AndesNodes != 96 {
+				t.Errorf("AndesNodes = %d, want 96", cr.cfg.AndesNodes)
+			}
+		})
+	}
+}
+
+func TestCampaignFlagParseErrors(t *testing.T) {
+	// ContinueOnError makes bad flag values return errors instead of
+	// exiting, so the commands surface them as normal failures.
+	tests := [][]string{
+		{"-limit", "many"},
+		{"-seed", "-3"},
+		{"-nodes", "x"},
+		{"-bogus"},
+	}
+	for _, args := range tests {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		fs.SetOutput(&bytes.Buffer{})
+		var cf campaignFlags
+		cf.register(fs)
+		if err := fs.Parse(args); err == nil {
+			t.Errorf("Parse(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestHelpFlagIsNotAnError(t *testing.T) {
+	// fs.Parse surfaces -h as flag.ErrHelp; main exits 0 on it, so the
+	// command funcs must pass it through unwrapped.
+	var buf bytes.Buffer
+	for name, cmd := range map[string]func() error{
+		"generate": func() error { return generateCmd([]string{"-h"}, &buf) },
+		"run":      func() error { return runCmd([]string{"-h"}, &buf) },
+		"submit":   func() error { return submitCmd([]string{"-h"}, &buf) },
+		"worker":   func() error { return workerCmd([]string{"-h"}, &buf) },
+		"sched":    func() error { return schedCmd([]string{"-h"}, &buf) },
+	} {
+		if err := cmd(); !errors.Is(err, flag.ErrHelp) {
+			t.Errorf("%s -h returned %v, want flag.ErrHelp", name, err)
+		}
+	}
+}
+
+func TestGenerateCmd(t *testing.T) {
+	var buf bytes.Buffer
+	if err := generateCmd([]string{"-species", "DVU"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := seq.ReadFASTA(&buf)
+	if err != nil {
+		t.Fatalf("generate output is not valid FASTA: %v", err)
+	}
+	if len(seqs) != 3205 {
+		t.Errorf("generated %d sequences, want 3205", len(seqs))
+	}
+	if !strings.HasPrefix(seqs[0].ID, "DVU_") {
+		t.Errorf("first ID %q does not carry the DVU locus prefix", seqs[0].ID)
+	}
+}
+
+func TestGenerateCmdToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.fasta")
+	var buf bytes.Buffer
+	if err := generateCmd([]string{"-species", "PMER", "-out", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("generate -out wrote %d bytes to stdout", buf.Len())
+	}
+	seqs, err := readFASTAFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 3446 {
+		t.Errorf("generated %d sequences, want 3446", len(seqs))
+	}
+}
+
+func TestGenerateCmdErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := generateCmd([]string{"-species", "NOPE"}, &buf); err == nil {
+		t.Error("generate with unknown species succeeded")
+	}
+	if err := generateCmd([]string{"-seed", "abc"}, &buf); err == nil {
+		t.Error("generate with bad seed succeeded")
+	}
+}
+
+func TestWorkerSubmitFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	// Exactly one of -connect / -scheduler-file is required.
+	if err := workerCmd(nil, &buf); err == nil {
+		t.Error("worker with no address succeeded")
+	}
+	if err := workerCmd([]string{"-connect", "a", "-scheduler-file", "b"}, &buf); err == nil {
+		t.Error("worker with both addresses succeeded")
+	}
+	if err := submitCmd(nil, &buf); err == nil {
+		t.Error("submit with no address succeeded")
+	}
+	if err := submitCmd([]string{"-connect", "a", "-scheduler-file", "b"}, &buf); err == nil {
+		t.Error("submit with both addresses succeeded")
+	}
+}
+
+func readFASTAFile(path string) ([]seq.Sequence, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return seq.ReadFASTA(bytes.NewReader(data))
+}

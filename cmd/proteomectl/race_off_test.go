@@ -1,0 +1,9 @@
+//go:build !race
+
+package main
+
+// raceEnabled reports whether the test harness was built with the race
+// detector; the e2e suite then builds the subprocess binary with -race
+// too, so the scheduler/worker/submit processes are race-checked, not
+// just the harness.
+const raceEnabled = false

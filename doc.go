@@ -19,25 +19,47 @@
 // collected by submission index, never by completion order, and the
 // lowest-index error surfaces exactly as the serial loop would.
 //
-// Two executors implement the contract. The pool executor wraps the
+// Three executors implement the contract. The pool executor wraps the
 // bounded in-process worker pool of internal/parallel. The flow executor
 // serializes every batch through the dataflow engine of internal/flow —
 // the same scheduler/worker/client protocol the paper deploys Dask in —
 // over loopback TCP, one flow task per work item, pulled by workers in
-// dataflow fashion. Because nothing observable depends on completion
-// order, the two back ends are interchangeable: every table and figure is
-// byte-identical across executors and worker counts (enforced by
-// TestTable1CrossExecutor and TestCampaignCrossExecutor, extending
+// dataflow fashion. The remote flow executor (exec.ConnectFlow) is a
+// client dialed into a standalone scheduler whose workers run in other OS
+// processes, possibly on other hosts: closures cannot cross process
+// boundaries, so the three workflow stages ship serializable named-job
+// specs (flow.JobSpec — a registered kernel name plus JSON arguments) and
+// each worker rebuilds the deterministic campaign world from the spec's
+// (seed, species) identity (internal/experiments.RegisterCampaignKernels).
+// Because nothing observable depends on completion order or on where a
+// kernel ran, the back ends are interchangeable: every table and figure
+// is byte-identical across executors and worker counts (enforced by
+// TestTable1CrossExecutor, TestCampaignCrossExecutor, and — across real
+// scheduler/worker OS processes — TestCampaignMultiProcess, extending
 // TestTable1ParallelMatchesSerial). Select the back end with
 // afbench/proteomectl -executor=pool|flow (and the worker budget with
 // -parallelism, 0 = GOMAXPROCS), or programmatically via Env.Executor and
 // core.Config.Executor.
 //
+// The multi-process deployment itself is three proteomectl subcommands,
+// one per terminal or host — the paper's Summit recipe (Section 3.3):
+//
+//	proteomectl sched -listen :8786 -scheduler-file sched.json
+//	proteomectl worker -scheduler-file sched.json   # repeat per GPU
+//	proteomectl submit -scheduler-file sched.json -species DVU
+//
+// See examples/dask_cluster/README.md for the full recipe. Workers are
+// disposable: the scheduler requeues in-flight tasks when one disconnects
+// and the campaign completes with the identical report.
+//
 // CI enforces the perf + determinism contract: a bench-regression job
 // gates the kernel microbenchmarks against BENCH_BASELINE.json through
-// cmd/benchguard (allocs/op exactly, ns/op with generous tolerance), and
-// the execution-layer packages (internal/flow, internal/parallel,
-// internal/exec) carry a coverage floor.
+// cmd/benchguard (allocs/op exactly, ns/op with generous tolerance), the
+// execution-layer packages (internal/flow, internal/parallel,
+// internal/exec) carry an 80% coverage floor that includes the
+// remote-dispatch path, the multi-process e2e suite runs under -race, and
+// the wire-protocol and FASTA decoders are continuously fuzzed (short
+// budget per push; seed corpora under testdata/fuzz).
 //
 // Start with README.md, run experiments with cmd/afbench, and see
 // EXPERIMENTS.md for the paper-versus-measured record. The benchmarks in

@@ -55,6 +55,21 @@ type Config struct {
 	// Results are byte-identical across executors and worker counts; nil
 	// selects the pool bounded at Parallelism.
 	Executor exec.Executor
+	// Remote identifies the campaign world to remote workers when Executor
+	// dispatches registered job specs across process boundaries
+	// (exec.ConnectFlow). Required in that case — closures cannot cross
+	// processes, so the stages ship (Seed, Species)-keyed specs instead —
+	// and ignored for in-process executors.
+	Remote *RemoteCampaign
+}
+
+// remoteGuard rejects a spec-only executor without the campaign identity
+// the stage kernels need to rebuild the world remotely.
+func (c *Config) remoteGuard(x exec.Executor) error {
+	if exec.SpecsOnly(x) && c.Remote == nil {
+		return fmt.Errorf("core: executor %q dispatches remote specs; Config.Remote must identify the campaign (seed, species)", x.Name())
+	}
+	return nil
 }
 
 // DefaultConfig mirrors the Table 1 benchmark deployment.
@@ -104,38 +119,46 @@ func FeatureStage(proteins []proteome.Protein, gen FeatureGen, fs fsim.Filesyste
 	}
 	// The per-protein searches are independent, so they fan out over the
 	// configured executor; results are collected by submission index so the
-	// report is identical to the serial loop's.
-	type featOut struct {
-		f   *msa.Features
-		dur float64
+	// report is identical to the serial loop's. A spec-only executor ships
+	// each protein as a KernelFeature spec instead of the closure; the
+	// registered kernel recomputes the identical FeatureOut remotely.
+	x := exec.Resolve(cfg.Executor, cfg.Parallelism)
+	if err := cfg.remoteGuard(x); err != nil {
+		return nil, err
 	}
-	outs, err := exec.Map(exec.Resolve(cfg.Executor, cfg.Parallelism), proteins, func(_ int, p proteome.Protein) (featOut, error) {
-		f, err := gen.Features(p)
-		if err != nil {
-			return featOut{}, err
-		}
-		accel := cfg.SearchAccel
-		if accel < 1 {
-			accel = 1
-		}
-		base := FeatureCostAccel(f, accel)
-		dur, err := fs.SearchTime(db, base, cfg.Replicas.JobsPerCopy)
-		if err != nil {
-			return featOut{}, err
-		}
-		return featOut{f: f, dur: dur}, nil
-	})
+	outs, err := exec.MapSpec(x, KernelFeature, proteins,
+		func(_ int, p proteome.Protein) any {
+			return FeatureSpec{
+				Seed: cfg.Remote.Seed, Species: cfg.Remote.Species, ID: p.Seq.ID,
+				Accel: cfg.SearchAccel, JobsPerCopy: cfg.Replicas.JobsPerCopy,
+				FS: fs, DB: db,
+			}
+		},
+		func(_ int, p proteome.Protein) (FeatureOut, error) {
+			f, err := gen.Features(p)
+			if err != nil {
+				return FeatureOut{}, err
+			}
+			// FeatureCostAccel owns the accel < 1 clamp; the remote kernel
+			// relies on the same single owner, keeping both paths identical.
+			base := FeatureCostAccel(f, cfg.SearchAccel)
+			dur, err := fs.SearchTime(db, base, cfg.Replicas.JobsPerCopy)
+			if err != nil {
+				return FeatureOut{}, err
+			}
+			return FeatureOut{Features: f, Seconds: dur}, nil
+		})
 	if err != nil {
 		return nil, err
 	}
 	rep := &FeatureReport{Features: make(map[string]*msa.Features, len(proteins))}
 	tasks := make([]cluster.SimTask, 0, len(proteins))
 	for i, p := range proteins {
-		rep.Features[p.Seq.ID] = outs[i].f
+		rep.Features[p.Seq.ID] = outs[i].Features
 		tasks = append(tasks, cluster.SimTask{
 			ID:       p.Seq.ID,
 			Weight:   float64(p.Seq.Len()),
-			Duration: outs[i].dur,
+			Duration: outs[i].Seconds,
 		})
 	}
 	cluster.ApplyOrder(tasks, cfg.Order)
@@ -223,16 +246,29 @@ func InferenceStage(engine *fold.Engine, proteins []proteome.Protein, features m
 		}
 	}
 	x := exec.Resolve(cfg.Executor, cfg.Parallelism)
-	infOuts, err := exec.Map(x, allTasks, func(_ int, task fold.Task) (*fold.Prediction, error) {
-		pred, err := engine.Infer(task)
-		if err != nil {
-			if errors.Is(err, fold.ErrOutOfMemory) {
-				return nil, nil // nil prediction marks an OOM for the retry wave
+	if err := cfg.remoteGuard(x); err != nil {
+		return nil, err
+	}
+	inferSpec := func(memGB float64) func(int, fold.Task) any {
+		return func(_ int, task fold.Task) any {
+			return InferSpec{
+				Seed: cfg.Remote.Seed, Species: cfg.Remote.Species, ID: task.ID,
+				Model: task.Model, Preset: cfg.Preset, NodeMemGB: memGB,
 			}
-			return nil, err
 		}
-		return pred, nil
-	})
+	}
+	infOuts, err := exec.MapSpec(x, KernelInfer, allTasks,
+		inferSpec(standardNodeGPUMemGB),
+		func(_ int, task fold.Task) (*fold.Prediction, error) {
+			pred, err := engine.Infer(task)
+			if err != nil {
+				if errors.Is(err, fold.ErrOutOfMemory) {
+					return nil, nil // nil prediction marks an OOM for the retry wave
+				}
+				return nil, err
+			}
+			return pred, nil
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -269,17 +305,19 @@ func InferenceStage(engine *fold.Engine, proteins []proteome.Protein, features m
 
 	// High-memory retry wave for OOM tasks, fanned out the same way.
 	if len(oomTasks) > 0 && cfg.HighMemNodes > 0 {
-		hmOuts, err := exec.Map(x, oomTasks, func(_ int, t fold.Task) (*fold.Prediction, error) {
-			t.NodeMemGB = highMemNodeGPUMemGB
-			pred, err := engine.Infer(t)
-			if err != nil {
-				if errors.Is(err, fold.ErrOutOfMemory) {
-					return nil, nil // beyond even high-mem: dropped
+		hmOuts, err := exec.MapSpec(x, KernelInfer, oomTasks,
+			inferSpec(highMemNodeGPUMemGB),
+			func(_ int, t fold.Task) (*fold.Prediction, error) {
+				t.NodeMemGB = highMemNodeGPUMemGB
+				pred, err := engine.Infer(t)
+				if err != nil {
+					if errors.Is(err, fold.ErrOutOfMemory) {
+						return nil, nil // beyond even high-mem: dropped
+					}
+					return nil, err
 				}
-				return nil, err
-			}
-			return pred, nil
-		})
+				return pred, nil
+			})
 		if err != nil {
 			return nil, err
 		}
@@ -356,16 +394,37 @@ func RelaxStage(targets []TargetResult, cfg Config, platform relax.Platform) (*R
 	if cfg.RelaxNodes <= 0 {
 		return nil, fmt.Errorf("core: relax stage needs nodes")
 	}
-	tasks := make([]cluster.SimTask, 0, len(targets))
+	type relaxIn struct {
+		id     string
+		length int
+	}
+	ins := make([]relaxIn, 0, len(targets))
 	for _, t := range targets {
 		if t.Best == nil {
 			continue
 		}
-		heavy := int(7.8 * float64(t.Length))
+		ins = append(ins, relaxIn{id: t.ID, length: t.Length})
+	}
+	// The per-structure cost model fans out like the other stages so a
+	// remote deployment runs all three workflow stages on its workers; the
+	// RelaxSpec is self-contained (no campaign world needed).
+	x := exec.Resolve(cfg.Executor, cfg.Parallelism)
+	durs, err := exec.MapSpec(x, KernelRelax, ins,
+		func(_ int, it relaxIn) any {
+			return RelaxSpec{Length: it.length, Platform: int(platform)}
+		},
+		func(_ int, it relaxIn) (float64, error) {
+			return relax.ModelTime(platform, RelaxHeavyAtoms(it.length), 1), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	tasks := make([]cluster.SimTask, 0, len(ins))
+	for i, it := range ins {
 		tasks = append(tasks, cluster.SimTask{
-			ID:       t.ID,
-			Weight:   float64(heavy),
-			Duration: relax.ModelTime(platform, heavy, 1),
+			ID:       it.id,
+			Weight:   float64(RelaxHeavyAtoms(it.length)),
+			Duration: durs[i],
 		})
 	}
 	cluster.ApplyOrder(tasks, cfg.Order)

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"repro/internal/fold"
+	"repro/internal/fsim"
+	"repro/internal/msa"
+)
+
+// The three workflow stages register their remote bodies under these
+// kernel names (see internal/experiments.RegisterCampaignKernels). A
+// standalone worker process serves them through flow.SpecHandler; the
+// stages build the matching argument blocks below when the configured
+// executor dispatches specs instead of closures.
+const (
+	// KernelFeature derives one protein's folding features and its
+	// contended filesystem search time.
+	KernelFeature = "campaign/feature"
+	// KernelInfer runs one (target, model) inference task; an OOM outcome
+	// is encoded as a null prediction, exactly as the in-process closure
+	// reports it.
+	KernelInfer = "campaign/infer"
+	// KernelRelax computes one structure's modeled relaxation time.
+	KernelRelax = "campaign/relax"
+)
+
+// RemoteCampaign identifies the deterministic campaign world to remote
+// workers. Every generated artifact — proteome, features, engine
+// randomness — is a pure function of (Seed, Species), so a worker in
+// another process reconstructs the exact world from these two values and
+// the per-task fields of each spec; nothing else crosses the wire.
+type RemoteCampaign struct {
+	Seed    uint64 `json:"seed"`
+	Species string `json:"species"`
+}
+
+// FeatureSpec is the argument block of KernelFeature.
+type FeatureSpec struct {
+	Seed        uint64          `json:"seed"`
+	Species     string          `json:"species"`
+	ID          string          `json:"id"`
+	Accel       float64         `json:"accel,omitempty"`
+	JobsPerCopy int             `json:"jobs_per_copy"`
+	FS          fsim.Filesystem `json:"fs"`
+	DB          fsim.Database   `json:"db"`
+}
+
+// FeatureOut is the per-protein result of the feature stage: the derived
+// features plus the contended search walltime. It is the JSON unit a
+// remote feature kernel returns; the in-process closure produces the same
+// value directly.
+type FeatureOut struct {
+	Features *msa.Features `json:"features"`
+	Seconds  float64       `json:"seconds"`
+}
+
+// InferSpec is the argument block of KernelInfer. The preset travels as a
+// full value (not a name) so customized presets survive the trip.
+type InferSpec struct {
+	Seed      uint64      `json:"seed"`
+	Species   string      `json:"species"`
+	ID        string      `json:"id"`
+	Model     int         `json:"model"`
+	Preset    fold.Preset `json:"preset"`
+	NodeMemGB float64     `json:"node_mem_gb"`
+}
+
+// RelaxSpec is the argument block of KernelRelax. It is self-contained:
+// the relaxation cost model needs no campaign world.
+type RelaxSpec struct {
+	Length   int `json:"length"`
+	Platform int `json:"platform"`
+}
+
+// RelaxHeavyAtoms is the heavy-atom count of the relax cost model for a
+// chain length (~7.8 heavy atoms per residue), shared by the in-process
+// relax stage and its remote kernel.
+func RelaxHeavyAtoms(length int) int { return int(7.8 * float64(length)) }

@@ -23,6 +23,11 @@
 // internal/experiments enforce the contract end to end.
 package exec
 
+import (
+	"encoding/json"
+	"fmt"
+)
+
 // Executor runs n independent work items, identified by index, with the
 // package-level determinism contract. Implementations decide where the
 // work runs (in-process pool, flow workers); callers decide what runs.
@@ -53,6 +58,72 @@ func Map[T, R any](ex Executor, items []T, fn func(i int, item T) (R, error)) ([
 	})
 	if err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// SpecDispatcher is the optional Executor extension for multi-process
+// deployments: back ends whose workers live in other OS processes cannot
+// receive closures, so work is shipped as registered named-job specs
+// (flow.JobSpec) instead — a kernel name resolved against the worker's
+// registry plus JSON arguments.
+type SpecDispatcher interface {
+	Executor
+	// SpecsOnly reports whether this executor can only dispatch specs
+	// (true for a client connected to a standalone scheduler with remote
+	// workers). When false, closures still work and MapSpec falls back to
+	// the ordinary closure path.
+	SpecsOnly() bool
+	// DispatchSpecs runs the named kernel once per argument block and
+	// returns the result payloads in argument order. On failure the error
+	// of the lowest argument index is returned.
+	DispatchSpecs(kernel string, args []json.RawMessage) ([]json.RawMessage, error)
+}
+
+// SpecsOnly reports whether ex requires named-job specs (its workers are
+// in other processes and cannot run closures).
+func SpecsOnly(ex Executor) bool {
+	sd, ok := ex.(SpecDispatcher)
+	return ok && sd.SpecsOnly()
+}
+
+// MapSpec is Map for stages that can also run remotely: each item carries
+// both a closure (fn) and a serializable spec (the registered kernel plus
+// per-item args built by arg). Executors whose workers share this process
+// run fn exactly as Map does; spec-only executors marshal arg(i, item),
+// dispatch the named kernel to remote workers, and decode each result
+// payload into R. The registered kernel must be the same pure function of
+// its arguments as fn, so both paths produce identical values — the
+// cross-process determinism contract TestCampaignMultiProcess enforces
+// end to end.
+func MapSpec[T, R any](ex Executor, kernel string, items []T, arg func(i int, item T) any, fn func(i int, item T) (R, error)) ([]R, error) {
+	sd, ok := ex.(SpecDispatcher)
+	if !ok || !sd.SpecsOnly() {
+		return Map(ex, items, fn)
+	}
+	args := make([]json.RawMessage, len(items))
+	for i, item := range items {
+		raw, err := json.Marshal(arg(i, item))
+		if err != nil {
+			return nil, fmt.Errorf("exec: marshaling %s args [%d]: %w", kernel, i, err)
+		}
+		args[i] = raw
+	}
+	payloads, err := sd.DispatchSpecs(kernel, args)
+	if err != nil {
+		return nil, err
+	}
+	if len(payloads) != len(items) {
+		return nil, fmt.Errorf("exec: %s returned %d/%d results", kernel, len(payloads), len(items))
+	}
+	out := make([]R, len(items))
+	for i, raw := range payloads {
+		if len(raw) == 0 {
+			continue // kernel returned no payload: zero value
+		}
+		if err := json.Unmarshal(raw, &out[i]); err != nil {
+			return nil, fmt.Errorf("exec: decoding %s result [%d]: %w", kernel, i, err)
+		}
 	}
 	return out, nil
 }

@@ -1,12 +1,16 @@
 package exec
 
 import (
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/flow"
 )
@@ -26,6 +30,20 @@ type Flow struct {
 	sched   *flow.Scheduler
 	workers []*flow.Worker
 	client  *flow.Client
+
+	// remote marks a client-only executor connected to a standalone
+	// scheduler whose workers live in other OS processes. A remote
+	// executor cannot run closures — work reaches it only as registered
+	// named-job specs via DispatchSpecs.
+	remote bool
+
+	// specNonce makes this client's spec-task IDs globally unique on a
+	// shared scheduler: several submit clients may drive one standalone
+	// scheduler concurrently, and the scheduler tracks in-flight work by
+	// task ID, so bare batch indices from two clients would collide.
+	// specSeq distinguishes successive batches (guarded by mu).
+	specNonce string
+	specSeq   uint64
 
 	// mu serializes batches: the worker handler resolves tasks against the
 	// single current batch.
@@ -54,7 +72,7 @@ func NewFlow(workers int) (*Flow, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	f := &Flow{sched: flow.NewScheduler()}
+	f := &Flow{sched: flow.NewScheduler(), specNonce: specBatchNonce()}
 	addr, err := f.sched.Start("127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("exec: flow scheduler: %w", err)
@@ -83,15 +101,136 @@ func NewFlow(workers int) (*Flow, error) {
 	return f, nil
 }
 
+// ConnectFlow returns a remote flow executor: a client dialed into a
+// standalone scheduler (started with `proteomectl sched`) whose workers
+// run in other processes, possibly on other hosts. The returned executor
+// dispatches registered named-job specs only (see MapSpec); ForEach with a
+// closure fails, because closures cannot cross process boundaries. The
+// executor must be closed.
+func ConnectFlow(addr string) (*Flow, error) {
+	c, err := flow.ConnectClient(addr)
+	if err != nil {
+		return nil, fmt.Errorf("exec: flow connect: %w", err)
+	}
+	return &Flow{client: c, remote: true, specNonce: specBatchNonce()}, nil
+}
+
+// ConnectFlowFile is ConnectFlow via a scheduler file written by
+// Scheduler.WriteSchedulerFile.
+func ConnectFlowFile(path string) (*Flow, error) {
+	c, err := flow.ConnectClientFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("exec: flow connect: %w", err)
+	}
+	return &Flow{client: c, remote: true, specNonce: specBatchNonce()}, nil
+}
+
+// SetResultTimeout adjusts the client's per-result progress deadline: the
+// longest a spec batch waits between consecutive scheduler messages
+// before failing. Zero disables it. Remote deployments whose individual
+// kernels legitimately run long (heavy species, few workers,
+// race-instrumented binaries) raise or disable it; the default is
+// flow.DefaultResultTimeout.
+func (f *Flow) SetResultTimeout(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.client != nil {
+		f.client.ResultTimeout = d
+	}
+}
+
+// specBatchNonce returns the per-client random prefix of spec-task IDs.
+func specBatchNonce() string {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return strconv.FormatInt(time.Now().UnixNano(), 16)
+	}
+	return hex.EncodeToString(b[:])
+}
+
 // Name implements Executor.
-func (f *Flow) Name() string { return "flow" }
+func (f *Flow) Name() string {
+	if f.remote {
+		return "flow-remote"
+	}
+	return "flow"
+}
+
+// SpecsOnly implements SpecDispatcher: only the remote executor is
+// restricted to specs; the in-process cluster still runs closures.
+func (f *Flow) SpecsOnly() bool { return f.remote }
+
+// DispatchSpecs implements SpecDispatcher: one flow task per argument
+// block, each carrying a flow.JobSpec payload, submitted as a single batch
+// through the client. Workers resolve the kernel name against their local
+// registry (flow.Register). Results arrive in completion order and are
+// re-keyed by task index, so the caller observes argument order; task
+// failures reduce to the lowest-index error — the same contract as
+// ForEach.
+func (f *Flow) DispatchSpecs(kernel string, args []json.RawMessage) ([]json.RawMessage, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.client == nil {
+		return nil, fmt.Errorf("exec: flow executor is closed")
+	}
+	// Task IDs are namespaced per client and batch ("nonce.seq.index"):
+	// several submit clients may share one standalone scheduler, which
+	// tracks in-flight work by task ID, so bare indices would collide
+	// across clients and cross-deliver results.
+	f.specSeq++
+	prefix := f.specNonce + "." + strconv.FormatUint(f.specSeq, 10) + "."
+	tasks := make([]flow.Task, len(args))
+	for i, a := range args {
+		t, err := flow.NewSpecTask(prefix+strconv.Itoa(i), 0, kernel, a)
+		if err != nil {
+			return nil, fmt.Errorf("exec: encoding %s spec [%d]: %w", kernel, i, err)
+		}
+		tasks[i] = t
+	}
+	results, err := f.client.Map(tasks, nil)
+	if err != nil {
+		return nil, fmt.Errorf("exec: dispatching %s batch: %w", kernel, err)
+	}
+	out := make([]json.RawMessage, len(args))
+	errIdx, errMsg := -1, ""
+	for i := range results {
+		r := &results[i]
+		suffix, ok := strings.CutPrefix(r.TaskID, prefix)
+		if !ok {
+			return nil, fmt.Errorf("exec: stray result %q in %s batch", r.TaskID, kernel)
+		}
+		idx, err := strconv.Atoi(suffix)
+		if err != nil || idx < 0 || idx >= len(args) {
+			return nil, fmt.Errorf("exec: stray result %q in %s batch", r.TaskID, kernel)
+		}
+		if r.Failed() {
+			if errIdx == -1 || idx < errIdx {
+				errIdx, errMsg = idx, r.Err
+			}
+			continue
+		}
+		out[idx] = r.Payload
+	}
+	if errIdx >= 0 {
+		return nil, fmt.Errorf("exec: %s [%d]: %s", kernel, errIdx, errMsg)
+	}
+	return out, nil
+}
 
 // NumWorkers reports the size of the worker fleet (for flags and tests).
 func (f *Flow) NumWorkers() int { return len(f.workers) }
 
-// handle is the shared worker handler: it maps the task ID back to the
-// batch index and runs the batch closure on the worker's goroutine.
+// handle is the shared worker handler: spec-carrying tasks dispatch
+// against the process-wide kernel registry (so the in-process cluster can
+// also serve DispatchSpecs batches); plain tasks map the task ID back to
+// the batch index and run the batch closure on the worker's goroutine.
 func (f *Flow) handle(t flow.Task) (json.RawMessage, error) {
+	if len(t.Payload) > 0 {
+		return flow.RunSpec(t.Payload)
+	}
 	b := f.batch.Load()
 	i, err := strconv.Atoi(t.ID)
 	if b == nil || err != nil || i < 0 || i >= len(b.errs) {
@@ -127,6 +266,9 @@ func (f *Flow) handle(t flow.Task) (json.RawMessage, error) {
 func (f *Flow) ForEach(n int, fn func(i int) error) error {
 	if n == 0 {
 		return nil
+	}
+	if f.remote {
+		return fmt.Errorf("exec: remote flow executor cannot run closures across process boundaries; dispatch registered job specs instead (exec.MapSpec)")
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()

@@ -1,0 +1,267 @@
+package exec
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/flow"
+)
+
+// Test kernels registered once in the process-wide registry.
+var registerTestKernels sync.Once
+
+func testKernels(t *testing.T) {
+	t.Helper()
+	registerTestKernels.Do(func() {
+		// square decodes an int and returns its square.
+		err := flow.Register("exectest/square", func(args json.RawMessage) (json.RawMessage, error) {
+			var n int
+			if err := json.Unmarshal(args, &n); err != nil {
+				return nil, err
+			}
+			return json.Marshal(n * n)
+		})
+		if err != nil {
+			panic(err)
+		}
+		// failodd errors on odd inputs.
+		err = flow.Register("exectest/failodd", func(args json.RawMessage) (json.RawMessage, error) {
+			var n int
+			if err := json.Unmarshal(args, &n); err != nil {
+				return nil, err
+			}
+			if n%2 == 1 {
+				return nil, fmt.Errorf("odd input %d", n)
+			}
+			return json.Marshal(n)
+		})
+		if err != nil {
+			panic(err)
+		}
+	})
+}
+
+// remoteCluster builds the multi-process topology inside one test process:
+// a standalone scheduler, spec-serving workers (the handler a
+// `proteomectl worker` process uses), and a client-only remote executor.
+func remoteCluster(t *testing.T, workers int) *Flow {
+	t.Helper()
+	testKernels(t)
+	sched := flow.NewScheduler()
+	addr, err := sched.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sched.Close)
+	for i := 0; i < workers; i++ {
+		w := flow.NewWorker(fmt.Sprintf("spec-w%d", i), flow.SpecHandler())
+		if err := w.Connect(addr); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(w.Close)
+	}
+	f, err := ConnectFlow(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestRemoteFlowDispatchSpecs(t *testing.T) {
+	f := remoteCluster(t, 3)
+	if !SpecsOnly(f) {
+		t.Fatal("remote flow executor should be specs-only")
+	}
+	if f.Name() != "flow-remote" {
+		t.Fatalf("Name() = %q", f.Name())
+	}
+
+	items := make([]int, 50)
+	for i := range items {
+		items[i] = i
+	}
+	out, err := MapSpec(f, "exectest/square", items,
+		func(_ int, n int) any { return n },
+		func(_ int, n int) (int, error) { t.Fatal("closure must not run on a remote executor"); return 0, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range items {
+		if out[i] != n*n {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], n*n)
+		}
+	}
+}
+
+func TestRemoteFlowLowestIndexError(t *testing.T) {
+	f := remoteCluster(t, 4)
+	items := []int{0, 2, 5, 3, 8, 9}
+	_, err := MapSpec(f, "exectest/failodd", items,
+		func(_ int, n int) any { return n },
+		func(_ int, n int) (int, error) { return n, nil })
+	if err == nil {
+		t.Fatal("expected error from odd inputs")
+	}
+	// Lowest failing index is 2 (value 5), never index 3 or 5.
+	if !strings.Contains(err.Error(), "[2]") || !strings.Contains(err.Error(), "odd input 5") {
+		t.Fatalf("error %q does not surface the lowest-index failure", err)
+	}
+}
+
+func TestRemoteFlowUnknownKernel(t *testing.T) {
+	f := remoteCluster(t, 1)
+	_, err := f.DispatchSpecs("exectest/unregistered", []json.RawMessage{json.RawMessage(`1`)})
+	if err == nil || !strings.Contains(err.Error(), "unknown kernel") {
+		t.Fatalf("err = %v, want unknown kernel", err)
+	}
+}
+
+func TestRemoteFlowRejectsClosures(t *testing.T) {
+	f := remoteCluster(t, 1)
+	err := f.ForEach(3, func(i int) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "closures") {
+		t.Fatalf("ForEach on remote executor: err = %v, want closure rejection", err)
+	}
+	// n == 0 short-circuits before the remote guard, like every executor.
+	if err := f.ForEach(0, nil); err != nil {
+		t.Fatalf("ForEach(0) = %v", err)
+	}
+}
+
+func TestRemoteFlowClosed(t *testing.T) {
+	f := remoteCluster(t, 1)
+	f.Close()
+	if _, err := f.DispatchSpecs("exectest/square", []json.RawMessage{json.RawMessage(`1`)}); err == nil {
+		t.Fatal("DispatchSpecs on closed executor succeeded")
+	}
+}
+
+func TestMapSpecFallsBackToClosures(t *testing.T) {
+	// Non-spec executors (the pool) and the in-process flow cluster run
+	// the closure; arg builders must not even be invoked for the pool.
+	pool := &Pool{Workers: 4}
+	items := []int{1, 2, 3}
+	out, err := MapSpec(pool, "exectest/square", items,
+		func(_ int, n int) any { t.Fatal("arg builder must not run on the pool"); return nil },
+		func(_ int, n int) (int, error) { return n + 10, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 11 || out[1] != 12 || out[2] != 13 {
+		t.Fatalf("pool MapSpec = %v", out)
+	}
+
+	fl, err := NewFlow(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	if SpecsOnly(fl) {
+		t.Fatal("in-process flow executor must not be specs-only")
+	}
+	out, err = MapSpec(fl, "exectest/square", items,
+		func(_ int, n int) any { return n },
+		func(_ int, n int) (int, error) { return n + 20, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 21 || out[1] != 22 || out[2] != 23 {
+		t.Fatalf("in-process flow MapSpec = %v", out)
+	}
+}
+
+func TestInProcessFlowServesSpecTasks(t *testing.T) {
+	// The in-process cluster's workers also dispatch spec payloads, so
+	// DispatchSpecs works on it too (even though MapSpec prefers the
+	// closure path there).
+	testKernels(t)
+	fl, err := NewFlow(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	out, err := fl.DispatchSpecs("exectest/square", []json.RawMessage{
+		json.RawMessage(`3`), json.RawMessage(`4`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out[0]) != "9" || string(out[1]) != "16" {
+		t.Fatalf("DispatchSpecs = %s, %s", out[0], out[1])
+	}
+}
+
+// TestConcurrentClientsSharedScheduler drives two independent remote
+// clients against ONE standalone scheduler at the same time. Task IDs are
+// namespaced per client, so results must never cross-deliver between the
+// two submitters — the shared-scheduler deployment `proteomectl sched`
+// makes first class.
+func TestConcurrentClientsSharedScheduler(t *testing.T) {
+	testKernels(t)
+	sched := flow.NewScheduler()
+	addr, err := sched.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sched.Close)
+	for i := 0; i < 3; i++ {
+		w := flow.NewWorker(fmt.Sprintf("shared-w%d", i), flow.SpecHandler())
+		if err := w.Connect(addr); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(w.Close)
+	}
+
+	const clients, rounds, n = 2, 5, 40
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		c := c
+		go func() {
+			f, err := ConnectFlow(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer f.Close()
+			// Each client squares a distinct value range; any
+			// cross-delivered result would land in the wrong slot.
+			base := 1000 * (c + 1)
+			for r := 0; r < rounds; r++ {
+				args := make([]json.RawMessage, n)
+				for i := range args {
+					args[i] = json.RawMessage(fmt.Sprintf("%d", base+i))
+				}
+				out, err := f.DispatchSpecs("exectest/square", args)
+				if err != nil {
+					errs <- fmt.Errorf("client %d round %d: %w", c, r, err)
+					return
+				}
+				for i := range out {
+					want := fmt.Sprintf("%d", (base+i)*(base+i))
+					if string(out[i]) != want {
+						errs <- fmt.Errorf("client %d round %d: out[%d] = %s, want %s", c, r, i, out[i], want)
+						return
+					}
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for c := 0; c < clients; c++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDispatchSpecsEmpty(t *testing.T) {
+	f := remoteCluster(t, 1)
+	out, err := f.DispatchSpecs("exectest/square", nil)
+	if err != nil || out != nil {
+		t.Fatalf("empty dispatch = %v, %v", out, err)
+	}
+}

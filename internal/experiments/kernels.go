@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/fold"
+	"repro/internal/proteome"
+	"repro/internal/relax"
+)
+
+// RegisterCampaignKernels registers the remote bodies of the three
+// workflow stages (feature generation, inference, relaxation) in the
+// process-wide flow kernel registry, under the names the core stages
+// dispatch (core.KernelFeature/KernelInfer/KernelRelax). A standalone
+// `proteomectl worker` calls this at startup and then serves the kernels
+// through flow.SpecHandler.
+//
+// Each kernel is the same pure function of its arguments as the in-process
+// closure of its stage: the campaign world is rebuilt deterministically
+// from (seed, species), so a multi-process run is byte-identical to the
+// pool executor at any worker count (TestCampaignMultiProcess).
+// Registration is idempotent.
+func RegisterCampaignKernels() {
+	registerKernelsOnce.Do(func() {
+		mustRegister(core.KernelFeature, featureKernel)
+		mustRegister(core.KernelInfer, inferKernel)
+		mustRegister(core.KernelRelax, relaxKernel)
+	})
+}
+
+var registerKernelsOnce sync.Once
+
+func mustRegister(name string, fn flow.KernelFunc) {
+	if err := flow.Register(name, fn); err != nil {
+		panic(err)
+	}
+}
+
+// kernelWorld caches the reconstructed campaign world of one seed: the Env
+// plus per-species protein indices. Worlds are shared by every kernel
+// invocation in the process; the Env's feature generator and engine are
+// concurrency-safe, and the lazily-built indices are guarded by mu.
+type kernelWorld struct {
+	env *Env
+
+	mu   sync.Mutex
+	byID map[string]map[string]proteome.Protein
+}
+
+// maxKernelWorlds bounds the per-process world cache: a long-lived worker
+// serving many campaign seeds (parameter sweeps) must not pin every world
+// it ever saw — each holds a full proteome plus memoized features. Worlds
+// are cheap to rebuild deterministically, so eviction is just memory
+// reclamation; in-flight kernels keep their evicted world alive through
+// their own reference.
+const maxKernelWorlds = 4
+
+var (
+	kernelWorldsMu    sync.Mutex
+	kernelWorlds      = make(map[uint64]*kernelWorld)
+	kernelWorldsOrder []uint64 // insertion order, oldest first
+)
+
+func worldFor(seed uint64) *kernelWorld {
+	kernelWorldsMu.Lock()
+	defer kernelWorldsMu.Unlock()
+	w, ok := kernelWorlds[seed]
+	if !ok {
+		for len(kernelWorlds) >= maxKernelWorlds {
+			delete(kernelWorlds, kernelWorldsOrder[0])
+			kernelWorldsOrder = kernelWorldsOrder[1:]
+		}
+		w = &kernelWorld{env: NewEnv(seed), byID: make(map[string]map[string]proteome.Protein)}
+		kernelWorlds[seed] = w
+		kernelWorldsOrder = append(kernelWorldsOrder, seed)
+	}
+	return w
+}
+
+// protein resolves a (species code, protein ID) pair, generating and
+// indexing the species proteome on first use.
+func (w *kernelWorld) protein(species, id string) (proteome.Protein, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	idx, ok := w.byID[species]
+	if !ok {
+		var sp proteome.Species
+		found := false
+		for _, s := range proteome.PaperSpecies() {
+			if s.Code == species {
+				sp, found = s, true
+				break
+			}
+		}
+		if !found {
+			return proteome.Protein{}, fmt.Errorf("experiments: unknown species %q in job spec", species)
+		}
+		p := w.env.Proteome(sp)
+		idx = make(map[string]proteome.Protein, len(p.Proteins))
+		for _, pr := range p.Proteins {
+			idx[pr.Seq.ID] = pr
+		}
+		w.byID[species] = idx
+	}
+	pr, ok := idx[id]
+	if !ok {
+		return proteome.Protein{}, fmt.Errorf("experiments: no protein %q in species %q", id, species)
+	}
+	return pr, nil
+}
+
+// featureKernel is the remote body of the feature stage: derive one
+// protein's features and its contended filesystem search time.
+func featureKernel(args json.RawMessage) (json.RawMessage, error) {
+	var s core.FeatureSpec
+	if err := json.Unmarshal(args, &s); err != nil {
+		return nil, fmt.Errorf("experiments: decoding feature spec: %w", err)
+	}
+	w := worldFor(s.Seed)
+	pr, err := w.protein(s.Species, s.ID)
+	if err != nil {
+		return nil, err
+	}
+	f, err := w.env.FeatureGen().Features(pr)
+	if err != nil {
+		return nil, err
+	}
+	base := core.FeatureCostAccel(f, s.Accel)
+	dur, err := s.FS.SearchTime(s.DB, base, s.JobsPerCopy)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(core.FeatureOut{Features: f, Seconds: dur})
+}
+
+// inferKernel is the remote body of the inference stage: one (target,
+// model) task. An OOM outcome is data, not failure — it returns a null
+// prediction, which the stage routes to the high-memory retry wave
+// exactly as the in-process closure does.
+func inferKernel(args json.RawMessage) (json.RawMessage, error) {
+	var s core.InferSpec
+	if err := json.Unmarshal(args, &s); err != nil {
+		return nil, fmt.Errorf("experiments: decoding infer spec: %w", err)
+	}
+	w := worldFor(s.Seed)
+	pr, err := w.protein(s.Species, s.ID)
+	if err != nil {
+		return nil, err
+	}
+	f, err := w.env.FeatureGen().Features(pr)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := w.env.Engine.Infer(fold.Task{
+		ID: s.ID, Length: pr.Seq.Len(), Features: f,
+		Model: s.Model, Preset: s.Preset, NodeMemGB: s.NodeMemGB,
+	})
+	if err != nil {
+		if errors.Is(err, fold.ErrOutOfMemory) {
+			return json.Marshal((*fold.Prediction)(nil))
+		}
+		return nil, err
+	}
+	return json.Marshal(pred)
+}
+
+// relaxKernel is the remote body of the relax stage: the modeled
+// relaxation walltime of one structure.
+func relaxKernel(args json.RawMessage) (json.RawMessage, error) {
+	var s core.RelaxSpec
+	if err := json.Unmarshal(args, &s); err != nil {
+		return nil, fmt.Errorf("experiments: decoding relax spec: %w", err)
+	}
+	dur := relax.ModelTime(relax.Platform(s.Platform), core.RelaxHeavyAtoms(s.Length), 1)
+	return json.Marshal(dur)
+}

@@ -66,9 +66,9 @@ func ConnectClientFile(path string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("flow: reading scheduler file: %w", err)
 	}
-	var sf SchedulerFile
-	if err := json.Unmarshal(data, &sf); err != nil {
-		return nil, fmt.Errorf("flow: parsing scheduler file: %w", err)
+	sf, err := ParseSchedulerFile(data)
+	if err != nil {
+		return nil, err
 	}
 	return ConnectClient(sf.Address)
 }

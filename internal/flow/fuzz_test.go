@@ -1,0 +1,109 @@
+package flow
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecodeSpec hardens the job-spec decoder: arbitrary payloads must
+// yield either a valid spec (non-empty kernel) or an error — never a
+// panic, and never a spec that re-encodes unfaithfully.
+func FuzzDecodeSpec(f *testing.F) {
+	f.Add([]byte(`{"kernel":"campaign/feature","args":{"seed":1,"species":"DVU","id":"DVU_00001"}}`))
+	f.Add([]byte(`{"kernel":"campaign/infer","args":{"model":4,"preset":{"Name":"genome"}}}`))
+	f.Add([]byte(`{"kernel":"k"}`))
+	f.Add([]byte(`{"args":[1,2,3]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`"kernel"`))
+	f.Add([]byte(`{"kernel":" "}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := DecodeSpec(data)
+		if err != nil {
+			return
+		}
+		if spec.Kernel == "" {
+			t.Fatal("DecodeSpec accepted a spec with empty kernel")
+		}
+		// A decoded spec must re-encode and decode to the same spec.
+		payload, err := EncodeSpec(spec)
+		if err != nil {
+			t.Fatalf("EncodeSpec(decoded spec): %v", err)
+		}
+		again, err := DecodeSpec(payload)
+		if err != nil {
+			t.Fatalf("DecodeSpec(re-encoded spec): %v", err)
+		}
+		if again.Kernel != spec.Kernel {
+			t.Fatalf("kernel changed across round trip: %q != %q", again.Kernel, spec.Kernel)
+		}
+	})
+}
+
+// FuzzParseSchedulerFile hardens the scheduler-file parser workers and
+// clients trust to locate the cluster.
+func FuzzParseSchedulerFile(f *testing.F) {
+	f.Add([]byte(`{"address":"127.0.0.1:8786","started_at":"2022-01-25T00:00:00Z"}`))
+	f.Add([]byte(`{"address":""}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"address":"host:port","extra":{"nested":[1,2,{}]}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sf, err := ParseSchedulerFile(data)
+		if err != nil {
+			return
+		}
+		if sf.Address == "" {
+			t.Fatal("ParseSchedulerFile accepted a file with no address")
+		}
+	})
+}
+
+// FuzzDecodeMessage hardens the wire-protocol decoder: the scheduler
+// classifies peers and routes tasks from attacker-controllable TCP bytes,
+// so any byte stream must decode to either an error or a message that
+// re-encodes losslessly (modulo JSON field order, which the re-decode
+// absorbs).
+func FuzzDecodeMessage(f *testing.F) {
+	f.Add([]byte(`{"type":"register","worker_id":"w1","slots":1}`))
+	f.Add([]byte(`{"type":"task","task":{"id":"t1","weight":2.5,"payload":{"kernel":"k"}}}`))
+	f.Add([]byte(`{"type":"result","result":{"task_id":"t1","worker_id":"w1","start":"2022-01-25T00:00:00Z","end":"2022-01-25T00:00:01Z","error":"boom"}}`))
+	f.Add([]byte(`{"type":"submit","tasks":[{"id":"a"},{"id":"b"}]}`))
+	f.Add([]byte(`{"type":"accepted","count":2}`))
+	f.Add([]byte(`{"type":"shutdown"}`))
+	f.Add([]byte(`{"type":1}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m message
+		if err := json.Unmarshal(data, &m); err != nil {
+			return
+		}
+		// Whatever decoded must survive an encode/decode round trip — the
+		// exact path every scheduler/worker/client hop takes.
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(m); err != nil {
+			t.Fatalf("re-encoding decoded message: %v", err)
+		}
+		var again message
+		if err := json.NewDecoder(&buf).Decode(&again); err != nil {
+			t.Fatalf("re-decoding encoded message: %v", err)
+		}
+		if again.Type != m.Type || again.WorkerID != m.WorkerID || again.Count != m.Count ||
+			len(again.Tasks) != len(m.Tasks) {
+			t.Fatalf("message changed across round trip: %+v != %+v", again, m)
+		}
+		if (again.Task == nil) != (m.Task == nil) || (again.Result == nil) != (m.Result == nil) {
+			t.Fatalf("message pointers changed across round trip")
+		}
+		if m.Task != nil && again.Task.ID != m.Task.ID {
+			t.Fatalf("task ID changed: %q != %q", again.Task.ID, m.Task.ID)
+		}
+		if m.Result != nil && (again.Result.TaskID != m.Result.TaskID || again.Result.Err != m.Result.Err) {
+			t.Fatalf("result changed across round trip")
+		}
+	})
+}

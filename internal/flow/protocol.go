@@ -19,6 +19,7 @@ package flow
 
 import (
 	"encoding/json"
+	"fmt"
 	"time"
 )
 
@@ -77,4 +78,18 @@ const (
 type SchedulerFile struct {
 	Address   string    `json:"address"`
 	StartedAt time.Time `json:"started_at"`
+}
+
+// ParseSchedulerFile decodes a scheduler-file document and validates that
+// it advertises an address. Workers and clients use it to locate a
+// standalone scheduler (`proteomectl sched -scheduler-file`).
+func ParseSchedulerFile(data []byte) (SchedulerFile, error) {
+	var sf SchedulerFile
+	if err := json.Unmarshal(data, &sf); err != nil {
+		return SchedulerFile{}, fmt.Errorf("flow: parsing scheduler file: %w", err)
+	}
+	if sf.Address == "" {
+		return SchedulerFile{}, fmt.Errorf("flow: scheduler file advertises no address")
+	}
+	return sf, nil
 }

@@ -80,7 +80,14 @@ func (s *Scheduler) WriteSchedulerFile(path string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	// Publish atomically (write + rename): workers and clients poll this
+	// file the moment the scheduler starts and must never read a torn
+	// document.
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // Close shuts down the scheduler and all its connections.

@@ -1,0 +1,158 @@
+package flow
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// JobSpec is the serializable form of one unit of work: the name of a
+// registered stage kernel plus its JSON-encoded arguments. Closures cannot
+// cross process boundaries, so a multi-process deployment ships specs — a
+// worker in another OS process (or on another host) resolves the kernel
+// name against its local Registry and runs it. A spec travels as the
+// opaque Payload of a Task.
+type JobSpec struct {
+	Kernel string          `json:"kernel"`
+	Args   json.RawMessage `json:"args,omitempty"`
+}
+
+// KernelFunc is the executable body of a named job: a pure function of its
+// JSON arguments. Kernels run on worker goroutines and may be invoked
+// concurrently, so they must be safe for concurrent use.
+type KernelFunc func(args json.RawMessage) (json.RawMessage, error)
+
+// Registry maps kernel names to their bodies. It is safe for concurrent
+// use; registration normally happens once at worker startup.
+type Registry struct {
+	mu      sync.RWMutex
+	kernels map[string]KernelFunc
+}
+
+// NewRegistry creates an empty kernel registry.
+func NewRegistry() *Registry {
+	return &Registry{kernels: make(map[string]KernelFunc)}
+}
+
+// Register adds a kernel under a name. Empty names, nil funcs, and
+// duplicate registrations are errors.
+func (r *Registry) Register(name string, fn KernelFunc) error {
+	if name == "" {
+		return fmt.Errorf("flow: kernel name must be non-empty")
+	}
+	if fn == nil {
+		return fmt.Errorf("flow: kernel %q has nil func", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.kernels[name]; dup {
+		return fmt.Errorf("flow: kernel %q already registered", name)
+	}
+	r.kernels[name] = fn
+	return nil
+}
+
+// Lookup returns the kernel registered under name.
+func (r *Registry) Lookup(name string) (KernelFunc, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fn, ok := r.kernels[name]
+	return fn, ok
+}
+
+// Names returns the registered kernel names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.kernels))
+	for n := range r.kernels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run decodes a task payload as a JobSpec and executes the named kernel.
+func (r *Registry) Run(payload json.RawMessage) (json.RawMessage, error) {
+	spec, err := DecodeSpec(payload)
+	if err != nil {
+		return nil, err
+	}
+	fn, ok := r.Lookup(spec.Kernel)
+	if !ok {
+		return nil, fmt.Errorf("flow: unknown kernel %q (registered: %v)", spec.Kernel, r.Names())
+	}
+	return fn(spec.Args)
+}
+
+// Handler adapts the registry to a worker Handler: every received task is
+// expected to carry a JobSpec payload. This is the handler a standalone
+// `proteomectl worker` process serves with.
+func (r *Registry) Handler() Handler {
+	return func(t Task) (json.RawMessage, error) {
+		return r.Run(t.Payload)
+	}
+}
+
+// defaultRegistry is the process-wide registry remote workers serve from.
+var defaultRegistry = NewRegistry()
+
+// Register adds a kernel to the process-wide default registry.
+func Register(name string, fn KernelFunc) error {
+	return defaultRegistry.Register(name, fn)
+}
+
+// DefaultRegistry returns the process-wide registry.
+func DefaultRegistry() *Registry { return defaultRegistry }
+
+// SpecHandler returns a worker Handler dispatching against the default
+// registry.
+func SpecHandler() Handler { return defaultRegistry.Handler() }
+
+// RunSpec executes a spec payload against the default registry.
+func RunSpec(payload json.RawMessage) (json.RawMessage, error) {
+	return defaultRegistry.Run(payload)
+}
+
+// EncodeSpec marshals a spec into a task payload.
+func EncodeSpec(spec JobSpec) (json.RawMessage, error) {
+	if spec.Kernel == "" {
+		return nil, fmt.Errorf("flow: spec has empty kernel name")
+	}
+	return json.Marshal(spec)
+}
+
+// DecodeSpec parses a task payload as a JobSpec. Empty payloads, malformed
+// JSON, and specs without a kernel name are errors.
+func DecodeSpec(payload json.RawMessage) (JobSpec, error) {
+	if len(payload) == 0 {
+		return JobSpec{}, fmt.Errorf("flow: task has no spec payload")
+	}
+	var spec JobSpec
+	if err := json.Unmarshal(payload, &spec); err != nil {
+		return JobSpec{}, fmt.Errorf("flow: decoding job spec: %w", err)
+	}
+	if spec.Kernel == "" {
+		return JobSpec{}, fmt.Errorf("flow: job spec has empty kernel name")
+	}
+	return spec, nil
+}
+
+// NewSpecTask builds a Task carrying a named-job spec, marshaling args to
+// JSON.
+func NewSpecTask(id string, weight float64, kernel string, args any) (Task, error) {
+	var raw json.RawMessage
+	if args != nil {
+		var err error
+		raw, err = json.Marshal(args)
+		if err != nil {
+			return Task{}, fmt.Errorf("flow: marshaling args for kernel %q: %w", kernel, err)
+		}
+	}
+	payload, err := EncodeSpec(JobSpec{Kernel: kernel, Args: raw})
+	if err != nil {
+		return Task{}, err
+	}
+	return Task{ID: id, Weight: weight, Payload: payload}, nil
+}

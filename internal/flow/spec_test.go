@@ -1,0 +1,228 @@
+package flow
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRegistryRegisterAndRun(t *testing.T) {
+	r := NewRegistry()
+	echo := func(args json.RawMessage) (json.RawMessage, error) { return args, nil }
+	if err := r.Register("echo", echo); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("", echo); err == nil {
+		t.Error("empty name registered")
+	}
+	if err := r.Register("nilfn", nil); err == nil {
+		t.Error("nil func registered")
+	}
+	if err := r.Register("echo", echo); err == nil {
+		t.Error("duplicate name registered")
+	}
+	if got := r.Names(); len(got) != 1 || got[0] != "echo" {
+		t.Errorf("Names() = %v", got)
+	}
+	if _, ok := r.Lookup("echo"); !ok {
+		t.Error("Lookup(echo) missed")
+	}
+	if _, ok := r.Lookup("ghost"); ok {
+		t.Error("Lookup(ghost) hit")
+	}
+
+	payload, err := EncodeSpec(JobSpec{Kernel: "echo", Args: json.RawMessage(`{"x":1}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.Run(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != `{"x":1}` {
+		t.Errorf("Run = %s", out)
+	}
+}
+
+func TestRegistryRunErrors(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Run(nil); err == nil {
+		t.Error("Run(nil payload) succeeded")
+	}
+	if _, err := r.Run(json.RawMessage(`{"kernel":"ghost"}`)); err == nil ||
+		!strings.Contains(err.Error(), "unknown kernel") {
+		t.Errorf("Run(unknown kernel) err = %v", err)
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	_ = r.Register("double", func(args json.RawMessage) (json.RawMessage, error) {
+		var n int
+		if err := json.Unmarshal(args, &n); err != nil {
+			return nil, err
+		}
+		return json.Marshal(2 * n)
+	})
+	task, err := NewSpecTask("t1", 0, "double", 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.Handler()(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "42" {
+		t.Errorf("handler = %s", out)
+	}
+	// A task without a spec payload is an error for a spec-serving worker.
+	if _, err := r.Handler()(Task{ID: "t2"}); err == nil {
+		t.Error("handler accepted payload-less task")
+	}
+}
+
+func TestDecodeSpec(t *testing.T) {
+	tests := []struct {
+		name    string
+		payload string
+		wantErr bool
+		kernel  string
+	}{
+		{name: "ok", payload: `{"kernel":"k","args":[1,2]}`, kernel: "k"},
+		{name: "no args", payload: `{"kernel":"k"}`, kernel: "k"},
+		{name: "empty payload", payload: "", wantErr: true},
+		{name: "not json", payload: `{kernel}`, wantErr: true},
+		{name: "wrong type", payload: `42`, wantErr: true},
+		{name: "missing kernel", payload: `{"args":{}}`, wantErr: true},
+		{name: "empty kernel", payload: `{"kernel":""}`, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			spec, err := DecodeSpec(json.RawMessage(tt.payload))
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("DecodeSpec(%q) error = %v, wantErr %v", tt.payload, err, tt.wantErr)
+			}
+			if err == nil && spec.Kernel != tt.kernel {
+				t.Errorf("kernel = %q, want %q", spec.Kernel, tt.kernel)
+			}
+		})
+	}
+}
+
+func TestEncodeSpecRejectsEmptyKernel(t *testing.T) {
+	if _, err := EncodeSpec(JobSpec{}); err == nil {
+		t.Error("EncodeSpec with empty kernel succeeded")
+	}
+}
+
+func TestNewSpecTaskRoundTrip(t *testing.T) {
+	type args struct {
+		ID string `json:"id"`
+		N  int    `json:"n"`
+	}
+	task, err := NewSpecTask("job-7", 3.5, "stage/kernel", args{ID: "p1", N: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.ID != "job-7" || task.Weight != 3.5 {
+		t.Errorf("task = %+v", task)
+	}
+	spec, err := DecodeSpec(task.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got args
+	if err := json.Unmarshal(spec.Args, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != (args{ID: "p1", N: 9}) {
+		t.Errorf("args = %+v", got)
+	}
+	// Unmarshalable args fail loudly.
+	if _, err := NewSpecTask("bad", 0, "k", func() {}); err == nil {
+		t.Error("NewSpecTask with func arg succeeded")
+	}
+}
+
+func TestParseSchedulerFile(t *testing.T) {
+	tests := []struct {
+		name    string
+		data    string
+		wantErr bool
+		addr    string
+	}{
+		{name: "ok", data: `{"address":"127.0.0.1:8786","started_at":"2022-01-25T00:00:00Z"}`, addr: "127.0.0.1:8786"},
+		{name: "no address", data: `{"started_at":"2022-01-25T00:00:00Z"}`, wantErr: true},
+		{name: "empty", data: ``, wantErr: true},
+		{name: "not json", data: `address=127.0.0.1`, wantErr: true},
+		{name: "wrong type", data: `["127.0.0.1:8786"]`, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			sf, err := ParseSchedulerFile([]byte(tt.data))
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("error = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err == nil && sf.Address != tt.addr {
+				t.Errorf("address = %q, want %q", sf.Address, tt.addr)
+			}
+		})
+	}
+}
+
+// TestSpecTasksThroughCluster drives spec tasks through a real
+// scheduler/worker/client round trip with a local registry handler.
+func TestSpecTasksThroughCluster(t *testing.T) {
+	r := NewRegistry()
+	_ = r.Register("inc", func(args json.RawMessage) (json.RawMessage, error) {
+		var n int
+		if err := json.Unmarshal(args, &n); err != nil {
+			return nil, err
+		}
+		return json.Marshal(n + 1)
+	})
+
+	s := NewScheduler()
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	w := NewWorker("spec-worker", r.Handler())
+	if err := w.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	c, err := ConnectClient(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	tasks := make([]Task, 10)
+	for i := range tasks {
+		tasks[i], err = NewSpecTask(string(rune('a'+i)), 0, "inc", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := c.Map(tasks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(tasks) {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, res := range results {
+		if res.Failed() {
+			t.Fatalf("task %s failed: %s", res.TaskID, res.Err)
+		}
+		var n int
+		if err := json.Unmarshal(res.Payload, &n); err != nil {
+			t.Fatal(err)
+		}
+		if want := int(res.TaskID[0]-'a') + 1; n != want {
+			t.Errorf("task %s = %d, want %d", res.TaskID, n, want)
+		}
+	}
+}

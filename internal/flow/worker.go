@@ -51,9 +51,9 @@ func (w *Worker) ConnectFile(path string) error {
 	if err != nil {
 		return fmt.Errorf("flow: reading scheduler file: %w", err)
 	}
-	var sf SchedulerFile
-	if err := json.Unmarshal(data, &sf); err != nil {
-		return fmt.Errorf("flow: parsing scheduler file: %w", err)
+	sf, err := ParseSchedulerFile(data)
+	if err != nil {
+		return err
 	}
 	return w.Connect(sf.Address)
 }
@@ -120,6 +120,12 @@ func (w *Worker) loop(enc *json.Encoder) {
 		_ = w.conn.SetWriteDeadline(time.Time{})
 	}
 }
+
+// Wait blocks until the worker's task loop exits — that is, until the
+// scheduler connection closes (scheduler shutdown, network failure, or
+// Close). Standalone worker processes use it to terminate when their
+// scheduler goes away.
+func (w *Worker) Wait() { w.wg.Wait() }
 
 // Processed returns the number of tasks this worker has completed.
 func (w *Worker) Processed() int {
