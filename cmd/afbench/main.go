@@ -21,6 +21,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/exec"
 	"repro/internal/experiments"
 )
@@ -136,6 +137,8 @@ func main() {
 	seed := flag.Uint64("seed", experiments.DefaultSeed, "campaign seed (changing it changes every measured number)")
 	par := flag.Int("parallelism", 0, "host worker-pool size (0 = GOMAXPROCS, 1 = serial); results are identical at any value")
 	executor := flag.String("executor", "pool", "execution back end: pool (in-process) or flow (dataflow scheduler over loopback TCP); results are identical either way")
+	stats := flag.String("stats", "", "write the per-task processing-times CSV (task → worker placement, timings) for every fan-out to this file")
+	summary := flag.Bool("summary", false, "summary-only remote results (core.Config.SummaryOnly); only affects executors that ship specs across processes, never a reported number")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -146,14 +149,30 @@ func main() {
 
 	env := experiments.NewEnv(*seed)
 	env.Parallelism = *par
+	env.SummaryOnly = *summary
 	ex, err := newExecutor(*executor, *par)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "afbench: %v\n", err)
 		os.Exit(2)
 	}
+	if *summary && !exec.SpecsOnly(ex) {
+		// Both of afbench's executors run closures in-process, so no
+		// feature payload ever crosses a wire; say so instead of letting
+		// the flag silently do nothing.
+		fmt.Fprintf(os.Stderr, "afbench: -summary has no effect with -executor=%s (in-process closures); it applies to spec-dispatching remote executors like `proteomectl submit`\n", *executor)
+	}
+	if ex == nil && *stats != "" {
+		// The default pool is implicit in the stages; a trace needs a
+		// concrete executor to attach to.
+		ex = exec.NewPool(*par)
+	}
+	trace := &exec.Trace{}
 	if ex != nil {
 		defer ex.Close()
 		env.Executor = ex
+		if *stats != "" {
+			exec.AttachTrace(ex, trace)
+		}
 	}
 	selected := runners
 	if name != "all" {
@@ -181,6 +200,24 @@ func main() {
 		}
 		fmt.Printf("[%s completed in %.1fs]\n", r.name, time.Since(start).Seconds())
 	}
+	if *stats != "" {
+		rows := trace.Rows()
+		f, err := os.Create(*stats)
+		if err == nil {
+			err = exec.WriteStatsCSV(f, rows)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "afbench: writing -stats: %v\n", err)
+			os.Exit(1)
+		}
+		if err := analysis.LoadBalance(rows, 10).Render(os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "afbench: rendering load balance: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // newExecutor builds the non-default execution back end, or nil for the
@@ -197,7 +234,7 @@ func newExecutor(name string, parallelism int) (exec.Executor, error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: afbench [-seed N] [-parallelism N] [-executor pool|flow] <experiment>")
+	fmt.Fprintln(os.Stderr, "usage: afbench [-seed N] [-parallelism N] [-executor pool|flow] [-stats F] [-summary] <experiment>")
 	fmt.Fprintln(os.Stderr, "experiments:")
 	for _, r := range runners {
 		fmt.Fprintf(os.Stderr, "  %-12s %s\n", r.name, r.desc)

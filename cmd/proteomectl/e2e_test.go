@@ -1,11 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
 	osexec "os/exec"
 	"path/filepath"
+	"strconv"
 	"testing"
 	"time"
 
@@ -142,6 +145,178 @@ func TestCampaignMultiProcess(t *testing.T) {
 	if string(remote) != string(loopback) {
 		t.Errorf("multi-process report differs from loopback flow executor:\n--- multi-process ---\n%s--- loopback ---\n%s", remote, loopback)
 	}
+}
+
+// readStatsCSV parses a processing-times CSV written by -stats and
+// returns the header and rows.
+func readStatsCSV(t *testing.T, path string) ([]string, [][]string) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("opening stats CSV: %v", err)
+	}
+	defer f.Close()
+	recs, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatalf("parsing stats CSV: %v", err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("stats CSV is empty")
+	}
+	return recs[0], recs[1:]
+}
+
+// statsColumn returns the index of a column in the stats header.
+func statsColumn(t *testing.T, header []string, name string) int {
+	t.Helper()
+	for i, h := range header {
+		if h == name {
+			return i
+		}
+	}
+	t.Fatalf("stats CSV has no %q column (header %v)", name, header)
+	return -1
+}
+
+// TestSubmitElasticWorkerJoin is the elastic scale-up half of the
+// deployment contract: a worker that joins mid-campaign picks up queued
+// tasks (visible in the processing-times CSV) and the report stays
+// byte-identical to the pool executor — placement can never leak into a
+// reported number.
+func TestSubmitElasticWorkerJoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	// Start with a single worker so the queue stays deep while the late
+	// worker registers.
+	schedFile := e2eCluster(t, 1)
+	statsFile := filepath.Join(filepath.Dir(schedFile), "tasks.csv")
+
+	campaign := []string{"-species", "DVU", "-preset", "genome", "-limit", "300", "-seed", "20220125"}
+
+	submit := osexec.Command(binPath,
+		append([]string{"submit", "-scheduler-file", schedFile, "-stats", statsFile}, campaign...)...)
+	submit.Stderr = os.Stderr
+	var submitOut bytes.Buffer
+	submit.Stdout = &submitOut
+	if err := submit.Start(); err != nil {
+		t.Fatalf("starting submit: %v", err)
+	}
+
+	// Elastic scale-up: a second worker joins shortly after the campaign
+	// starts (the binary takes longer than this to build its world, so
+	// the join lands while the first batch is still queued).
+	time.Sleep(100 * time.Millisecond)
+	late := osexec.Command(binPath, "worker", "-scheduler-file", schedFile, "-id", "e2e-late")
+	late.Stdout = os.Stderr
+	late.Stderr = os.Stderr
+	if err := late.Start(); err != nil {
+		t.Fatalf("starting late worker: %v", err)
+	}
+	t.Cleanup(func() {
+		_ = late.Process.Kill()
+		_, _ = late.Process.Wait()
+	})
+
+	if err := submit.Wait(); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	pool := runBin(t, append([]string{"run", "-executor", "pool"}, campaign...)...)
+	if submitOut.String() != string(pool) {
+		t.Errorf("report with elastic worker join differs from pool executor:\n--- elastic ---\n%s--- pool ---\n%s",
+			submitOut.String(), pool)
+	}
+
+	header, rows := readStatsCSV(t, statsFile)
+	// One row per task across all three stages: 300 feature tasks plus
+	// 300×5 (target, model) inference slots, plus one relax task per
+	// completed target (and any high-memory retries).
+	if len(rows) < 300+300*5 {
+		t.Errorf("stats CSV has %d rows, want at least %d (one per task)", len(rows), 300+300*5)
+	}
+	wcol := statsColumn(t, header, "worker_id")
+	perWorker := map[string]int{}
+	for _, row := range rows {
+		perWorker[row[wcol]]++
+	}
+	if perWorker["e2e-late"] == 0 {
+		t.Errorf("late-joining worker absent from the stats CSV; placements: %v", perWorker)
+	}
+	if perWorker["e2e-w0"] == 0 {
+		t.Errorf("original worker absent from the stats CSV; placements: %v", perWorker)
+	}
+}
+
+// TestCampaignMultiSpecies runs two different species through one shared
+// multi-process cluster back to back — the workers rebuild each campaign
+// world on demand — and requires every report to stay byte-identical to
+// the pool executor.
+func TestCampaignMultiSpecies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	schedFile := e2eCluster(t, 3)
+
+	for _, species := range []string{"PMER", "RRU"} {
+		campaign := []string{"-species", species, "-preset", "reduced_dbs", "-limit", "120", "-seed", "20220125"}
+		remote := runBin(t, append([]string{"submit", "-scheduler-file", schedFile}, campaign...)...)
+		pool := runBin(t, append([]string{"run", "-executor", "pool"}, campaign...)...)
+		if string(remote) != string(pool) {
+			t.Errorf("%s: multi-process report differs from pool executor:\n--- multi-process ---\n%s--- pool ---\n%s",
+				species, remote, pool)
+		}
+	}
+}
+
+// TestSubmitSummaryMode is the wire-cost acceptance test across real
+// processes: -summary must produce the byte-identical printed report
+// while the stats CSV records strictly fewer wire bytes.
+func TestSubmitSummaryMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	schedFile := e2eCluster(t, 2)
+	dir := filepath.Dir(schedFile)
+
+	campaign := []string{"-species", "DVU", "-preset", "genome", "-limit", "150", "-seed", "20220125"}
+
+	fullCSV := filepath.Join(dir, "full.csv")
+	sumCSV := filepath.Join(dir, "summary.csv")
+	full := runBin(t, append([]string{"submit", "-scheduler-file", schedFile, "-stats", fullCSV}, campaign...)...)
+	sum := runBin(t, append([]string{"submit", "-scheduler-file", schedFile, "-stats", sumCSV, "-summary"}, campaign...)...)
+
+	if string(sum) != string(full) {
+		t.Errorf("summary-mode report differs from full mode:\n--- summary ---\n%s--- full ---\n%s", sum, full)
+	}
+
+	wireBytes := func(path string) int {
+		header, rows := readStatsCSV(t, path)
+		col := statsColumn(t, header, "payload_bytes")
+		total := 0
+		for _, row := range rows {
+			n, err := strconv.Atoi(row[col])
+			if err != nil {
+				t.Fatalf("bad payload_bytes %q: %v", row[col], err)
+			}
+			total += n
+		}
+		return total
+	}
+	fullBytes, sumBytes := wireBytes(fullCSV), wireBytes(sumCSV)
+	if sumBytes >= fullBytes {
+		t.Errorf("summary mode wire bytes = %d, want strictly fewer than full mode's %d", sumBytes, fullBytes)
+	}
+	t.Logf("wire bytes: full %d, summary %d (%.1f%% saved)",
+		fullBytes, sumBytes, 100*(1-float64(sumBytes)/float64(fullBytes)))
 }
 
 // TestSubmitSurvivesWorkerChurn kills one worker mid-campaign: the

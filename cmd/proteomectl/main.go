@@ -28,6 +28,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/experiments"
@@ -102,15 +103,20 @@ commands:
   species                       list the paper's four species
   generate -species C -out F    write a synthetic proteome as FASTA
   run -species C [-preset P] [-nodes N] [-seed S] [-limit K]
-      [-executor pool|flow]     run the three-stage pipeline on the simulator
+      [-executor pool|flow] [-stats F]
+                                run the three-stage pipeline on the simulator
   predict -species C -id ID [-out F] [-seed S]
                                 predict + relax one protein, write PDB
-  sched -listen A [-scheduler-file F]
+  sched -listen A [-scheduler-file F] [-log-placement]
                                 start a standalone dataflow scheduler
   worker (-connect A | -scheduler-file F) [-id ID]
                                 start a worker serving the campaign kernels
   submit (-connect A | -scheduler-file F) -species C [-preset P] [-nodes N]
-      [-seed S] [-limit K]      run the campaign on the remote cluster`)
+      [-seed S] [-limit K] [-stats F] [-summary]
+                                run the campaign on the remote cluster;
+                                -stats writes the per-task processing-times
+                                CSV, -summary keeps feature payloads off
+                                the wire`)
 }
 
 func findSpecies(code string) (proteome.Species, error) {
@@ -175,6 +181,7 @@ type campaignFlags struct {
 	seed    uint64
 	limit   int
 	par     int
+	stats   string
 }
 
 func (c *campaignFlags) register(fs *flag.FlagSet) {
@@ -183,8 +190,31 @@ func (c *campaignFlags) register(fs *flag.FlagSet) {
 	fs.IntVar(&c.nodes, "nodes", 32, "Summit nodes for inference")
 	fs.Uint64Var(&c.seed, "seed", experiments.DefaultSeed, "campaign seed")
 	fs.IntVar(&c.limit, "limit", 0, "run only the first K proteins (0 = all); smoke-test and e2e knob")
+	fs.StringVar(&c.stats, "stats", "", "write the per-task processing-times CSV (task → worker placement, queue/run timings, wire bytes) to this file")
 	// -parallelism is registered by `run` only: `submit` computes on the
 	// remote workers, so a host pool-size knob would be inert there.
+}
+
+// finishStats writes the recorded trace as the processing-times CSV and
+// prints the load-balance summary to stderr — stderr, so the stdout
+// report stays byte-identical with stats on or off.
+func (c *campaignFlags) finishStats(trace *exec.Trace) error {
+	if c.stats == "" {
+		return nil
+	}
+	rows := trace.Rows()
+	f, err := os.Create(c.stats)
+	if err != nil {
+		return err
+	}
+	if err := exec.WriteStatsCSV(f, rows); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return analysis.LoadBalance(rows, 10).Render(os.Stderr)
 }
 
 // campaignRun is the resolved world a `run` or `submit` operates on.
@@ -257,19 +287,27 @@ func runCmd(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var ex exec.Executor
 	switch *executor {
 	case "pool", "":
-		// default: in-process pool bounded at -parallelism
+		// The default pool is materialized here (instead of letting the
+		// stages resolve one) so a trace can be attached to it.
+		ex = exec.NewPool(cf.par)
 	case "flow":
 		fl, err := exec.NewFlow(cf.par)
 		if err != nil {
 			return err
 		}
 		defer fl.Close()
-		cr.env.Executor = fl
-		cr.cfg.Executor = fl
+		ex = fl
 	default:
 		return fmt.Errorf("unknown -executor %q (want pool or flow)", *executor)
+	}
+	cr.env.Executor = ex
+	cr.cfg.Executor = ex
+	trace := &exec.Trace{}
+	if cf.stats != "" {
+		exec.AttachTrace(ex, trace)
 	}
 
 	rep, err := core.RunCampaign(cr.env.Engine, cr.env.FeatureGen(), cr.proteins, cr.env.FS, core.ReducedDatabase(), cr.cfg)
@@ -277,7 +315,7 @@ func runCmd(args []string, stdout io.Writer) error {
 		return err
 	}
 	printReport(stdout, cr, rep)
-	return nil
+	return cf.finishStats(trace)
 }
 
 // schedCmd runs a standalone dataflow scheduler until interrupted —
@@ -288,10 +326,14 @@ func schedCmd(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("sched", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:8786", "address to listen on (host:port; port 0 picks one)")
 	schedFile := fs.String("scheduler-file", "", "write a JSON scheduler file advertising the bound address")
+	logPlacement := fs.Bool("log-placement", false, "log every task-to-worker assignment to stdout")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	s := flow.NewScheduler()
+	if *logPlacement {
+		s.PlacementLog = stdout
+	}
 	addr, err := s.Start(*listen)
 	if err != nil {
 		return err
@@ -361,6 +403,8 @@ func submitCmd(args []string, stdout io.Writer) error {
 	schedFile := fs.String("scheduler-file", "", "scheduler file to read the address from")
 	resultTimeout := fs.Duration("result-timeout", flow.DefaultResultTimeout,
 		"fail when no result arrives for this long (0 disables); raise it when individual tasks run long")
+	summary := fs.Bool("summary", false,
+		"summary-only results: feature kernels return a digest instead of full per-protein features, cutting wire bytes; the printed report is byte-identical")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -382,15 +426,20 @@ func submitCmd(args []string, stdout io.Writer) error {
 	}
 	defer fl.Close()
 	fl.SetResultTimeout(*resultTimeout)
+	trace := &exec.Trace{}
+	if cf.stats != "" {
+		fl.SetTrace(trace)
+	}
 	cr.cfg.Executor = fl
 	cr.cfg.Remote = &core.RemoteCampaign{Seed: cf.seed, Species: cr.sp.Code}
+	cr.cfg.SummaryOnly = *summary
 
 	rep, err := core.RunCampaign(cr.env.Engine, cr.env.FeatureGen(), cr.proteins, cr.env.FS, core.ReducedDatabase(), cr.cfg)
 	if err != nil {
 		return err
 	}
 	printReport(stdout, cr, rep)
-	return nil
+	return cf.finishStats(trace)
 }
 
 func waitForSignal() {

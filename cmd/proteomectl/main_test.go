@@ -2,13 +2,16 @@ package main
 
 import (
 	"bytes"
+	"encoding/csv"
 	"errors"
 	"flag"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
+	"repro/internal/exec"
 	"repro/internal/seq"
 )
 
@@ -192,6 +195,35 @@ func TestGenerateCmdErrors(t *testing.T) {
 	}
 	if err := generateCmd([]string{"-seed", "abc"}, &buf); err == nil {
 		t.Error("generate with bad seed succeeded")
+	}
+}
+
+func TestRunCmdWritesStatsCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tasks.csv")
+	var buf bytes.Buffer
+	if err := runCmd([]string{"-species", "DVU", "-limit", "4", "-stats", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("run -stats printed no report")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("run -stats wrote no CSV: %v", err)
+	}
+	recs, err := csv.NewReader(bytes.NewReader(data)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 2 {
+		t.Fatalf("stats CSV has %d records, want header + rows", len(recs))
+	}
+	if !reflect.DeepEqual(recs[0], exec.StatsHeader) {
+		t.Errorf("stats CSV header = %v, want %v", recs[0], exec.StatsHeader)
+	}
+	// 4 feature tasks + 4x5 inference slots + up to 4 relax tasks.
+	if len(recs)-1 < 24 {
+		t.Errorf("stats CSV has %d task rows, want >= 24", len(recs)-1)
 	}
 }
 

@@ -50,7 +50,25 @@
 //
 // See examples/dask_cluster/README.md for the full recipe. Workers are
 // disposable: the scheduler requeues in-flight tasks when one disconnects
-// and the campaign completes with the identical report.
+// and the campaign completes with the identical report — and elastic: a
+// worker that joins mid-campaign starts pulling queued tasks immediately
+// (TestSubmitElasticWorkerJoin).
+//
+// Every executor also records first-class per-task telemetry: an
+// exec.TaskStats row per work item ({task, kernel, worker placement,
+// enqueue/start/finish, wire bytes}) delivered to a pluggable
+// exec.TraceSink. The flow protocol carries the scheduler's enqueue stamp
+// and the worker's timing bracket back in every Result, pool workers
+// stamp the same fields in-process, and `proteomectl submit -stats
+// tasks.csv` writes the paper's per-task processing-times CSV from a real
+// multi-process campaign (exec.StatsHeader is the schema;
+// internal/analysis.LoadBalance computes the per-worker busy fractions
+// and task-time histogram from it). Tracing is observation only: reports
+// are byte-identical with stats on or off. The opt-in `-summary` flag
+// additionally keeps full per-protein feature payloads off the wire —
+// feature kernels return a core.FeatureDigest instead — producing the
+// byte-identical printed report with strictly fewer wire bytes
+// (TestSubmitSummaryMode measures the reduction in the recorded trace).
 //
 // CI enforces the perf + determinism contract: a bench-regression job
 // gates the kernel microbenchmarks against BENCH_BASELINE.json through

@@ -19,6 +19,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/flow"
 )
 
@@ -88,18 +89,35 @@ func main() {
 	}
 	flow.SortByWeightDescending(tasks)
 
-	csv, err := os.Create(statsFile)
+	stats, err := os.Create(statsFile)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer csv.Close()
+	defer stats.Close()
 
+	// Per-task telemetry streams through the result observer into the
+	// processing-times CSV (the exec.Trace sink proteomectl uses).
+	trace := &exec.Trace{}
 	start := time.Now()
-	results, err := client.Map(tasks, csv)
+	results, err := client.Map(tasks, func(r *flow.Result) {
+		trace.Record(exec.TaskStats{
+			TaskID:       r.TaskID,
+			Kernel:       "example/inference",
+			WorkerID:     r.WorkerID,
+			Enqueue:      r.EnqueuedAt(),
+			Start:        r.Start,
+			Finish:       r.End,
+			PayloadBytes: len(r.Payload),
+			Err:          r.Err,
+		})
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
+	if err := trace.WriteCSV(stats); err != nil {
+		log.Fatal(err)
+	}
 
 	perWorker := map[string]int{}
 	failed := 0

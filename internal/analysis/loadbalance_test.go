@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+)
+
+// traceRows builds a synthetic two-worker trace: w1 runs 3 tasks of 2 s,
+// w2 runs 1 task of 6 s, over a 10 s span (2 s of trailing idle).
+func traceRows() []exec.TaskStats {
+	base := time.Unix(1000, 0)
+	mk := func(id, worker string, startOff, runSec float64, payload int, errMsg string) exec.TaskStats {
+		start := base.Add(time.Duration(startOff * float64(time.Second)))
+		return exec.TaskStats{
+			TaskID: id, Kernel: "campaign/infer", WorkerID: worker,
+			Enqueue: base, Start: start,
+			Finish:       start.Add(time.Duration(runSec * float64(time.Second))),
+			PayloadBytes: payload, Err: errMsg,
+		}
+	}
+	return []exec.TaskStats{
+		mk("a", "w1", 0, 2, 100, ""),
+		mk("b", "w1", 2, 2, 100, ""),
+		mk("c", "w1", 4, 2, 100, "boom"),
+		mk("d", "w2", 4, 6, 100, ""),
+	}
+}
+
+func TestLoadBalance(t *testing.T) {
+	r := LoadBalance(traceRows(), 4)
+	if r.Tasks != 4 || r.Failed != 1 {
+		t.Fatalf("tasks = %d, failed = %d", r.Tasks, r.Failed)
+	}
+	if r.SpanSec != 10 {
+		t.Errorf("span = %v, want 10", r.SpanSec)
+	}
+	if r.WireBytes != 400 {
+		t.Errorf("wire bytes = %d, want 400", r.WireBytes)
+	}
+	if len(r.Workers) != 2 {
+		t.Fatalf("workers = %d", len(r.Workers))
+	}
+	w1, w2 := r.Workers[0], r.Workers[1]
+	if w1.WorkerID != "w1" || w2.WorkerID != "w2" {
+		t.Fatalf("worker order = %s, %s (want sorted)", w1.WorkerID, w2.WorkerID)
+	}
+	if w1.Tasks != 3 || w1.BusySec != 6 || w1.BusyFrac != 0.6 {
+		t.Errorf("w1 = %+v, want 3 tasks, 6 s busy, 0.6 frac", w1)
+	}
+	if w2.Tasks != 1 || w2.BusySec != 6 || w2.BusyFrac != 0.6 {
+		t.Errorf("w2 = %+v", w2)
+	}
+	if r.MeanRunSec != 3 || r.MaxRunSec != 6 {
+		t.Errorf("run stats: mean %v max %v, want 3 / 6", r.MeanRunSec, r.MaxRunSec)
+	}
+	// Histogram over [0, 6) in 4 bins of 1.5 s: three 2 s tasks in bin 1,
+	// the 6 s task clamps into the last bin.
+	counts := []int{0, 0, 0, 0}
+	for i, b := range r.Hist {
+		counts[i] = b.Count
+	}
+	if counts[1] != 3 || counts[3] != 1 || counts[0] != 0 || counts[2] != 0 {
+		t.Errorf("histogram = %v, want [0 3 0 1]", counts)
+	}
+
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"4 tasks (1 failed)", "worker w1", "worker w2", "task-time histogram"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoadBalanceEmpty(t *testing.T) {
+	r := LoadBalance(nil, 0)
+	if r.Tasks != 0 || len(r.Workers) != 0 {
+		t.Fatalf("empty trace report = %+v", r)
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -61,6 +61,14 @@ type Config struct {
 	// processes, so the stages ship (Seed, Species)-keyed specs instead —
 	// and ignored for in-process executors.
 	Remote *RemoteCampaign
+	// SummaryOnly opts into the summary-only result mode for remote spec
+	// dispatch: feature kernels return a FeatureDigest instead of the
+	// full per-protein msa.Features payload, cutting the wire bytes when
+	// the caller only needs the printed report. The printed report is
+	// byte-identical either way; only executors that ship specs across
+	// processes are affected (in-process closures return nothing over a
+	// wire to begin with).
+	SummaryOnly bool
 }
 
 // remoteGuard rejects a spec-only executor without the campaign identity
@@ -99,7 +107,12 @@ const highMemNodeGPUMemGB = 64
 
 // FeatureReport is the outcome of the feature-generation stage.
 type FeatureReport struct {
-	Features    map[string]*msa.Features
+	Features map[string]*msa.Features
+	// Digests holds the per-protein feature digests of a summary-only
+	// remote run (Config.SummaryOnly): the full features stayed on the
+	// workers, so Features maps to nil and this carries the MSA summary
+	// statistics instead. Empty in full mode.
+	Digests     map[string]*FeatureDigest
 	WalltimeSec float64
 	NodeHours   float64
 	Jobs        int
@@ -127,11 +140,12 @@ func FeatureStage(proteins []proteome.Protein, gen FeatureGen, fs fsim.Filesyste
 		return nil, err
 	}
 	outs, err := exec.MapSpec(x, KernelFeature, proteins,
+		func(_ int, p proteome.Protein) string { return p.Seq.ID },
 		func(_ int, p proteome.Protein) any {
 			return FeatureSpec{
 				Seed: cfg.Remote.Seed, Species: cfg.Remote.Species, ID: p.Seq.ID,
 				Accel: cfg.SearchAccel, JobsPerCopy: cfg.Replicas.JobsPerCopy,
-				FS: fs, DB: db,
+				FS: fs, DB: db, Summary: cfg.SummaryOnly,
 			}
 		},
 		func(_ int, p proteome.Protein) (FeatureOut, error) {
@@ -155,6 +169,12 @@ func FeatureStage(proteins []proteome.Protein, gen FeatureGen, fs fsim.Filesyste
 	tasks := make([]cluster.SimTask, 0, len(proteins))
 	for i, p := range proteins {
 		rep.Features[p.Seq.ID] = outs[i].Features
+		if outs[i].Digest != nil {
+			if rep.Digests == nil {
+				rep.Digests = make(map[string]*FeatureDigest, len(proteins))
+			}
+			rep.Digests[p.Seq.ID] = outs[i].Digest
+		}
 		tasks = append(tasks, cluster.SimTask{
 			ID:       p.Seq.ID,
 			Weight:   float64(p.Seq.Len()),
@@ -249,6 +269,11 @@ func InferenceStage(engine *fold.Engine, proteins []proteome.Protein, features m
 	if err := cfg.remoteGuard(x); err != nil {
 		return nil, err
 	}
+	// inferTaskID is the trace identity of one (target, model) slot — the
+	// task granularity of the paper's processing-times file.
+	inferTaskID := func(_ int, task fold.Task) string {
+		return fmt.Sprintf("%s/m%d", task.ID, task.Model)
+	}
 	inferSpec := func(memGB float64) func(int, fold.Task) any {
 		return func(_ int, task fold.Task) any {
 			return InferSpec{
@@ -258,6 +283,7 @@ func InferenceStage(engine *fold.Engine, proteins []proteome.Protein, features m
 		}
 	}
 	infOuts, err := exec.MapSpec(x, KernelInfer, allTasks,
+		inferTaskID,
 		inferSpec(standardNodeGPUMemGB),
 		func(_ int, task fold.Task) (*fold.Prediction, error) {
 			pred, err := engine.Infer(task)
@@ -306,6 +332,7 @@ func InferenceStage(engine *fold.Engine, proteins []proteome.Protein, features m
 	// High-memory retry wave for OOM tasks, fanned out the same way.
 	if len(oomTasks) > 0 && cfg.HighMemNodes > 0 {
 		hmOuts, err := exec.MapSpec(x, KernelInfer, oomTasks,
+			inferTaskID,
 			inferSpec(highMemNodeGPUMemGB),
 			func(_ int, t fold.Task) (*fold.Prediction, error) {
 				t.NodeMemGB = highMemNodeGPUMemGB
@@ -410,6 +437,7 @@ func RelaxStage(targets []TargetResult, cfg Config, platform relax.Platform) (*R
 	// RelaxSpec is self-contained (no campaign world needed).
 	x := exec.Resolve(cfg.Executor, cfg.Parallelism)
 	durs, err := exec.MapSpec(x, KernelRelax, ins,
+		func(_ int, it relaxIn) string { return it.id },
 		func(_ int, it relaxIn) any {
 			return RelaxSpec{Length: it.length, Platform: int(platform)}
 		},

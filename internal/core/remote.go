@@ -42,15 +42,44 @@ type FeatureSpec struct {
 	JobsPerCopy int             `json:"jobs_per_copy"`
 	FS          fsim.Filesystem `json:"fs"`
 	DB          fsim.Database   `json:"db"`
+	// Summary selects the summary-only result mode: the kernel returns a
+	// FeatureDigest instead of the full per-protein msa.Features payload.
+	// The digest carries everything the printed campaign report needs,
+	// at a fraction of the wire bytes; callers that consume the features
+	// themselves (the default) leave it false.
+	Summary bool `json:"summary,omitempty"`
 }
 
 // FeatureOut is the per-protein result of the feature stage: the derived
 // features plus the contended search walltime. It is the JSON unit a
 // remote feature kernel returns; the in-process closure produces the same
-// value directly.
+// value directly. In summary mode Features is nil and Digest summarises
+// it instead.
 type FeatureOut struct {
-	Features *msa.Features `json:"features"`
-	Seconds  float64       `json:"seconds"`
+	Features *msa.Features  `json:"features,omitempty"`
+	Digest   *FeatureDigest `json:"digest,omitempty"`
+	Seconds  float64        `json:"seconds"`
+}
+
+// FeatureDigest is the summary-only stand-in for a full msa.Features
+// payload: the MSA summary statistics the report and load-balance
+// analyses consume, without the per-protein feature arrays. DigestFeatures
+// derives it, so the remote kernel and any local verification agree.
+type FeatureDigest struct {
+	Length    int     `json:"length"`
+	Depth     int     `json:"depth"`
+	Neff      float64 `json:"neff"`
+	Templates int     `json:"templates"`
+}
+
+// DigestFeatures summarises full features into the wire digest.
+func DigestFeatures(f *msa.Features) *FeatureDigest {
+	return &FeatureDigest{
+		Length:    f.Query.Len(),
+		Depth:     f.Depth,
+		Neff:      f.Neff,
+		Templates: len(f.Templates),
+	}
 }
 
 // InferSpec is the argument block of KernelInfer. The preset travels as a

@@ -19,44 +19,92 @@
 //   - on failure the error of the lowest submission index is returned —
 //     exactly what the serial loop would have surfaced.
 //
-// TestTable1CrossExecutor and TestCampaignCrossExecutor in
-// internal/experiments enforce the contract end to end.
+// Alongside the results, every executor can record per-task telemetry: a
+// TaskStats record ({task, kernel, worker placement, enqueue/start/finish,
+// payload bytes}) per executed item, delivered to a pluggable TraceSink
+// (see AttachTrace). The trace is the paper's processing-times file — an
+// observation channel only, never an input: reports are byte-identical
+// with tracing on or off, which TestTable1CrossExecutor and
+// TestCampaignCrossExecutor in internal/experiments enforce end to end.
 package exec
 
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
 )
 
-// Executor runs n independent work items, identified by index, with the
-// package-level determinism contract. Implementations decide where the
-// work runs (in-process pool, flow workers); callers decide what runs.
+// Batch describes one fan-out: the item count and closure, plus the trace
+// identity of the work. Kernel and TaskID only label the recorded
+// TaskStats; they never influence execution.
+type Batch struct {
+	// N is the number of independent work items.
+	N int
+	// Fn runs item i. It must be safe for concurrent invocation on
+	// distinct indices and a pure function of i.
+	Fn func(i int) error
+	// Kernel tags the batch in a recorded trace ("" = untagged).
+	Kernel string
+	// TaskID returns the stable trace identity of item i; nil falls back
+	// to the decimal index.
+	TaskID func(i int) string
+}
+
+// taskID resolves the trace identity of item i: the TaskID func's name,
+// falling back to the decimal index when the func is nil or returns "" —
+// the same fallback the spec-dispatch path applies, so every back end
+// keys identical work identically in the trace.
+func (b *Batch) taskID(i int) string {
+	if b.TaskID != nil {
+		if id := b.TaskID(i); id != "" {
+			return id
+		}
+	}
+	return strconv.Itoa(i)
+}
+
+// Executor runs batches of independent work items with the package-level
+// determinism contract. Implementations decide where the work runs
+// (in-process pool, flow workers); callers decide what runs.
 type Executor interface {
 	// Name identifies the back end ("pool", "flow") for flags and reports.
 	Name() string
-	// ForEach runs fn(i) for i in [0, n). fn must be safe for concurrent
-	// invocation on distinct indices. On failure the lowest-index error is
-	// returned and the output of other indices must be discarded.
-	ForEach(n int, fn func(i int) error) error
+	// Run executes b.Fn(i) for i in [0, b.N). On failure the lowest-index
+	// error is returned and the output of other indices must be
+	// discarded. When a TraceSink is attached, Run records one TaskStats
+	// per executed item.
+	Run(b Batch) error
 	// Close releases executor resources (workers, connections). Close is
 	// idempotent; the zero-cost executors treat it as a no-op.
 	Close() error
+}
+
+// ForEach runs fn(i) for i in [0, n) through the executor — the untagged
+// convenience wrapper over Run.
+func ForEach(ex Executor, n int, fn func(i int) error) error {
+	return ex.Run(Batch{N: n, Fn: fn})
 }
 
 // Map applies fn to every element of items through the executor and
 // returns the results in submission order — the generic entry point every
 // compute stage uses, independent of the back end.
 func Map[T, R any](ex Executor, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	return mapBatch(ex, Batch{}, items, fn)
+}
+
+// mapBatch is Map with explicit trace tags; b.N and b.Fn are filled here.
+func mapBatch[T, R any](ex Executor, b Batch, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
 	out := make([]R, len(items))
-	err := ex.ForEach(len(items), func(i int) error {
+	b.N = len(items)
+	b.Fn = func(i int) error {
 		r, err := fn(i, items[i])
 		if err != nil {
 			return err
 		}
 		out[i] = r
 		return nil
-	})
-	if err != nil {
+	}
+	if err := ex.Run(b); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -76,8 +124,10 @@ type SpecDispatcher interface {
 	SpecsOnly() bool
 	// DispatchSpecs runs the named kernel once per argument block and
 	// returns the result payloads in argument order. On failure the error
-	// of the lowest argument index is returned.
-	DispatchSpecs(kernel string, args []json.RawMessage) ([]json.RawMessage, error)
+	// of the lowest argument index is returned. ids, when non-nil, names
+	// each argument block in the recorded trace (ids[i] for args[i]);
+	// nil falls back to decimal indices.
+	DispatchSpecs(kernel string, args []json.RawMessage, ids []string) ([]json.RawMessage, error)
 }
 
 // SpecsOnly reports whether ex requires named-job specs (its workers are
@@ -96,20 +146,38 @@ func SpecsOnly(ex Executor) bool {
 // its arguments as fn, so both paths produce identical values — the
 // cross-process determinism contract TestCampaignMultiProcess enforces
 // end to end.
-func MapSpec[T, R any](ex Executor, kernel string, items []T, arg func(i int, item T) any, fn func(i int, item T) (R, error)) ([]R, error) {
+//
+// id(i, item), when non-nil, names item i in the recorded trace on both
+// paths — the task_id column of the processing-times CSV.
+func MapSpec[T, R any](ex Executor, kernel string, items []T, id func(i int, item T) string, arg func(i int, item T) any, fn func(i int, item T) (R, error)) ([]R, error) {
+	taskID := func(int) string { return "" }
+	if id != nil {
+		taskID = func(i int) string { return id(i, items[i]) }
+	}
 	sd, ok := ex.(SpecDispatcher)
 	if !ok || !sd.SpecsOnly() {
-		return Map(ex, items, fn)
+		b := Batch{Kernel: kernel}
+		if id != nil {
+			b.TaskID = taskID
+		}
+		return mapBatch(ex, b, items, fn)
 	}
 	args := make([]json.RawMessage, len(items))
+	var ids []string
+	if id != nil {
+		ids = make([]string, len(items))
+	}
 	for i, item := range items {
 		raw, err := json.Marshal(arg(i, item))
 		if err != nil {
 			return nil, fmt.Errorf("exec: marshaling %s args [%d]: %w", kernel, i, err)
 		}
 		args[i] = raw
+		if ids != nil {
+			ids[i] = taskID(i)
+		}
 	}
-	payloads, err := sd.DispatchSpecs(kernel, args)
+	payloads, err := sd.DispatchSpecs(kernel, args, ids)
 	if err != nil {
 		return nil, err
 	}

@@ -62,11 +62,11 @@ func TestLowestIndexErrorAcrossExecutors(t *testing.T) {
 
 func TestForEachEmptyAndSingle(t *testing.T) {
 	for _, ex := range executors(t, 3) {
-		if err := ex.ForEach(0, func(int) error { return errors.New("never") }); err != nil {
+		if err := ForEach(ex, 0, func(int) error { return errors.New("never") }); err != nil {
 			t.Errorf("%s: empty ForEach: %v", ex.Name(), err)
 		}
 		var ran atomic.Int64
-		if err := ex.ForEach(1, func(i int) error { ran.Add(1); return nil }); err != nil {
+		if err := ForEach(ex, 1, func(i int) error { ran.Add(1); return nil }); err != nil {
 			t.Errorf("%s: single ForEach: %v", ex.Name(), err)
 		}
 		if ran.Load() != 1 {
@@ -86,7 +86,7 @@ func TestFlowRunsEveryIndexExactlyOnce(t *testing.T) {
 	}
 	const n = 200
 	counts := make([]atomic.Int64, n)
-	if err := fl.ForEach(n, func(i int) error {
+	if err := ForEach(fl, n, func(i int) error {
 		counts[i].Add(1)
 		return nil
 	}); err != nil {
@@ -126,7 +126,7 @@ func TestFlowClosedExecutorErrors(t *testing.T) {
 	}
 	fl.Close()
 	fl.Close() // idempotent
-	if err := fl.ForEach(3, func(int) error { return nil }); err == nil {
+	if err := ForEach(fl, 3, func(int) error { return nil }); err == nil {
 		t.Error("ForEach on closed flow executor must fail")
 	}
 }

@@ -16,8 +16,8 @@ import (
 )
 
 // Flow is the dataflow-backed Executor: a private flow cluster (one
-// Scheduler, W Workers, one Client) over loopback TCP. Every ForEach batch
-// is serialized through the scheduler/worker/client protocol — each index
+// Scheduler, W Workers, one Client) over loopback TCP. Every batch is
+// serialized through the scheduler/worker/client protocol — each index
 // becomes one flow.Task, workers pull tasks in dataflow fashion, and the
 // closure runs in-process on the worker's goroutine, so campaign results
 // are written into the caller's slices exactly as the pool executor would.
@@ -49,6 +49,12 @@ type Flow struct {
 	// single current batch.
 	mu    sync.Mutex
 	batch atomic.Pointer[flowBatch]
+
+	// trace, when set, receives one TaskStats per completed flow task:
+	// worker identity and timings come back over the wire in each
+	// flow.Result (the scheduler stamps the enqueue, the worker brackets
+	// the handler), and PayloadBytes measures the encoded result payload.
+	trace TraceSink
 
 	closeOnce sync.Once
 }
@@ -104,9 +110,9 @@ func NewFlow(workers int) (*Flow, error) {
 // ConnectFlow returns a remote flow executor: a client dialed into a
 // standalone scheduler (started with `proteomectl sched`) whose workers
 // run in other processes, possibly on other hosts. The returned executor
-// dispatches registered named-job specs only (see MapSpec); ForEach with a
-// closure fails, because closures cannot cross process boundaries. The
-// executor must be closed.
+// dispatches registered named-job specs only (see MapSpec); running a
+// closure batch fails, because closures cannot cross process boundaries.
+// The executor must be closed.
 func ConnectFlow(addr string) (*Flow, error) {
 	c, err := flow.ConnectClient(addr)
 	if err != nil {
@@ -156,6 +162,30 @@ func (f *Flow) Name() string {
 	return "flow"
 }
 
+// SetTrace implements Traceable. Set it before the batches it should
+// observe; the sink must be safe for concurrent use.
+func (f *Flow) SetTrace(sink TraceSink) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.trace = sink
+}
+
+// recordResult converts one flow completion record into a TaskStats row.
+// id is the stable trace identity of the item (the wire task ID is a
+// batch-internal index and never surfaces in the trace).
+func recordResult(sink TraceSink, kernel, id string, r *flow.Result) {
+	sink.Record(TaskStats{
+		TaskID:       id,
+		Kernel:       kernel,
+		WorkerID:     r.WorkerID,
+		Enqueue:      r.EnqueuedAt(),
+		Start:        r.Start,
+		Finish:       r.End,
+		PayloadBytes: len(r.Payload),
+		Err:          r.Err,
+	})
+}
+
 // SpecsOnly implements SpecDispatcher: only the remote executor is
 // restricted to specs; the in-process cluster still runs closures.
 func (f *Flow) SpecsOnly() bool { return f.remote }
@@ -166,10 +196,16 @@ func (f *Flow) SpecsOnly() bool { return f.remote }
 // registry (flow.Register). Results arrive in completion order and are
 // re-keyed by task index, so the caller observes argument order; task
 // failures reduce to the lowest-index error — the same contract as
-// ForEach.
-func (f *Flow) DispatchSpecs(kernel string, args []json.RawMessage) ([]json.RawMessage, error) {
+// closure batches. With a trace attached, every completion record becomes
+// a TaskStats row (named by ids[i] when given) as it streams in, wire
+// bytes included — the statsCSV plumbing the paper's processing-times
+// file needs, finally end-to-end across real processes.
+func (f *Flow) DispatchSpecs(kernel string, args []json.RawMessage, ids []string) ([]json.RawMessage, error) {
 	if len(args) == 0 {
 		return nil, nil
+	}
+	if ids != nil && len(ids) != len(args) {
+		return nil, fmt.Errorf("exec: %s batch has %d ids for %d args", kernel, len(ids), len(args))
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -190,7 +226,23 @@ func (f *Flow) DispatchSpecs(kernel string, args []json.RawMessage) ([]json.RawM
 		}
 		tasks[i] = t
 	}
-	results, err := f.client.Map(tasks, nil)
+	traceID := func(idx int) string {
+		if ids != nil && ids[idx] != "" {
+			return ids[idx]
+		}
+		return strconv.Itoa(idx)
+	}
+	var observe func(*flow.Result)
+	if sink := f.trace; sink != nil {
+		observe = func(r *flow.Result) {
+			if suffix, ok := strings.CutPrefix(r.TaskID, prefix); ok {
+				if idx, err := strconv.Atoi(suffix); err == nil && idx >= 0 && idx < len(args) {
+					recordResult(sink, kernel, traceID(idx), r)
+				}
+			}
+		}
+	}
+	results, err := f.client.Map(tasks, observe)
 	if err != nil {
 		return nil, fmt.Errorf("exec: dispatching %s batch: %w", kernel, err)
 	}
@@ -255,7 +307,7 @@ func (f *Flow) handle(t flow.Task) (json.RawMessage, error) {
 	return nil, nil
 }
 
-// ForEach implements Executor: one flow task per index, submitted as a
+// Run implements Executor: one flow task per index, submitted as a
 // single batch through the client's Map. Unlike the pool's cooperative
 // cancellation, every index runs even after a failure — fn is pure, so the
 // only observable effect is identical: the lowest-index error.
@@ -263,7 +315,8 @@ func (f *Flow) handle(t flow.Task) (json.RawMessage, error) {
 // Batches serialize on the executor: fn must not call back into the same
 // executor (the pipeline's stages fan out one batch at a time, never
 // nested, so all call sites satisfy this).
-func (f *Flow) ForEach(n int, fn func(i int) error) error {
+func (f *Flow) Run(batch Batch) error {
+	n := batch.N
 	if n == 0 {
 		return nil
 	}
@@ -276,7 +329,7 @@ func (f *Flow) ForEach(n int, fn func(i int) error) error {
 		return fmt.Errorf("exec: flow executor is closed")
 	}
 
-	b := &flowBatch{fn: fn, ran: make([]bool, n), errs: make([]error, n)}
+	b := &flowBatch{fn: batch.Fn, ran: make([]bool, n), errs: make([]error, n)}
 	f.batch.Store(b)
 	defer f.batch.Store(nil)
 
@@ -284,7 +337,15 @@ func (f *Flow) ForEach(n int, fn func(i int) error) error {
 	for i := range tasks {
 		tasks[i] = flow.Task{ID: strconv.Itoa(i)}
 	}
-	results, err := f.client.Map(tasks, nil)
+	var observe func(*flow.Result)
+	if sink := f.trace; sink != nil {
+		observe = func(r *flow.Result) {
+			if i, err := strconv.Atoi(r.TaskID); err == nil && i >= 0 && i < n {
+				recordResult(sink, batch.Kernel, batch.taskID(i), r)
+			}
+		}
+	}
+	results, err := f.client.Map(tasks, observe)
 	if err != nil {
 		return fmt.Errorf("exec: flow batch: %w", err)
 	}

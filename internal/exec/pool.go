@@ -1,6 +1,11 @@
 package exec
 
-import "repro/internal/parallel"
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/parallel"
+)
 
 // Pool is the in-process Executor: a thin adapter over the bounded,
 // deterministic worker pool in internal/parallel. The zero value runs at
@@ -9,6 +14,12 @@ import "repro/internal/parallel"
 type Pool struct {
 	// Workers bounds the pool (<= 0 selects GOMAXPROCS).
 	Workers int
+
+	// trace, when set, receives one TaskStats per executed item: the pool
+	// workers stamp enqueue (batch submission), start, and finish times
+	// around the closure. PayloadBytes is always 0 — nothing crosses a
+	// wire in-process.
+	trace TraceSink
 }
 
 // NewPool returns a pool executor bounded at workers.
@@ -17,10 +28,36 @@ func NewPool(workers int) *Pool { return &Pool{Workers: workers} }
 // Name implements Executor.
 func (p *Pool) Name() string { return "pool" }
 
-// ForEach implements Executor by delegating to parallel.ForEach, which
-// collects by submission index and surfaces the lowest-index error.
-func (p *Pool) ForEach(n int, fn func(i int) error) error {
-	return parallel.ForEach(p.Workers, n, fn)
+// SetTrace implements Traceable. Set it before the batches it should
+// observe; the sink must be safe for concurrent use.
+func (p *Pool) SetTrace(sink TraceSink) { p.trace = sink }
+
+// Run implements Executor by delegating to the parallel pool, which
+// collects by submission index and surfaces the lowest-index error. With a
+// trace attached, each pool worker stamps its items' timings and identity.
+func (p *Pool) Run(b Batch) error {
+	if p.trace == nil {
+		return parallel.ForEach(p.Workers, b.N, b.Fn)
+	}
+	sink := p.trace
+	enqueue := time.Now()
+	return parallel.ForEachWorker(p.Workers, b.N, func(worker, i int) error {
+		start := time.Now()
+		err := b.Fn(i)
+		stats := TaskStats{
+			TaskID:   b.taskID(i),
+			Kernel:   b.Kernel,
+			WorkerID: fmt.Sprintf("pool-w%03d", worker),
+			Enqueue:  enqueue,
+			Start:    start,
+			Finish:   time.Now(),
+		}
+		if err != nil {
+			stats.Err = err.Error()
+		}
+		sink.Record(stats)
+		return err
+	})
 }
 
 // Close implements Executor; the pool holds no persistent resources.

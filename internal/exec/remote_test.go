@@ -84,7 +84,7 @@ func TestRemoteFlowDispatchSpecs(t *testing.T) {
 	for i := range items {
 		items[i] = i
 	}
-	out, err := MapSpec(f, "exectest/square", items,
+	out, err := MapSpec(f, "exectest/square", items, nil,
 		func(_ int, n int) any { return n },
 		func(_ int, n int) (int, error) { t.Fatal("closure must not run on a remote executor"); return 0, nil })
 	if err != nil {
@@ -100,7 +100,7 @@ func TestRemoteFlowDispatchSpecs(t *testing.T) {
 func TestRemoteFlowLowestIndexError(t *testing.T) {
 	f := remoteCluster(t, 4)
 	items := []int{0, 2, 5, 3, 8, 9}
-	_, err := MapSpec(f, "exectest/failodd", items,
+	_, err := MapSpec(f, "exectest/failodd", items, nil,
 		func(_ int, n int) any { return n },
 		func(_ int, n int) (int, error) { return n, nil })
 	if err == nil {
@@ -114,7 +114,7 @@ func TestRemoteFlowLowestIndexError(t *testing.T) {
 
 func TestRemoteFlowUnknownKernel(t *testing.T) {
 	f := remoteCluster(t, 1)
-	_, err := f.DispatchSpecs("exectest/unregistered", []json.RawMessage{json.RawMessage(`1`)})
+	_, err := f.DispatchSpecs("exectest/unregistered", []json.RawMessage{json.RawMessage(`1`)}, nil)
 	if err == nil || !strings.Contains(err.Error(), "unknown kernel") {
 		t.Fatalf("err = %v, want unknown kernel", err)
 	}
@@ -122,12 +122,12 @@ func TestRemoteFlowUnknownKernel(t *testing.T) {
 
 func TestRemoteFlowRejectsClosures(t *testing.T) {
 	f := remoteCluster(t, 1)
-	err := f.ForEach(3, func(i int) error { return nil })
+	err := ForEach(f, 3, func(i int) error { return nil })
 	if err == nil || !strings.Contains(err.Error(), "closures") {
 		t.Fatalf("ForEach on remote executor: err = %v, want closure rejection", err)
 	}
 	// n == 0 short-circuits before the remote guard, like every executor.
-	if err := f.ForEach(0, nil); err != nil {
+	if err := ForEach(f, 0, nil); err != nil {
 		t.Fatalf("ForEach(0) = %v", err)
 	}
 }
@@ -135,7 +135,7 @@ func TestRemoteFlowRejectsClosures(t *testing.T) {
 func TestRemoteFlowClosed(t *testing.T) {
 	f := remoteCluster(t, 1)
 	f.Close()
-	if _, err := f.DispatchSpecs("exectest/square", []json.RawMessage{json.RawMessage(`1`)}); err == nil {
+	if _, err := f.DispatchSpecs("exectest/square", []json.RawMessage{json.RawMessage(`1`)}, nil); err == nil {
 		t.Fatal("DispatchSpecs on closed executor succeeded")
 	}
 }
@@ -145,7 +145,7 @@ func TestMapSpecFallsBackToClosures(t *testing.T) {
 	// the closure; arg builders must not even be invoked for the pool.
 	pool := &Pool{Workers: 4}
 	items := []int{1, 2, 3}
-	out, err := MapSpec(pool, "exectest/square", items,
+	out, err := MapSpec(pool, "exectest/square", items, nil,
 		func(_ int, n int) any { t.Fatal("arg builder must not run on the pool"); return nil },
 		func(_ int, n int) (int, error) { return n + 10, nil })
 	if err != nil {
@@ -163,7 +163,7 @@ func TestMapSpecFallsBackToClosures(t *testing.T) {
 	if SpecsOnly(fl) {
 		t.Fatal("in-process flow executor must not be specs-only")
 	}
-	out, err = MapSpec(fl, "exectest/square", items,
+	out, err = MapSpec(fl, "exectest/square", items, nil,
 		func(_ int, n int) any { return n },
 		func(_ int, n int) (int, error) { return n + 20, nil })
 	if err != nil {
@@ -186,7 +186,7 @@ func TestInProcessFlowServesSpecTasks(t *testing.T) {
 	defer fl.Close()
 	out, err := fl.DispatchSpecs("exectest/square", []json.RawMessage{
 		json.RawMessage(`3`), json.RawMessage(`4`),
-	})
+	}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +235,7 @@ func TestConcurrentClientsSharedScheduler(t *testing.T) {
 				for i := range args {
 					args[i] = json.RawMessage(fmt.Sprintf("%d", base+i))
 				}
-				out, err := f.DispatchSpecs("exectest/square", args)
+				out, err := f.DispatchSpecs("exectest/square", args, nil)
 				if err != nil {
 					errs <- fmt.Errorf("client %d round %d: %w", c, r, err)
 					return
@@ -260,7 +260,7 @@ func TestConcurrentClientsSharedScheduler(t *testing.T) {
 
 func TestDispatchSpecsEmpty(t *testing.T) {
 	f := remoteCluster(t, 1)
-	out, err := f.DispatchSpecs("exectest/square", nil)
+	out, err := f.DispatchSpecs("exectest/square", nil, nil)
 	if err != nil || out != nil {
 		t.Fatalf("empty dispatch = %v, %v", out, err)
 	}

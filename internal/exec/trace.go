@@ -1,0 +1,178 @@
+package exec
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// TaskStats is the per-task telemetry record of one executed work item —
+// the row of the paper's processing-times file: which kernel ran, where it
+// was placed, when it was enqueued, started, and finished, and how many
+// payload bytes came back over the wire. Timings are wall-clock and vary
+// run to run; nothing in a campaign report ever depends on them — the
+// trace is an observation channel, never an input.
+type TaskStats struct {
+	// TaskID is the stable, human-meaningful identity of the work item
+	// (a protein ID, a "target/m3" inference slot), not the wire task ID.
+	TaskID string
+	// Kernel names the batch ("campaign/feature", ...); empty for
+	// untagged fan-outs (the experiment helpers).
+	Kernel string
+	// WorkerID identifies the placement: a pool worker ("pool-w003") or a
+	// flow worker, possibly in another OS process.
+	WorkerID string
+	// Enqueue is when the task entered the queue (batch submission for
+	// the pool, the scheduler's queue stamp for flow). Start and Finish
+	// bracket the handler execution on the worker.
+	Enqueue time.Time
+	Start   time.Time
+	Finish  time.Time
+	// PayloadBytes measures the encoded result payload that crossed the
+	// wire back to the client (0 for in-process closure batches, which
+	// return nothing over the wire). This is what the summary-only result
+	// mode shrinks.
+	PayloadBytes int
+	// Err is the task's failure message ("" on success).
+	Err string
+}
+
+// QueueSeconds is the time the task spent waiting for a worker.
+func (s *TaskStats) QueueSeconds() float64 {
+	if s.Enqueue.IsZero() || s.Start.Before(s.Enqueue) {
+		return 0
+	}
+	return s.Start.Sub(s.Enqueue).Seconds()
+}
+
+// RunSeconds is the handler execution time.
+func (s *TaskStats) RunSeconds() float64 { return s.Finish.Sub(s.Start).Seconds() }
+
+// TraceSink receives one TaskStats record per executed task. Sinks must be
+// safe for concurrent use: pool workers and the flow client record from
+// their own goroutines. Executors treat the sink as fire-and-forget — a
+// sink must never block on the caller.
+type TraceSink interface {
+	Record(TaskStats)
+}
+
+// Trace is the standard in-memory TraceSink: an append-only, concurrency-
+// safe collector with CSV export in the paper's processing-times schema.
+// The zero value is ready to use.
+type Trace struct {
+	mu   sync.Mutex
+	rows []TaskStats
+}
+
+// Record implements TraceSink.
+func (t *Trace) Record(s TaskStats) {
+	t.mu.Lock()
+	t.rows = append(t.rows, s)
+	t.mu.Unlock()
+}
+
+// Len reports the number of recorded tasks.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.rows)
+}
+
+// Rows returns a copy of the recorded stats in chronological order
+// (enqueue, then start, with task ID as the deterministic tiebreaker).
+func (t *Trace) Rows() []TaskStats {
+	t.mu.Lock()
+	rows := append([]TaskStats(nil), t.rows...)
+	t.mu.Unlock()
+	sort.SliceStable(rows, func(i, j int) bool {
+		if !rows[i].Enqueue.Equal(rows[j].Enqueue) {
+			return rows[i].Enqueue.Before(rows[j].Enqueue)
+		}
+		if !rows[i].Start.Equal(rows[j].Start) {
+			return rows[i].Start.Before(rows[j].Start)
+		}
+		return rows[i].TaskID < rows[j].TaskID
+	})
+	return rows
+}
+
+// WireBytes sums the payload bytes of every recorded task — the measure
+// the summary-only result mode is judged by.
+func (t *Trace) WireBytes() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for i := range t.rows {
+		n += t.rows[i].PayloadBytes
+	}
+	return n
+}
+
+// WriteCSV writes the trace as the paper's processing-times CSV.
+func (t *Trace) WriteCSV(w io.Writer) error { return WriteStatsCSV(w, t.Rows()) }
+
+// StatsHeader is the fixed column order of the processing-times CSV. Tests
+// gate this header verbatim; changing it is a schema change.
+var StatsHeader = []string{
+	"task_id", "kernel", "worker_id",
+	"enqueued_unix_ns", "start_unix_ns", "finish_unix_ns",
+	"queue_s", "run_s", "payload_bytes", "error",
+}
+
+// WriteStatsCSV writes TaskStats rows as CSV in the StatsHeader schema —
+// one row per task, the artifact the paper's load-balance analysis (and
+// internal/analysis.LoadBalance) is built on.
+func WriteStatsCSV(w io.Writer, rows []TaskStats) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(StatsHeader); err != nil {
+		return fmt.Errorf("exec: writing stats header: %w", err)
+	}
+	for i := range rows {
+		r := &rows[i]
+		// An absent enqueue stamp (pre-telemetry peer) prints as 0, not
+		// as the zero time's nonsensical UnixNano.
+		enqueueNS := int64(0)
+		if !r.Enqueue.IsZero() {
+			enqueueNS = r.Enqueue.UnixNano()
+		}
+		rec := []string{
+			r.TaskID,
+			r.Kernel,
+			r.WorkerID,
+			strconv.FormatInt(enqueueNS, 10),
+			strconv.FormatInt(r.Start.UnixNano(), 10),
+			strconv.FormatInt(r.Finish.UnixNano(), 10),
+			strconv.FormatFloat(r.QueueSeconds(), 'f', 6, 64),
+			strconv.FormatFloat(r.RunSeconds(), 'f', 6, 64),
+			strconv.Itoa(r.PayloadBytes),
+			r.Err,
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("exec: writing stats row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Traceable is the optional Executor extension for telemetry: both back
+// ends implement it. SetTrace installs the sink every subsequent batch
+// records into (nil disables tracing); it must be called before the
+// batches it should observe.
+type Traceable interface {
+	SetTrace(TraceSink)
+}
+
+// AttachTrace installs sink on ex when the executor supports tracing,
+// reporting whether it did.
+func AttachTrace(ex Executor, sink TraceSink) bool {
+	tr, ok := ex.(Traceable)
+	if ok {
+		tr.SetTrace(sink)
+	}
+	return ok
+}

@@ -1,0 +1,261 @@
+package exec
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestStatsCSVGoldenSchema gates the processing-times CSV schema: header
+// verbatim, column order, and row shape. Changing any of it is a schema
+// change that must be made deliberately (downstream analyses parse this).
+func TestStatsCSVGoldenSchema(t *testing.T) {
+	base := time.Unix(1643068800, 0).UTC() // 2022-01-25, the paper's arXiv date
+	rows := []TaskStats{
+		{
+			TaskID: "DVU_00001", Kernel: "campaign/feature", WorkerID: "w01",
+			Enqueue: base, Start: base.Add(250 * time.Millisecond),
+			Finish: base.Add(1250 * time.Millisecond), PayloadBytes: 512,
+		},
+		{
+			TaskID: "DVU_00002/m3", Kernel: "campaign/infer", WorkerID: "w02",
+			Enqueue: base.Add(time.Second), Start: base.Add(1500 * time.Millisecond),
+			Finish: base.Add(2 * time.Second), PayloadBytes: 0, Err: "boom",
+		},
+	}
+	var sb strings.Builder
+	if err := WriteStatsCSV(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	golden := "task_id,kernel,worker_id,enqueued_unix_ns,start_unix_ns,finish_unix_ns,queue_s,run_s,payload_bytes,error\n" +
+		"DVU_00001,campaign/feature,w01,1643068800000000000,1643068800250000000,1643068801250000000,0.250000,1.000000,512,\n" +
+		"DVU_00002/m3,campaign/infer,w02,1643068801000000000,1643068801500000000,1643068802000000000,0.500000,0.500000,0,boom\n"
+	if sb.String() != golden {
+		t.Errorf("stats CSV schema changed:\n--- got ---\n%s--- want ---\n%s", sb.String(), golden)
+	}
+}
+
+func TestTraceRowsChronological(t *testing.T) {
+	base := time.Unix(100, 0)
+	tr := &Trace{}
+	tr.Record(TaskStats{TaskID: "late", Enqueue: base.Add(2 * time.Second)})
+	tr.Record(TaskStats{TaskID: "b", Enqueue: base, Start: base})
+	tr.Record(TaskStats{TaskID: "a", Enqueue: base, Start: base})
+	rows := tr.Rows()
+	if len(rows) != 3 || tr.Len() != 3 {
+		t.Fatalf("rows = %d, len = %d", len(rows), tr.Len())
+	}
+	if rows[0].TaskID != "a" || rows[1].TaskID != "b" || rows[2].TaskID != "late" {
+		t.Errorf("order = %s,%s,%s; want a,b,late (ties break by task ID)",
+			rows[0].TaskID, rows[1].TaskID, rows[2].TaskID)
+	}
+}
+
+func TestTaskStatsDurations(t *testing.T) {
+	base := time.Unix(7, 0)
+	s := TaskStats{Enqueue: base, Start: base.Add(time.Second), Finish: base.Add(3 * time.Second)}
+	if q := s.QueueSeconds(); q != 1 {
+		t.Errorf("QueueSeconds = %v, want 1", q)
+	}
+	if r := s.RunSeconds(); r != 2 {
+		t.Errorf("RunSeconds = %v, want 2", r)
+	}
+	// No enqueue stamp (pre-telemetry peer): queue time degrades to 0.
+	s2 := TaskStats{Start: base, Finish: base}
+	if q := s2.QueueSeconds(); q != 0 {
+		t.Errorf("QueueSeconds without stamp = %v, want 0", q)
+	}
+}
+
+// TestPoolRecordsTrace: the pool back end stamps per-task timings, worker
+// placement, and the batch tags — with results byte-identical to the
+// untraced run.
+func TestPoolRecordsTrace(t *testing.T) {
+	pool := NewPool(3)
+	trace := &Trace{}
+	if !AttachTrace(pool, trace) {
+		t.Fatal("pool must implement Traceable")
+	}
+	items := []int{10, 20, 30, 40}
+	out, err := MapSpec(pool, "test/kernel", items,
+		func(i int, v int) string { return fmt.Sprintf("item-%d", v) },
+		func(_ int, v int) any { return v },
+		func(_ int, v int) (int, error) { return v * 2, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range items {
+		if out[i] != v*2 {
+			t.Fatalf("out[%d] = %d", i, out[i])
+		}
+	}
+	rows := trace.Rows()
+	if len(rows) != len(items) {
+		t.Fatalf("trace rows = %d, want %d", len(rows), len(items))
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		seen[r.TaskID] = true
+		if r.Kernel != "test/kernel" {
+			t.Errorf("kernel = %q", r.Kernel)
+		}
+		if !strings.HasPrefix(r.WorkerID, "pool-w") {
+			t.Errorf("worker = %q, want pool-w*", r.WorkerID)
+		}
+		if r.Enqueue.After(r.Start) || r.Start.After(r.Finish) {
+			t.Errorf("task %s: timings out of order", r.TaskID)
+		}
+		if r.PayloadBytes != 0 {
+			t.Errorf("task %s: in-process payload bytes = %d, want 0", r.TaskID, r.PayloadBytes)
+		}
+		if r.Err != "" {
+			t.Errorf("task %s: unexpected error %q", r.TaskID, r.Err)
+		}
+	}
+	for _, v := range items {
+		if !seen[fmt.Sprintf("item-%d", v)] {
+			t.Errorf("no trace row for item-%d", v)
+		}
+	}
+}
+
+func TestPoolTraceRecordsErrors(t *testing.T) {
+	pool := NewPool(2)
+	trace := &Trace{}
+	pool.SetTrace(trace)
+	err := ForEach(pool, 3, func(i int) error {
+		if i == 1 {
+			return fmt.Errorf("task %d exploded", i)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected the task error")
+	}
+	found := false
+	for _, r := range trace.Rows() {
+		if r.Err != "" {
+			found = true
+			if r.TaskID != "1" {
+				t.Errorf("error recorded for task %q, want 1 (untagged = index)", r.TaskID)
+			}
+		}
+	}
+	if !found {
+		t.Error("no trace row carries the task error")
+	}
+}
+
+// TestFlowRecordsTrace: the loopback flow back end records worker identity
+// and the scheduler's enqueue stamp from the wire protocol.
+func TestFlowRecordsTrace(t *testing.T) {
+	fl, err := NewFlow(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	trace := &Trace{}
+	if !AttachTrace(fl, trace) {
+		t.Fatal("flow must implement Traceable")
+	}
+	const n = 20
+	if err := ForEach(fl, n, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	rows := trace.Rows()
+	if len(rows) != n {
+		t.Fatalf("trace rows = %d, want %d", len(rows), n)
+	}
+	for _, r := range rows {
+		if !strings.HasPrefix(r.WorkerID, "exec-w") {
+			t.Errorf("worker = %q, want a flow worker", r.WorkerID)
+		}
+		if r.Enqueue.IsZero() {
+			t.Errorf("task %s has no scheduler enqueue stamp", r.TaskID)
+		}
+		if r.Start.Before(r.Enqueue) || r.Finish.Before(r.Start) {
+			t.Errorf("task %s: timings out of order", r.TaskID)
+		}
+	}
+}
+
+// TestRemoteDispatchRecordsTrace: spec dispatch across the scheduler
+// records the caller's task IDs and the measured wire bytes of each
+// result payload.
+func TestRemoteDispatchRecordsTrace(t *testing.T) {
+	f := remoteCluster(t, 2)
+	trace := &Trace{}
+	f.SetTrace(trace)
+	items := []int{7, 8, 9}
+	out, err := MapSpec(f, "exectest/square", items,
+		func(_ int, v int) string { return "sq-" + strconv.Itoa(v) },
+		func(_ int, v int) any { return v },
+		func(_ int, v int) (int, error) { t.Fatal("closure must not run remotely"); return 0, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range items {
+		if out[i] != v*v {
+			t.Fatalf("out[%d] = %d", i, out[i])
+		}
+	}
+	rows := trace.Rows()
+	if len(rows) != len(items) {
+		t.Fatalf("trace rows = %d, want %d", len(rows), len(items))
+	}
+	wire := 0
+	seen := map[string]bool{}
+	for _, r := range rows {
+		seen[r.TaskID] = true
+		if r.Kernel != "exectest/square" {
+			t.Errorf("kernel = %q", r.Kernel)
+		}
+		if !strings.HasPrefix(r.WorkerID, "spec-w") {
+			t.Errorf("worker = %q", r.WorkerID)
+		}
+		if r.PayloadBytes <= 0 {
+			t.Errorf("task %s: payload bytes = %d, want > 0 (results cross the wire)", r.TaskID, r.PayloadBytes)
+		}
+		wire += r.PayloadBytes
+	}
+	for _, v := range items {
+		if !seen["sq-"+strconv.Itoa(v)] {
+			t.Errorf("no trace row for sq-%d", v)
+		}
+	}
+	if trace.WireBytes() != wire {
+		t.Errorf("WireBytes = %d, want %d", trace.WireBytes(), wire)
+	}
+	// The CSV export of a real trace parses and keeps the schema width.
+	var sb strings.Builder
+	if err := trace.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(items)+1 {
+		t.Fatalf("csv rows = %d", len(recs))
+	}
+	for _, rec := range recs {
+		if len(rec) != len(StatsHeader) {
+			t.Fatalf("csv width = %d, want %d", len(rec), len(StatsHeader))
+		}
+	}
+}
+
+func TestAttachTraceUnsupported(t *testing.T) {
+	if AttachTrace(nopExecutor{}, &Trace{}) {
+		t.Error("AttachTrace on a sink-less executor must report false")
+	}
+}
+
+type nopExecutor struct{}
+
+func (nopExecutor) Name() string      { return "nop" }
+func (nopExecutor) Run(b Batch) error { return nil }
+func (nopExecutor) Close() error      { return nil }

@@ -120,6 +120,19 @@ func TestTable1CrossExecutor(t *testing.T) {
 	}
 	defer flow8.Close()
 
+	// Tracing is observation only: executors with a TraceSink attached
+	// must stay byte-identical to untraced runs on every back end.
+	tracedPool := exec.NewPool(8)
+	poolTrace := &exec.Trace{}
+	tracedPool.SetTrace(poolTrace)
+	tracedFlow, err := exec.NewFlow(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tracedFlow.Close()
+	flowTrace := &exec.Trace{}
+	tracedFlow.SetTrace(flowTrace)
+
 	variants := []struct {
 		name string
 		res  *Table1Result
@@ -127,6 +140,13 @@ func TestTable1CrossExecutor(t *testing.T) {
 		{"pool-8", run(nil, 8)},
 		{"flow-2", run(flow2, 0)},
 		{"flow-8", run(flow8, 0)},
+		{"pool-8-traced", run(tracedPool, 0)},
+		{"flow-4-traced", run(tracedFlow, 0)},
+	}
+	for name, tr := range map[string]*exec.Trace{"pool": poolTrace, "flow": flowTrace} {
+		if tr.Len() == 0 {
+			t.Errorf("%s executor recorded no task stats", name)
+		}
 	}
 	for _, v := range variants {
 		if !reflect.DeepEqual(serial, v.res) {

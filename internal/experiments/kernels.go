@@ -115,7 +115,9 @@ func (w *kernelWorld) protein(species, id string) (proteome.Protein, error) {
 }
 
 // featureKernel is the remote body of the feature stage: derive one
-// protein's features and its contended filesystem search time.
+// protein's features and its contended filesystem search time. In summary
+// mode the full feature arrays stay on the worker and only a digest
+// crosses the wire — same compute, strictly fewer payload bytes.
 func featureKernel(args json.RawMessage) (json.RawMessage, error) {
 	var s core.FeatureSpec
 	if err := json.Unmarshal(args, &s); err != nil {
@@ -134,6 +136,9 @@ func featureKernel(args json.RawMessage) (json.RawMessage, error) {
 	dur, err := s.FS.SearchTime(s.DB, base, s.JobsPerCopy)
 	if err != nil {
 		return nil, err
+	}
+	if s.Summary {
+		return json.Marshal(core.FeatureOut{Digest: core.DigestFeatures(f), Seconds: dur})
 	}
 	return json.Marshal(core.FeatureOut{Features: f, Seconds: dur})
 }

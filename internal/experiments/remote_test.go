@@ -79,6 +79,90 @@ func TestCampaignRemoteSpecDispatch(t *testing.T) {
 	}
 }
 
+// TestCampaignSummaryMode is the wire-cost contract of the summary-only
+// result mode: with Config.SummaryOnly the campaign's numbers (inference,
+// relax, ledger, feature timings) are identical to full mode, the feature
+// payloads stay off the wire (digests replace them), and the measured
+// wire bytes in the trace are strictly fewer.
+func TestCampaignSummaryMode(t *testing.T) {
+	env := NewEnv(DefaultSeed)
+	proteins := env.Proteome(proteome.DVulgaris).FilterMaxLen(2500)[:60]
+
+	run := func(summary bool) (*core.CampaignReport, *exec.Trace) {
+		rf := remoteExecutor(t, 2)
+		trace := &exec.Trace{}
+		rf.SetTrace(trace)
+		cfg := core.DefaultConfig()
+		cfg.Executor = rf
+		cfg.Remote = &core.RemoteCampaign{Seed: DefaultSeed, Species: proteome.DVulgaris.Code}
+		cfg.SummaryOnly = summary
+		rep, err := core.RunCampaign(env.Engine, env.FeatureGen(), proteins, env.FS, core.ReducedDatabase(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, trace
+	}
+	full, fullTrace := run(false)
+	sum, sumTrace := run(true)
+
+	// Every reported number is unchanged; only the feature payload
+	// representation differs.
+	if !reflect.DeepEqual(sum.Inference, full.Inference) {
+		t.Error("summary-mode inference report differs from full mode")
+	}
+	if !reflect.DeepEqual(sum.Relax, full.Relax) {
+		t.Error("summary-mode relax report differs from full mode")
+	}
+	if !reflect.DeepEqual(sum.Ledger, full.Ledger) {
+		t.Error("summary-mode ledger differs from full mode")
+	}
+	if sum.Feature.WalltimeSec != full.Feature.WalltimeSec ||
+		sum.Feature.NodeHours != full.Feature.NodeHours ||
+		sum.Feature.Jobs != full.Feature.Jobs {
+		t.Error("summary-mode feature timings differ from full mode")
+	}
+
+	// Full payloads stayed on the workers; digests summarise them.
+	for id, f := range sum.Feature.Features {
+		if f != nil {
+			t.Fatalf("summary mode shipped full features for %s", id)
+		}
+	}
+	if len(sum.Feature.Digests) != len(proteins) {
+		t.Fatalf("digests = %d, want %d", len(sum.Feature.Digests), len(proteins))
+	}
+	gen := env.FeatureGen()
+	for _, p := range proteins[:5] {
+		f, err := gen.Features(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := core.DigestFeatures(f)
+		if got := sum.Feature.Digests[p.Seq.ID]; !reflect.DeepEqual(got, want) {
+			t.Errorf("digest for %s = %+v, want %+v", p.Seq.ID, got, want)
+		}
+	}
+
+	// The reduction is observable in the recorded trace: strictly fewer
+	// wire bytes overall, and specifically on the feature batch.
+	if sumTrace.WireBytes() >= fullTrace.WireBytes() {
+		t.Errorf("summary wire bytes = %d, want < full %d", sumTrace.WireBytes(), fullTrace.WireBytes())
+	}
+	kernelBytes := func(tr *exec.Trace) int {
+		n := 0
+		for _, r := range tr.Rows() {
+			if r.Kernel == core.KernelFeature {
+				n += r.PayloadBytes
+			}
+		}
+		return n
+	}
+	if kernelBytes(sumTrace) >= kernelBytes(fullTrace) {
+		t.Errorf("summary feature-batch bytes = %d, want < full %d",
+			kernelBytes(sumTrace), kernelBytes(fullTrace))
+	}
+}
+
 // TestKernelWorldCacheBounded: a worker serving many distinct seeds must
 // not pin every campaign world it ever built.
 func TestKernelWorldCacheBounded(t *testing.T) {

@@ -2,14 +2,11 @@ package flow
 
 import (
 	"bufio"
-	"encoding/csv"
 	"encoding/json"
 	"fmt"
-	"io"
 	"net"
 	"os"
 	"sort"
-	"strconv"
 	"sync"
 	"time"
 )
@@ -75,9 +72,11 @@ func ConnectClientFile(path string) (*Client, error) {
 
 // Map submits all tasks in one batch and blocks until every result has
 // arrived, returning results in completion order (the dataflow order, not
-// submission order). If statsCSV is non-nil, a CSV row per task is written
-// as results stream in, mirroring the paper's processing-times file.
-func (c *Client) Map(tasks []Task, statsCSV io.Writer) ([]Result, error) {
+// submission order). If observe is non-nil it is called once per result as
+// completion records stream in — the hook the per-task processing-times
+// telemetry (exec.TaskStats) is recorded through. observe runs on Map's
+// goroutine and must not block.
+func (c *Client) Map(tasks []Task, observe func(*Result)) ([]Result, error) {
 	if len(tasks) == 0 {
 		return nil, nil
 	}
@@ -100,14 +99,6 @@ func (c *Client) Map(tasks []Task, statsCSV io.Writer) ([]Result, error) {
 	}
 	_ = c.conn.SetWriteDeadline(time.Time{})
 
-	var cw *csv.Writer
-	if statsCSV != nil {
-		cw = csv.NewWriter(statsCSV)
-		if err := cw.Write([]string{"task_id", "worker_id", "start_unix_ns", "end_unix_ns", "duration_s", "error"}); err != nil {
-			return nil, err
-		}
-	}
-
 	results := make([]Result, 0, len(tasks))
 	accepted := false
 	for len(results) < len(tasks) {
@@ -129,31 +120,14 @@ func (c *Client) Map(tasks []Task, statsCSV io.Writer) ([]Result, error) {
 			if m.Result == nil {
 				continue
 			}
-			r := *m.Result
-			results = append(results, r)
-			if cw != nil {
-				if err := cw.Write([]string{
-					r.TaskID,
-					r.WorkerID,
-					strconv.FormatInt(r.Start.UnixNano(), 10),
-					strconv.FormatInt(r.End.UnixNano(), 10),
-					strconv.FormatFloat(r.Duration().Seconds(), 'f', 6, 64),
-					r.Err,
-				}); err != nil {
-					return results, err
-				}
-				cw.Flush()
+			results = append(results, *m.Result)
+			if observe != nil {
+				observe(&results[len(results)-1])
 			}
 		}
 	}
 	_ = accepted
 	_ = c.conn.SetReadDeadline(time.Time{})
-	if cw != nil {
-		cw.Flush()
-		if err := cw.Error(); err != nil {
-			return results, err
-		}
-	}
 	return results, nil
 }
 

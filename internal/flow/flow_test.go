@@ -1,8 +1,6 @@
 package flow
 
 import (
-	"bytes"
-	"encoding/csv"
 	"encoding/json"
 	"fmt"
 	"path/filepath"
@@ -129,29 +127,43 @@ func TestHandlerErrorsAreReported(t *testing.T) {
 	}
 }
 
-func TestStatsCSV(t *testing.T) {
+func TestMapObserverStreamsResults(t *testing.T) {
 	_, _, c := startCluster(t, 3, echoHandler)
-	var buf bytes.Buffer
-	if _, err := c.Map(makeTasks(10), &buf); err != nil {
-		t.Fatal(err)
-	}
-	rows, err := csv.NewReader(&buf).ReadAll()
+	seen := map[string]int{}
+	results, err := c.Map(makeTasks(10), func(r *Result) {
+		seen[r.TaskID]++
+		if r.WorkerID == "" {
+			t.Errorf("observer saw %s with no worker identity", r.TaskID)
+		}
+		if r.EnqueuedNS == 0 {
+			t.Errorf("observer saw %s with no scheduler enqueue stamp", r.TaskID)
+		}
+		if r.Start.Before(r.EnqueuedAt()) {
+			t.Errorf("task %s started before it was enqueued", r.TaskID)
+		}
+		if r.QueueDuration() < 0 {
+			t.Errorf("task %s has negative queue time", r.TaskID)
+		}
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 11 { // header + 10
-		t.Fatalf("csv rows = %d", len(rows))
+	if len(results) != 10 || len(seen) != 10 {
+		t.Fatalf("results = %d, observed = %d, want 10", len(results), len(seen))
 	}
-	if rows[0][0] != "task_id" || rows[0][1] != "worker_id" {
-		t.Errorf("csv header = %v", rows[0])
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("observer saw %s %d times", id, n)
+		}
 	}
-	for _, row := range rows[1:] {
-		if len(row) != 6 {
-			t.Fatalf("csv row width = %d", len(row))
-		}
-		if row[1] == "" {
-			t.Error("missing worker id in stats")
-		}
+}
+
+func TestResultQueueDurationZeroWithoutStamp(t *testing.T) {
+	// Results from a pre-telemetry peer carry no enqueue stamp; queue time
+	// must degrade to zero, never negative.
+	r := Result{Start: time.Now(), End: time.Now()}
+	if d := r.QueueDuration(); d != 0 {
+		t.Fatalf("QueueDuration without stamp = %v, want 0", d)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 // panic, and never a spec that re-encodes unfaithfully.
 func FuzzDecodeSpec(f *testing.F) {
 	f.Add([]byte(`{"kernel":"campaign/feature","args":{"seed":1,"species":"DVU","id":"DVU_00001"}}`))
+	f.Add([]byte(`{"kernel":"campaign/feature","args":{"seed":1,"species":"DVU","id":"DVU_00001","summary":true}}`))
 	f.Add([]byte(`{"kernel":"campaign/infer","args":{"model":4,"preset":{"Name":"genome"}}}`))
 	f.Add([]byte(`{"kernel":"k"}`))
 	f.Add([]byte(`{"args":[1,2,3]}`))
@@ -70,7 +71,9 @@ func FuzzParseSchedulerFile(f *testing.F) {
 func FuzzDecodeMessage(f *testing.F) {
 	f.Add([]byte(`{"type":"register","worker_id":"w1","slots":1}`))
 	f.Add([]byte(`{"type":"task","task":{"id":"t1","weight":2.5,"payload":{"kernel":"k"}}}`))
+	f.Add([]byte(`{"type":"task","task":{"id":"t1","enqueued_ns":1643068800000000000,"payload":{"kernel":"campaign/feature","args":{"summary":true}}}}`))
 	f.Add([]byte(`{"type":"result","result":{"task_id":"t1","worker_id":"w1","start":"2022-01-25T00:00:00Z","end":"2022-01-25T00:00:01Z","error":"boom"}}`))
+	f.Add([]byte(`{"type":"result","result":{"task_id":"t1","worker_id":"w1","enqueued_ns":1643068800000000000,"start":"2022-01-25T00:00:01Z","end":"2022-01-25T00:00:02Z","payload":{"digest":{"length":120,"depth":14,"neff":6.5,"templates":2}}}}`))
 	f.Add([]byte(`{"type":"submit","tasks":[{"id":"a"},{"id":"b"}]}`))
 	f.Add([]byte(`{"type":"accepted","count":2}`))
 	f.Add([]byte(`{"type":"shutdown"}`))
@@ -102,8 +105,14 @@ func FuzzDecodeMessage(f *testing.F) {
 		if m.Task != nil && again.Task.ID != m.Task.ID {
 			t.Fatalf("task ID changed: %q != %q", again.Task.ID, m.Task.ID)
 		}
+		if m.Task != nil && again.Task.EnqueuedNS != m.Task.EnqueuedNS {
+			t.Fatalf("task enqueue stamp changed across round trip")
+		}
 		if m.Result != nil && (again.Result.TaskID != m.Result.TaskID || again.Result.Err != m.Result.Err) {
 			t.Fatalf("result changed across round trip")
+		}
+		if m.Result != nil && again.Result.EnqueuedNS != m.Result.EnqueuedNS {
+			t.Fatalf("result enqueue stamp changed across round trip")
 		}
 	})
 }

@@ -1,8 +1,6 @@
 package flow
 
 import (
-	"bytes"
-	"encoding/csv"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -86,44 +84,7 @@ func TestWorkerReadTimeoutUnblocksLoop(t *testing.T) {
 	}
 }
 
-// failingWriter errors after a byte budget, exercising the stats-CSV
-// error branches of Client.Map.
-type failingWriter struct {
-	budget int
-}
-
-func (f *failingWriter) Write(p []byte) (int, error) {
-	if f.budget <= 0 {
-		return 0, fmt.Errorf("disk full")
-	}
-	n := len(p)
-	if n > f.budget {
-		n = f.budget
-	}
-	f.budget -= n
-	if n < len(p) {
-		return n, fmt.Errorf("disk full")
-	}
-	return n, nil
-}
-
-func TestStatsCSVWriterErrorFailsMap(t *testing.T) {
-	_, _, c := startCluster(t, 2, echoHandler)
-	// Budget covers the header and roughly one row, then fails: Map must
-	// surface the write error rather than silently dropping stats.
-	_, err := c.Map(makeTasks(10), &failingWriter{budget: 80})
-	if err == nil || !strings.Contains(err.Error(), "disk full") {
-		t.Errorf("Map error = %v, want the CSV writer's failure", err)
-	}
-
-	// A writer that fails immediately dies on the header/first flush.
-	_, err = c.Map(makeTasks(5), &failingWriter{})
-	if err == nil || !strings.Contains(err.Error(), "disk full") {
-		t.Errorf("Map error = %v, want the CSV writer's failure", err)
-	}
-}
-
-func TestStatsCSVRecordsHandlerErrors(t *testing.T) {
+func TestMapObserverSeesHandlerErrors(t *testing.T) {
 	h := func(task Task) (json.RawMessage, error) {
 		if task.ID == "t001" {
 			return nil, fmt.Errorf("kaboom")
@@ -131,27 +92,23 @@ func TestStatsCSVRecordsHandlerErrors(t *testing.T) {
 		return nil, nil
 	}
 	_, _, c := startCluster(t, 2, h)
-	var buf bytes.Buffer
-	if _, err := c.Map(makeTasks(4), &buf); err != nil {
+	errs := map[string]string{}
+	if _, err := c.Map(makeTasks(4), func(r *Result) {
+		errs[r.TaskID] = r.Err
+	}); err != nil {
 		t.Fatal(err)
 	}
-	rows, err := csv.NewReader(&buf).ReadAll()
-	if err != nil {
-		t.Fatal(err)
+	if len(errs) != 4 {
+		t.Fatalf("observer saw %d results, want 4", len(errs))
 	}
-	found := false
-	for _, row := range rows[1:] {
-		if row[0] == "t001" {
-			found = true
-			if !strings.Contains(row[5], "kaboom") {
-				t.Errorf("error column = %q, want the handler error", row[5])
+	for id, msg := range errs {
+		if id == "t001" {
+			if !strings.Contains(msg, "kaboom") {
+				t.Errorf("observed error for t001 = %q, want the handler error", msg)
 			}
-		} else if row[5] != "" {
-			t.Errorf("task %s has spurious error %q", row[0], row[5])
+		} else if msg != "" {
+			t.Errorf("task %s has spurious error %q", id, msg)
 		}
-	}
-	if !found {
-		t.Error("no stats row for the failing task")
 	}
 }
 

@@ -10,8 +10,10 @@
 //     finishes the previous one, so the queue drains with no global
 //     synchronization;
 //   - a Client that submits the whole batch in one Map call and streams
-//     completion records, appending per-task statistics (start and end
-//     processing times, worker identity) to a CSV file.
+//     completion records carrying per-task statistics (the scheduler's
+//     enqueue stamp, start and end processing times, worker identity) to
+//     an observer — the feed the paper's processing-times CSV is written
+//     from (exec.TaskStats).
 //
 // The wire protocol is newline-delimited JSON over TCP, using only the
 // standard library.
@@ -30,21 +32,49 @@ type Task struct {
 	// paper's longest-first sort); the engine itself does not interpret it.
 	Weight  float64         `json:"weight,omitempty"`
 	Payload json.RawMessage `json:"payload,omitempty"`
+	// EnqueuedNS is stamped by the scheduler (unix nanoseconds) when the
+	// task enters its queue and travels with the assignment so the worker
+	// can echo it in the Result — the queue-time half of the paper's
+	// per-task processing-times telemetry. Unix nanos rather than
+	// time.Time so an unstamped task (client submit, pre-telemetry peer)
+	// really omits the field on the wire. Clients leave it zero.
+	EnqueuedNS int64 `json:"enqueued_ns,omitempty"`
 }
 
 // Result is the completion record of one task, including the timing fields
-// the paper's CSV collects.
+// the paper's CSV collects: worker identity, the scheduler's enqueue
+// stamp, and the handler's start/end bracket.
 type Result struct {
-	TaskID   string          `json:"task_id"`
-	WorkerID string          `json:"worker_id"`
-	Start    time.Time       `json:"start"`
-	End      time.Time       `json:"end"`
-	Payload  json.RawMessage `json:"payload,omitempty"`
-	Err      string          `json:"error,omitempty"`
+	TaskID     string          `json:"task_id"`
+	WorkerID   string          `json:"worker_id"`
+	EnqueuedNS int64           `json:"enqueued_ns,omitempty"`
+	Start      time.Time       `json:"start"`
+	End        time.Time       `json:"end"`
+	Payload    json.RawMessage `json:"payload,omitempty"`
+	Err        string          `json:"error,omitempty"`
 }
 
 // Duration returns the task processing time.
 func (r *Result) Duration() time.Duration { return r.End.Sub(r.Start) }
+
+// EnqueuedAt returns the scheduler's enqueue stamp as a time (zero when
+// the stamp is absent — a pre-telemetry peer).
+func (r *Result) EnqueuedAt() time.Time {
+	if r.EnqueuedNS == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, r.EnqueuedNS)
+}
+
+// QueueDuration returns the time the task waited between the scheduler's
+// enqueue stamp and the worker picking it up (0 when the stamp is absent).
+func (r *Result) QueueDuration() time.Duration {
+	enq := r.EnqueuedAt()
+	if enq.IsZero() || r.Start.Before(enq) {
+		return 0
+	}
+	return r.Start.Sub(enq)
+}
 
 // Failed reports whether the task handler returned an error.
 func (r *Result) Failed() bool { return r.Err != "" }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"sync"
@@ -15,6 +16,14 @@ import (
 // transitions happen on a single event loop goroutine; connection
 // goroutines communicate with it over channels.
 type Scheduler struct {
+	// PlacementLog, when set before Start, receives one line per
+	// task-to-worker assignment ("assign <task> -> <worker>") — the
+	// scheduler-side half of the per-task telemetry, mirroring the
+	// transition log Dask's scheduler keeps. Written only from the event
+	// loop goroutine; write errors are ignored (logging must never stall
+	// scheduling).
+	PlacementLog io.Writer
+
 	ln   net.Listener
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -197,6 +206,9 @@ func (s *Scheduler) eventLoop() {
 			t := q.task
 			w.current = &t
 			inFlight[t.ID] = q
+			if s.PlacementLog != nil {
+				fmt.Fprintf(s.PlacementLog, "assign %s -> %s\n", t.ID, w.id)
+			}
 			if err := w.enc.Encode(message{Type: msgTask, Task: &t}); err != nil {
 				// Worker send failed: requeue and drop the worker.
 				delete(inFlight, t.ID)
@@ -259,7 +271,12 @@ func (s *Scheduler) eventLoop() {
 			case "submit":
 				e.cc.pending += len(e.tsk)
 				_ = e.cc.enc.Encode(message{Type: msgAccepted, Count: len(e.tsk)})
+				// The scheduler owns the enqueue stamp: it marks when the
+				// task entered the queue, and travels with the assignment
+				// so the worker can echo it back in the Result.
+				now := time.Now().UnixNano()
 				for _, t := range e.tsk {
+					t.EnqueuedNS = now
 					queue = append(queue, queued{task: t, client: e.cc})
 				}
 				assign()

@@ -99,11 +99,12 @@ func (w *Worker) loop(enc *json.Encoder) {
 		start := time.Now()
 		payload, err := w.handler(*m.Task)
 		res := Result{
-			TaskID:   m.Task.ID,
-			WorkerID: w.ID,
-			Start:    start,
-			End:      time.Now(),
-			Payload:  payload,
+			TaskID:     m.Task.ID,
+			WorkerID:   w.ID,
+			EnqueuedNS: m.Task.EnqueuedNS,
+			Start:      start,
+			End:        time.Now(),
+			Payload:    payload,
 		}
 		if err != nil {
 			res.Err = err.Error()

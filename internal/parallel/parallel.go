@@ -52,6 +52,16 @@ func Workers(requested, n int) int {
 // smallest index, matching serial semantics; items after a known failure
 // are skipped cooperatively.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return run(workers, n, func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorker is ForEach with the executing worker's identity: fn
+// receives (worker, i) where worker is the stable index of the pool
+// goroutine running the item, in [0, Workers(workers, n)). The worker
+// index exists for telemetry (task → worker placement in a recorded
+// trace) and must never influence fn's result — the determinism contract
+// is unchanged.
+func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
 	return run(workers, n, fn)
 }
 
@@ -60,7 +70,7 @@ type indexedError struct {
 	err   error
 }
 
-func run(workers, n int, fn func(i int) error) error {
+func run(workers, n int, fn func(worker, i int) error) error {
 	if n == 0 {
 		return nil
 	}
@@ -69,7 +79,7 @@ func run(workers, n int, fn func(i int) error) error {
 		// Serial reference path: the behaviour every parallel run must
 		// reproduce exactly.
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := fn(0, i); err != nil {
 				return err
 			}
 		}
@@ -84,7 +94,7 @@ func run(workers, n int, fn func(i int) error) error {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				// Claim the next index and read the failure watermark in one
@@ -102,7 +112,7 @@ func run(workers, n int, fn func(i int) error) error {
 				if skip {
 					continue
 				}
-				if err := fn(i); err != nil {
+				if err := fn(worker, i); err != nil {
 					mu.Lock()
 					if i < firstBy.index {
 						firstBy = indexedError{index: i, err: err}
@@ -110,7 +120,7 @@ func run(workers, n int, fn func(i int) error) error {
 					mu.Unlock()
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if firstBy.index < math.MaxInt {

@@ -115,30 +115,157 @@ func (s *System) SC() []geom.Vec3 {
 	return out
 }
 
-// grid is a uniform spatial hash for neighbor search. Grids are reusable:
-// rebind bumps a generation counter instead of sweeping the map, so
-// steady-state rebuilds (every energy evaluation as atoms move) allocate
-// nothing and cost only the atoms actually present — cells left over from
-// earlier generations read as empty without being visited.
+// grid is a uniform neighbor grid backed by an array cell list rather
+// than a map-based spatial hash: atoms are bucketed by integer cell
+// coordinate into one flat counting-sort layout (cellStart/cellAtoms), so
+// the per-evaluation rebuild is two linear passes with no hashing and no
+// per-cell pointers — the map lookups were the dominant cost of
+// EnergyForces after the allocation diet.
+//
+// Binning uses the same floor(p/cell) keys as the original hash (the box
+// origin only offsets the array index, never the cell assignment), and
+// atoms within a cell stay in ascending index order, so pair iteration
+// order — and therefore every floating-point accumulation — is bitwise
+// identical to the map version. Buffers are grow-only: steady-state
+// rebinds allocate nothing.
+//
+// The dense layout costs memory proportional to the bounding-box volume,
+// which for a physical structure is small (a folded or even fully
+// extended chain spans few cells in at least two axes). A pathologically
+// spread geometry — coordinates flung far apart — would make the box
+// volume outgrow the atom count without bound, so rebind falls back to
+// the map-based hash beyond maxDenseCells; both paths bin and order
+// identically, keeping results bitwise equal either way.
 type grid struct {
-	cell  float64
-	gen   uint64
-	cells map[[3]int]*gridCell
+	cell float64
+	// minX/minY/minZ are the integer cell coordinates of the box origin;
+	// nx/ny/nz the box dimensions in cells (dense layout only).
+	minX, minY, minZ int
+	nx, ny, nz       int
+	// keys caches each atom's packed cell index between the two passes.
+	keys []int32
+	// cellStart has nx*ny*nz+1 entries: the atoms of cell c are
+	// cellAtoms[cellStart[c]:cellStart[c+1]], ascending by atom index.
+	cellStart []int32
+	cellAtoms []int32
+	cursorBuf []int32
+
+	// Sparse fallback (box volume > maxDenseCells): the original
+	// generation-counted spatial hash, O(occupied cells) for any
+	// geometry.
+	sparse bool
+	gen    uint64
+	cells  map[[3]int]*gridCell
 }
 
-// gridCell is one occupancy list; it is live only when its gen matches
-// the grid's current generation.
+// gridCell is one sparse-path occupancy list; it is live only when its
+// gen matches the grid's current generation.
 type gridCell struct {
-	atoms []int
+	atoms []int32
 	gen   uint64
 }
 
-// rebind repopulates the grid for a new position set, reusing the cell
-// map and its occupancy slices. Neighbor iteration order (cell ring
-// order, then insertion order by atom index) is unchanged, so results
-// stay bitwise identical to a freshly built grid.
+// maxDenseCells bounds the dense layout's bounding-box volume (4M cells
+// = 16 MB of int32 — far beyond any physical structure; a 2500-residue
+// chain occupies a few hundred thousand cells even fully extended).
+const maxDenseCells = 1 << 22
+
+// rebind repopulates the grid for a new position set, reusing all
+// buffers.
 func (g *grid) rebind(pos []geom.Vec3, cell float64) {
 	g.cell = cell
+	n := len(pos)
+	if cap(g.keys) < n {
+		g.keys = make([]int32, n)
+	}
+	g.keys = g.keys[:n]
+
+	// Pass 1: integer cell coordinates (the hash's floor(p/cell) keys)
+	// and the bounding box.
+	minX, minY, minZ := math.MaxInt, math.MaxInt, math.MaxInt
+	maxX, maxY, maxZ := math.MinInt, math.MinInt, math.MinInt
+	for _, p := range pos {
+		ix := int(math.Floor(p.X / cell))
+		iy := int(math.Floor(p.Y / cell))
+		iz := int(math.Floor(p.Z / cell))
+		if ix < minX {
+			minX = ix
+		}
+		if ix > maxX {
+			maxX = ix
+		}
+		if iy < minY {
+			minY = iy
+		}
+		if iy > maxY {
+			maxY = iy
+		}
+		if iz < minZ {
+			minZ = iz
+		}
+		if iz > maxZ {
+			maxZ = iz
+		}
+	}
+	g.minX, g.minY, g.minZ = minX, minY, minZ
+
+	// Guard the volume computation against overflow: bail to the sparse
+	// path the moment any partial product exceeds the cap.
+	spanX := int64(maxX) - int64(minX) + 1
+	spanY := int64(maxY) - int64(minY) + 1
+	spanZ := int64(maxZ) - int64(minZ) + 1
+	vol := spanX * spanY
+	if n == 0 || spanX > maxDenseCells || spanY > maxDenseCells || spanZ > maxDenseCells ||
+		vol > maxDenseCells || vol*spanZ > maxDenseCells {
+		g.rebindSparse(pos)
+		return
+	}
+	g.sparse = false
+	g.nx, g.ny, g.nz = int(spanX), int(spanY), int(spanZ)
+
+	ncells := g.nx * g.ny * g.nz
+	if cap(g.cellStart) < ncells+1 {
+		g.cellStart = make([]int32, ncells+1)
+	}
+	g.cellStart = g.cellStart[:ncells+1]
+	for i := range g.cellStart {
+		g.cellStart[i] = 0
+	}
+
+	// Pass 2: count occupancy per cell (offset by +1 for the running
+	// prefix below) and cache each atom's cell.
+	for i, p := range pos {
+		ix := int(math.Floor(p.X/cell)) - minX
+		iy := int(math.Floor(p.Y/cell)) - minY
+		iz := int(math.Floor(p.Z/cell)) - minZ
+		c := int32((ix*g.ny+iy)*g.nz + iz)
+		g.keys[i] = c
+		g.cellStart[c+1]++
+	}
+	for c := 0; c < ncells; c++ {
+		g.cellStart[c+1] += g.cellStart[c]
+	}
+
+	// Pass 3: place atoms. Iterating i ascending keeps each cell's
+	// occupancy list in ascending atom order — the map version's append
+	// order, which the bitwise-identity contract depends on.
+	if cap(g.cellAtoms) < n {
+		g.cellAtoms = make([]int32, n)
+	}
+	g.cellAtoms = g.cellAtoms[:n]
+	cursor := g.cursor(ncells)
+	copy(cursor, g.cellStart[:ncells])
+	for i := 0; i < n; i++ {
+		c := g.keys[i]
+		g.cellAtoms[cursor[c]] = int32(i)
+		cursor[c]++
+	}
+}
+
+// rebindSparse is the original spatial hash: generation-counted map
+// cells, O(occupied cells) memory for any spread of coordinates.
+func (g *grid) rebindSparse(pos []geom.Vec3) {
+	g.sparse = true
 	if g.cells == nil {
 		g.cells = make(map[[3]int]*gridCell, len(pos))
 	}
@@ -154,16 +281,35 @@ func (g *grid) rebind(pos []geom.Vec3, cell float64) {
 			c.atoms = c.atoms[:0]
 			c.gen = g.gen
 		}
-		c.atoms = append(c.atoms, i)
+		c.atoms = append(c.atoms, int32(i))
 	}
 }
 
-// at returns the occupancy list of one cell for the current generation.
-func (g *grid) at(k [3]int) []int {
-	if c := g.cells[k]; c != nil && c.gen == g.gen {
-		return c.atoms
+// cursor is the fill-pass scratch, grown alongside cellStart.
+func (g *grid) cursor(ncells int) []int32 {
+	if cap(g.cursorBuf) < ncells {
+		g.cursorBuf = make([]int32, ncells)
 	}
-	return nil
+	g.cursorBuf = g.cursorBuf[:ncells]
+	return g.cursorBuf
+}
+
+// at returns the occupancy list of the cell with integer coordinates k
+// (the same floor(p/cell) coordinates the map keys used); cells outside
+// the bounding box are empty.
+func (g *grid) at(k [3]int) []int32 {
+	if g.sparse {
+		if c := g.cells[k]; c != nil && c.gen == g.gen {
+			return c.atoms
+		}
+		return nil
+	}
+	ix, iy, iz := k[0]-g.minX, k[1]-g.minY, k[2]-g.minZ
+	if ix < 0 || ix >= g.nx || iy < 0 || iy >= g.ny || iz < 0 || iz >= g.nz {
+		return nil
+	}
+	c := (ix*g.ny+iy)*g.nz + iz
+	return g.cellAtoms[g.cellStart[c]:g.cellStart[c+1]]
 }
 
 // gridPool recycles grids for the package-level entry points
@@ -191,7 +337,7 @@ func (g *grid) neighbors(p geom.Vec3, fn func(j int)) {
 		for dy := -1; dy <= 1; dy++ {
 			for dz := -1; dz <= 1; dz++ {
 				for _, j := range g.at([3]int{k[0] + dx, k[1] + dy, k[2] + dz}) {
-					fn(j)
+					fn(int(j))
 				}
 			}
 		}
@@ -257,7 +403,8 @@ func (s *System) EnergyForces(forces []geom.Vec3) float64 {
 		for dx := -1; dx <= 1; dx++ {
 			for dy := -1; dy <= 1; dy++ {
 				for dz := -1; dz <= 1; dz++ {
-					for _, b := range g.at([3]int{k[0] + dx, k[1] + dy, k[2] + dz}) {
+					for _, b32 := range g.at([3]int{k[0] + dx, k[1] + dy, k[2] + dz}) {
+						b := int(b32)
 						if b <= a || s.excluded(a, b) {
 							continue
 						}

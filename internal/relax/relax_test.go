@@ -344,3 +344,54 @@ func BenchmarkEnergyForces300(b *testing.B) {
 		sys.EnergyForces(forces)
 	}
 }
+
+// TestGridSparseFallback: a pathologically spread geometry (box volume
+// far beyond maxDenseCells) must route the neighbor grid onto the sparse
+// map path and still find exactly the close pairs — same binning, same
+// within-cell order, bounded memory.
+func TestGridSparseFallback(t *testing.T) {
+	// Two tight pairs separated by an astronomical offset: the dense
+	// bounding box would need ~(2.6e7)^3 cells.
+	pos := []geom.Vec3{
+		{X: 0, Y: 0, Z: 0},
+		{X: 1, Y: 0, Z: 0},
+		{X: 1e8, Y: 1e8, Z: 1e8},
+		{X: 1e8 + 1, Y: 1e8, Z: 1e8},
+	}
+	g := buildGrid(pos, 3.6)
+	defer gridPool.Put(g)
+	if !g.sparse {
+		t.Fatal("spread geometry did not trigger the sparse fallback")
+	}
+	neighborsOf := func(i int) []int {
+		var got []int
+		g.neighbors(pos[i], func(j int) {
+			if j != i {
+				got = append(got, j)
+			}
+		})
+		return got
+	}
+	for i, want := range [][]int{{1}, {0}, {3}, {2}} {
+		if got := neighborsOf(i); len(got) != 1 || got[0] != want[0] {
+			t.Errorf("neighbors(%d) = %v, want %v", i, got, want)
+		}
+	}
+
+	// A compact rebind of the same grid switches back to the dense path
+	// with identical neighbor semantics.
+	compact := []geom.Vec3{{X: 0, Y: 0, Z: 0}, {X: 1, Y: 1, Z: 1}, {X: 50, Y: 0, Z: 0}}
+	g.rebind(compact, 3.6)
+	if g.sparse {
+		t.Fatal("compact geometry stayed on the sparse path")
+	}
+	var got []int
+	g.neighbors(compact[0], func(j int) {
+		if j != 0 {
+			got = append(got, j)
+		}
+	})
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("dense neighbors(0) = %v, want [1]", got)
+	}
+}
