@@ -138,6 +138,7 @@ func main() {
 	par := flag.Int("parallelism", 0, "host worker-pool size (0 = GOMAXPROCS, 1 = serial); results are identical at any value")
 	executor := flag.String("executor", "pool", "execution back end: pool (in-process) or flow (dataflow scheduler over loopback TCP); results are identical either way")
 	stats := flag.String("stats", "", "write the per-task processing-times CSV (task → worker placement, timings) for every fan-out to this file")
+	timeline := flag.String("timeline", "", "write the Fig-2-style worker-timeline SVG (the recorded fan-outs overlaid on the dataflow simulator's prediction for the same tasks) to this file")
 	summary := flag.Bool("summary", false, "summary-only remote results (core.Config.SummaryOnly); only affects executors that ship specs across processes, never a reported number")
 	flag.Usage = usage
 	flag.Parse()
@@ -161,7 +162,8 @@ func main() {
 		// the flag silently do nothing.
 		fmt.Fprintf(os.Stderr, "afbench: -summary has no effect with -executor=%s (in-process closures); it applies to spec-dispatching remote executors like `proteomectl submit`\n", *executor)
 	}
-	if ex == nil && *stats != "" {
+	wantTrace := *stats != "" || *timeline != ""
+	if ex == nil && wantTrace {
 		// The default pool is implicit in the stages; a trace needs a
 		// concrete executor to attach to.
 		ex = exec.NewPool(*par)
@@ -170,7 +172,7 @@ func main() {
 	if ex != nil {
 		defer ex.Close()
 		env.Executor = ex
-		if *stats != "" {
+		if wantTrace {
 			exec.AttachTrace(ex, trace)
 		}
 	}
@@ -218,6 +220,14 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *timeline != "" {
+		rows := trace.Rows()
+		title := fmt.Sprintf("afbench %s: %d tasks, measured vs simulated", name, len(rows))
+		if err := analysis.WriteTimelineFile(*timeline, rows, title); err != nil {
+			fmt.Fprintf(os.Stderr, "afbench: writing -timeline: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // newExecutor builds the non-default execution back end, or nil for the
@@ -234,7 +244,7 @@ func newExecutor(name string, parallelism int) (exec.Executor, error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: afbench [-seed N] [-parallelism N] [-executor pool|flow] [-stats F] [-summary] <experiment>")
+	fmt.Fprintln(os.Stderr, "usage: afbench [-seed N] [-parallelism N] [-executor pool|flow] [-stats F] [-timeline F] [-summary] <experiment>")
 	fmt.Fprintln(os.Stderr, "experiments:")
 	for _, r := range runners {
 		fmt.Fprintf(os.Stderr, "  %-12s %s\n", r.name, r.desc)

@@ -9,9 +9,12 @@ import (
 	osexec "os/exec"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/analysis"
+	"repro/internal/events"
 	"repro/internal/flow"
 )
 
@@ -59,6 +62,12 @@ func testMain(m *testing.M) int {
 // connected through a scheduler file, returning the file path. All
 // processes are killed at test cleanup.
 func e2eCluster(t *testing.T, n int) string {
+	return e2eClusterArgs(t, n)
+}
+
+// e2eClusterArgs is e2eCluster with extra scheduler flags (e.g.
+// -event-log for the observability tests).
+func e2eClusterArgs(t *testing.T, n int, schedArgs ...string) string {
 	t.Helper()
 	if buildErr != nil {
 		t.Fatal(buildErr)
@@ -80,7 +89,7 @@ func e2eCluster(t *testing.T, n int) string {
 		})
 	}
 
-	spawn("scheduler", "sched", "-listen", "127.0.0.1:0", "-scheduler-file", schedFile)
+	spawn("scheduler", append([]string{"sched", "-listen", "127.0.0.1:0", "-scheduler-file", schedFile}, schedArgs...)...)
 
 	// The scheduler file appears once the scheduler is listening.
 	deadline := time.Now().Add(10 * time.Second)
@@ -317,6 +326,219 @@ func TestSubmitSummaryMode(t *testing.T) {
 	}
 	t.Logf("wire bytes: full %d, summary %d (%.1f%% saved)",
 		fullBytes, sumBytes, 100*(1-float64(sumBytes)/float64(fullBytes)))
+}
+
+// TestMonitorMidCampaign is the observability acceptance test across
+// real processes: a campaign on a scheduler with `-event-log` must be
+// fully reconstructable offline (the log's task set matches the -stats
+// CSV exactly, replays to busy intervals and queue depth, and renders
+// the measured-vs-simulated timeline figure), a `monitor -json` client
+// attaching mid-campaign must observe the same event sequence as the
+// persisted log (backlog + live), and monitoring must not perturb the
+// run — the report stays byte-identical to a monitor-free submit and to
+// the pool executor.
+func TestMonitorMidCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	dir := t.TempDir()
+	eventLog := filepath.Join(dir, "events.jsonl")
+	schedFile := e2eClusterArgs(t, 2, "-event-log", eventLog)
+	statsFile := filepath.Join(dir, "tasks.csv")
+	monitorFile := filepath.Join(dir, "monitor.jsonl")
+
+	campaign := []string{"-species", "DVU", "-preset", "genome", "-limit", "150", "-seed", "20220125"}
+
+	// Baseline: a monitor-free submit on the same cluster. Its events
+	// land in the shared log too — and the campaigns are identical, so
+	// task labels repeat. Snapshot the baseline's last sequence number
+	// so every scheduler-record assertion below is made against the
+	// monitored run's own events, not satisfied by baseline leftovers.
+	plain := runBin(t, append([]string{"submit", "-scheduler-file", schedFile}, campaign...)...)
+	baseData, err := os.ReadFile(eventLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseEvents, err := events.ReadLog(bytes.NewReader(baseData))
+	if err != nil {
+		t.Fatalf("decoding baseline event log: %v", err)
+	}
+	if len(baseEvents) == 0 {
+		t.Fatal("baseline campaign left no events in the log")
+	}
+	baseSeq := baseEvents[len(baseEvents)-1].Seq
+
+	// Monitored run: the submit starts first, the monitor attaches while
+	// the campaign is in flight (the binary takes longer than this to
+	// build its world, so the attach lands mid-campaign).
+	submit := osexec.Command(binPath,
+		append([]string{"submit", "-scheduler-file", schedFile, "-stats", statsFile}, campaign...)...)
+	submit.Stderr = os.Stderr
+	var submitOut bytes.Buffer
+	submit.Stdout = &submitOut
+	if err := submit.Start(); err != nil {
+		t.Fatalf("starting submit: %v", err)
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	monOut, err := os.Create(monitorFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer monOut.Close()
+	mon := osexec.Command(binPath, "monitor", "-scheduler-file", schedFile, "-json")
+	mon.Stdout = monOut
+	mon.Stderr = os.Stderr
+	if err := mon.Start(); err != nil {
+		t.Fatalf("starting monitor: %v", err)
+	}
+	t.Cleanup(func() {
+		_ = mon.Process.Kill()
+		_, _ = mon.Process.Wait()
+	})
+
+	if err := submit.Wait(); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	// Attaching a monitor never perturbs the campaign: byte-identical to
+	// the monitor-free submit and to the pool executor.
+	if submitOut.String() != string(plain) {
+		t.Errorf("monitored report differs from monitor-free submit:\n--- monitored ---\n%s--- plain ---\n%s",
+			submitOut.String(), plain)
+	}
+	pool := runBin(t, append([]string{"run", "-executor", "pool"}, campaign...)...)
+	if submitOut.String() != string(pool) {
+		t.Errorf("monitored report differs from pool executor:\n--- monitored ---\n%s--- pool ---\n%s",
+			submitOut.String(), pool)
+	}
+
+	// The event log's completed-task set for the monitored run (events
+	// past the baseline's last sequence number) must exactly match the
+	// stats CSV's task set — the scheduler-side record and the
+	// client-side trace agree on what ran.
+	header, rows := readStatsCSV(t, statsFile)
+	idCol := statsColumn(t, header, "task_id")
+	csvTasks := map[string]bool{}
+	for _, row := range rows {
+		csvTasks[row[idCol]] = true
+	}
+	logData, err := os.ReadFile(eventLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logged, err := events.ReadLog(bytes.NewReader(logData))
+	if err != nil {
+		t.Fatalf("decoding event log: %v", err)
+	}
+	logTasks := map[string]bool{}
+	for _, e := range logged {
+		if e.Seq > baseSeq && (e.Type == events.TaskDone || e.Type == events.TaskFailed) {
+			logTasks[e.Task] = true
+		}
+	}
+	for id := range csvTasks {
+		if !logTasks[id] {
+			t.Errorf("task %s in the stats CSV but never completed in the event log", id)
+		}
+	}
+	for id := range logTasks {
+		if !csvTasks[id] {
+			t.Errorf("task %s completed in the event log but absent from the stats CSV", id)
+		}
+	}
+
+	// Offline reconstruction: the log alone replays to per-worker busy
+	// intervals and queue depth, and renders the measured-vs-simulated
+	// timeline figure. The monitored run's delta alone must account for
+	// one busy interval per CSV row — the full-log replay would also be
+	// satisfied by baseline events.
+	var delta []events.Event
+	for _, e := range logged {
+		if e.Seq > baseSeq {
+			delta = append(delta, e)
+		}
+	}
+	deltaRep, err := events.ReplayEvents(delta)
+	if err != nil {
+		t.Fatalf("replaying monitored-run events: %v", err)
+	}
+	if len(deltaRep.Intervals) < len(rows) {
+		t.Errorf("monitored run replayed to %d busy intervals, want >= %d (one per CSV row)", len(deltaRep.Intervals), len(rows))
+	}
+	if deltaRep.MaxDepth() == 0 {
+		t.Error("monitored run observed no queue depth on a 2-worker campaign")
+	}
+	rep, err := events.ReplayEvents(logged)
+	if err != nil {
+		t.Fatalf("replaying event log: %v", err)
+	}
+	if len(rep.Workers) != 2 {
+		t.Errorf("replay workers = %v, want the 2 e2e workers", rep.Workers)
+	}
+	fig, err := analysis.ReplayTimeline(rep, "e2e campaign")
+	if err != nil {
+		t.Fatalf("building replay timeline: %v", err)
+	}
+	var svg bytes.Buffer
+	if err := fig.Render(&svg); err != nil {
+		t.Fatalf("rendering replay timeline: %v", err)
+	}
+	if !strings.Contains(svg.String(), "</svg>") || len(fig.Simulated) == 0 {
+		t.Error("replay timeline did not render a complete overlay figure")
+	}
+
+	// The monitor observed the same event sequence as the persisted log:
+	// its raw JSONL output is a prefix of the log (backlog + live), and
+	// it caught every completion. Poll until the monitor's writer has
+	// drained, then stop it.
+	deadline := time.Now().Add(30 * time.Second)
+	var monLines []string
+	for {
+		data, err := os.ReadFile(monitorFile)
+		if err == nil {
+			monLines = strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+			monTasks := map[string]bool{}
+			if evs, err := events.ReadLog(bytes.NewReader(data)); err == nil {
+				for _, e := range evs {
+					// Only the monitored run's completions count: the
+					// backlog replays the baseline's identical labels.
+					if e.Seq > baseSeq && (e.Type == events.TaskDone || e.Type == events.TaskFailed) {
+						monTasks[e.Task] = true
+					}
+				}
+				complete := true
+				for id := range csvTasks {
+					if !monTasks[id] {
+						complete = false
+						break
+					}
+				}
+				if complete {
+					break
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("monitor did not observe every completion in time")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	_ = mon.Process.Kill()
+	_, _ = mon.Process.Wait()
+
+	logLines := strings.Split(strings.TrimRight(string(logData), "\n"), "\n")
+	if len(monLines) > len(logLines) {
+		t.Fatalf("monitor printed %d events, log has %d", len(monLines), len(logLines))
+	}
+	for i, line := range monLines {
+		if line != logLines[i] {
+			t.Fatalf("monitor event %d differs from the persisted log:\nmonitor: %s\nlog:     %s", i, line, logLines[i])
+		}
+	}
 }
 
 // TestSubmitSurvivesWorkerChurn kills one worker mid-campaign: the

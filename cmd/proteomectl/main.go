@@ -14,12 +14,18 @@
 //
 // Multi-process deployment (one command per terminal or host):
 //
-//	proteomectl sched -listen :8786 -scheduler-file sched.json
+//	proteomectl sched -listen :8786 -scheduler-file sched.json -event-log events.jsonl
 //	proteomectl worker -scheduler-file sched.json
 //	proteomectl submit -scheduler-file sched.json -species DVU
+//	proteomectl monitor -scheduler-file sched.json
+//
+// The monitor is read-only: it tails the scheduler's structured event
+// stream (queue depth, per-worker in-flight, throughput) without any
+// cooperation from the submitting client.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -30,6 +36,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/exec"
 	"repro/internal/experiments"
 	"repro/internal/flow"
@@ -61,6 +68,8 @@ func main() {
 		err = workerCmd(os.Args[2:], os.Stdout)
 	case "submit":
 		err = submitCmd(os.Args[2:], os.Stdout)
+	case "monitor":
+		err = monitorCmd(os.Args[2:], os.Stdout)
 	default:
 		usage()
 		os.Exit(2)
@@ -103,20 +112,27 @@ commands:
   species                       list the paper's four species
   generate -species C -out F    write a synthetic proteome as FASTA
   run -species C [-preset P] [-nodes N] [-seed S] [-limit K]
-      [-executor pool|flow] [-stats F]
+      [-executor pool|flow] [-stats F] [-timeline F]
                                 run the three-stage pipeline on the simulator
   predict -species C -id ID [-out F] [-seed S]
                                 predict + relax one protein, write PDB
-  sched -listen A [-scheduler-file F] [-log-placement]
-                                start a standalone dataflow scheduler
+  sched -listen A [-scheduler-file F] [-log-placement] [-event-log F]
+                                start a standalone dataflow scheduler;
+                                -event-log persists the structured task
+                                transition stream as JSONL
   worker (-connect A | -scheduler-file F) [-id ID]
                                 start a worker serving the campaign kernels
   submit (-connect A | -scheduler-file F) -species C [-preset P] [-nodes N]
-      [-seed S] [-limit K] [-stats F] [-summary]
+      [-seed S] [-limit K] [-stats F] [-timeline F] [-summary]
                                 run the campaign on the remote cluster;
                                 -stats writes the per-task processing-times
-                                CSV, -summary keeps feature payloads off
-                                the wire`)
+                                CSV, -timeline the measured-vs-simulated
+                                worker-timeline SVG, -summary keeps feature
+                                and prediction payloads off the wire
+  monitor (-connect A | -scheduler-file F) [-json]
+                                tail a running campaign live (queue depth,
+                                per-worker in-flight, throughput) from the
+                                scheduler's event stream; read-only`)
 }
 
 func findSpecies(code string) (proteome.Species, error) {
@@ -175,13 +191,14 @@ func generateCmd(args []string, stdout io.Writer) error {
 // campaign must be expressible on the simulator and on a remote cluster so
 // the two reports can be compared byte for byte.
 type campaignFlags struct {
-	species string
-	preset  string
-	nodes   int
-	seed    uint64
-	limit   int
-	par     int
-	stats   string
+	species  string
+	preset   string
+	nodes    int
+	seed     uint64
+	limit    int
+	par      int
+	stats    string
+	timeline string
 }
 
 func (c *campaignFlags) register(fs *flag.FlagSet) {
@@ -191,30 +208,46 @@ func (c *campaignFlags) register(fs *flag.FlagSet) {
 	fs.Uint64Var(&c.seed, "seed", experiments.DefaultSeed, "campaign seed")
 	fs.IntVar(&c.limit, "limit", 0, "run only the first K proteins (0 = all); smoke-test and e2e knob")
 	fs.StringVar(&c.stats, "stats", "", "write the per-task processing-times CSV (task → worker placement, queue/run timings, wire bytes) to this file")
+	fs.StringVar(&c.timeline, "timeline", "", "write the Fig-2-style worker-timeline SVG (the recorded run overlaid on the dataflow simulator's prediction for the same tasks, plus queue depth) to this file")
 	// -parallelism is registered by `run` only: `submit` computes on the
 	// remote workers, so a host pool-size knob would be inert there.
 }
 
-// finishStats writes the recorded trace as the processing-times CSV and
-// prints the load-balance summary to stderr — stderr, so the stdout
-// report stays byte-identical with stats on or off.
+// wantTrace reports whether any output flag needs a recorded trace.
+func (c *campaignFlags) wantTrace() bool { return c.stats != "" || c.timeline != "" }
+
+// finishStats writes the recorded trace as the processing-times CSV
+// and/or the worker-timeline figure, and prints the load-balance summary
+// to stderr — stderr, so the stdout report stays byte-identical with
+// tracing on or off.
 func (c *campaignFlags) finishStats(trace *exec.Trace) error {
-	if c.stats == "" {
+	if !c.wantTrace() {
 		return nil
 	}
 	rows := trace.Rows()
-	f, err := os.Create(c.stats)
-	if err != nil {
-		return err
+	if c.stats != "" {
+		f, err := os.Create(c.stats)
+		if err != nil {
+			return err
+		}
+		if err := exec.WriteStatsCSV(f, rows); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if err := analysis.LoadBalance(rows, 10).Render(os.Stderr); err != nil {
+			return err
+		}
 	}
-	if err := exec.WriteStatsCSV(f, rows); err != nil {
-		f.Close()
-		return err
+	if c.timeline != "" {
+		title := fmt.Sprintf("%s campaign: %d tasks, measured vs simulated", c.species, len(rows))
+		if err := analysis.WriteTimelineFile(c.timeline, rows, title); err != nil {
+			return err
+		}
 	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	return analysis.LoadBalance(rows, 10).Render(os.Stderr)
+	return nil
 }
 
 // campaignRun is the resolved world a `run` or `submit` operates on.
@@ -306,7 +339,7 @@ func runCmd(args []string, stdout io.Writer) error {
 	cr.env.Executor = ex
 	cr.cfg.Executor = ex
 	trace := &exec.Trace{}
-	if cf.stats != "" {
+	if cf.wantTrace() {
 		exec.AttachTrace(ex, trace)
 	}
 
@@ -326,13 +359,22 @@ func schedCmd(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("sched", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:8786", "address to listen on (host:port; port 0 picks one)")
 	schedFile := fs.String("scheduler-file", "", "write a JSON scheduler file advertising the bound address")
-	logPlacement := fs.Bool("log-placement", false, "log every task-to-worker assignment to stdout")
+	logPlacement := fs.Bool("log-placement", false, "log every task assignment and completion to stdout")
+	eventLog := fs.String("event-log", "", "persist the structured task-transition stream (received/queued/assigned/running/done/failed + worker join/leave) as JSONL to this file; replayable offline with events.ReadLog")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	s := flow.NewScheduler()
 	if *logPlacement {
 		s.PlacementLog = stdout
+	}
+	if *eventLog != "" {
+		f, err := os.Create(*eventLog)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		s.EventLog = f
 	}
 	addr, err := s.Start(*listen)
 	if err != nil {
@@ -427,7 +469,7 @@ func submitCmd(args []string, stdout io.Writer) error {
 	defer fl.Close()
 	fl.SetResultTimeout(*resultTimeout)
 	trace := &exec.Trace{}
-	if cf.stats != "" {
+	if cf.wantTrace() {
 		fl.SetTrace(trace)
 	}
 	cr.cfg.Executor = fl
@@ -440,6 +482,117 @@ func submitCmd(args []string, stdout io.Writer) error {
 	}
 	printReport(stdout, cr, rep)
 	return cf.finishStats(trace)
+}
+
+// monitorCmd attaches a read-only monitor to a running scheduler — the
+// fourth terminal of the deployment. It needs no cooperation from the
+// submitting client: the scheduler replays its full event backlog, then
+// streams live transitions, and the monitor renders queue depth,
+// per-worker in-flight counts, and throughput as they change. Attaching
+// or detaching never perturbs the campaign (the report is byte-identical
+// with or without a monitor connected).
+func monitorCmd(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("monitor", flag.ContinueOnError)
+	connect := fs.String("connect", "", "scheduler address (host:port)")
+	schedFile := fs.String("scheduler-file", "", "scheduler file to read the address from")
+	jsonOut := fs.Bool("json", false, "print raw event records as JSONL (the sched -event-log format) instead of live summary lines")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if (*connect == "") == (*schedFile == "") {
+		return fmt.Errorf("monitor needs exactly one of -connect or -scheduler-file")
+	}
+	var m *flow.Monitor
+	var err error
+	if *connect != "" {
+		m, err = flow.ConnectMonitor(*connect)
+	} else {
+		m, err = flow.ConnectMonitorFile(*schedFile)
+	}
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	// Detach on a signal: closing the monitor fails the blocking Next, so
+	// the loop ends cleanly and prints its summary.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	go func() {
+		<-sig
+		m.Close()
+	}()
+	return runMonitor(m, stdout, *jsonOut)
+}
+
+// eventSource is the stream runMonitor drains — flow.Monitor in
+// production, a scripted source in tests.
+type eventSource interface {
+	Next() (events.Event, error)
+}
+
+// runMonitor drains the monitor's event stream until the scheduler goes
+// away or the monitor is closed. In raw mode every event is echoed as
+// JSONL — byte-identical to the scheduler's -event-log file, which the
+// e2e suite exploits. Otherwise each event becomes one live summary line
+// followed by a closing throughput summary. A clean stream end
+// (scheduler shutdown, Ctrl-C detach — flow.ErrStreamEnd) is the normal
+// exit; any other error (invalid frame, abrupt reset) is surfaced, so a
+// truncated -json capture never masquerades as a complete log.
+func runMonitor(m eventSource, w io.Writer, raw bool) error {
+	if raw {
+		enc := json.NewEncoder(w)
+		for {
+			e, err := m.Next()
+			if err != nil {
+				if errors.Is(err, flow.ErrStreamEnd) {
+					return nil
+				}
+				return err
+			}
+			if err := enc.Encode(e); err != nil {
+				return err
+			}
+		}
+	}
+	tr := events.NewTracker()
+	firstNS := int64(-1)
+	for {
+		e, err := m.Next()
+		if err != nil {
+			if !errors.Is(err, flow.ErrStreamEnd) {
+				return err
+			}
+			break
+		}
+		tr.Observe(e)
+		if firstNS < 0 {
+			firstNS = e.TimeNS
+		}
+		subject := e.Task
+		if subject == "" {
+			subject = e.Worker
+		}
+		detail := ""
+		switch {
+		case e.Err != "":
+			detail = " err=" + e.Err
+		case e.Type == events.TaskAssigned || e.Type == events.TaskRunning ||
+			e.Type == events.TaskDone || e.Type == events.TaskFailed:
+			detail = " worker=" + e.Worker
+		}
+		fmt.Fprintf(w, "%12.3fs %-11s %-24s queue=%-5d busy=%-4d done=%-6d failed=%-3d workers=%d%s\n",
+			e.Seconds(), e.Type, subject,
+			tr.QueueDepth, tr.Busy(), tr.Done, tr.Failed, len(tr.Workers), detail)
+	}
+	span := float64(tr.LastNS-firstNS) / 1e9
+	throughput := 0.0
+	if span > 0 {
+		throughput = float64(tr.Done) / span
+	}
+	fmt.Fprintf(w, "monitor: %d received, %d done, %d failed, %d dropped over %.3f s (%.2f tasks/s)\n",
+		tr.Received, tr.Done, tr.Failed, tr.Dropped, span, throughput)
+	return nil
 }
 
 func waitForSignal() {

@@ -41,12 +41,14 @@
 // -parallelism, 0 = GOMAXPROCS), or programmatically via Env.Executor and
 // core.Config.Executor.
 //
-// The multi-process deployment itself is three proteomectl subcommands,
-// one per terminal or host — the paper's Summit recipe (Section 3.3):
+// The multi-process deployment itself is four proteomectl subcommands,
+// one per terminal or host — the paper's Summit recipe (Section 3.3),
+// plus a read-only monitor:
 //
-//	proteomectl sched -listen :8786 -scheduler-file sched.json
+//	proteomectl sched -listen :8786 -scheduler-file sched.json -event-log events.jsonl
 //	proteomectl worker -scheduler-file sched.json   # repeat per GPU
 //	proteomectl submit -scheduler-file sched.json -species DVU
+//	proteomectl monitor -scheduler-file sched.json  # optional, any time
 //
 // See examples/dask_cluster/README.md for the full recipe. Workers are
 // disposable: the scheduler requeues in-flight tasks when one disconnects
@@ -65,10 +67,33 @@
 // internal/analysis.LoadBalance computes the per-worker busy fractions
 // and task-time histogram from it). Tracing is observation only: reports
 // are byte-identical with stats on or off. The opt-in `-summary` flag
-// additionally keeps full per-protein feature payloads off the wire —
-// feature kernels return a core.FeatureDigest instead — producing the
+// additionally keeps full per-protein feature and prediction payloads
+// off the wire — feature kernels return a core.FeatureDigest and
+// inference kernels a core.PredictionDigest instead — producing the
 // byte-identical printed report with strictly fewer wire bytes
 // (TestSubmitSummaryMode measures the reduction in the recorded trace).
+//
+// The scheduler side is observable through internal/events, the
+// structured counterpart of Dask's per-task transition log: every task
+// walks the typed state machine received → queued → assigned → running →
+// done/failed (workers join and leave the same stream), stamped
+// scheduler-side with monotonic times, persisted as JSONL (`sched
+// -event-log`), rendered as the free-text placement log (now including
+// completions), and streamed over the wire to read-only monitor clients
+// — flow.ConnectMonitor / `proteomectl monitor` replays the full backlog
+// and then follows live, so a monitor attaching mid-campaign observes
+// the same sequence as the persisted log, with queue depth, per-worker
+// in-flight counts, and throughput computed by events.Tracker.
+// events.ReplayEvents reconstructs per-worker busy intervals and
+// queue-depth-over-time from a log alone, and internal/svgplot renders
+// the Fig-2-style worker-timeline + queue-depth figure as
+// dependency-free, byte-deterministic SVG — with an overlay mode drawing
+// a recorded campaign against cluster.SimulateDataflow's prediction for
+// the same task set (`afbench -timeline`, `proteomectl run/submit
+// -timeline`, analysis.ReplayTimeline for event logs). Monitoring and
+// figure rendering are observation only: TestMonitorMidCampaign proves a
+// campaign report byte-identical with and without a monitor attached,
+// and that the event log's task set exactly matches the stats CSV.
 //
 // CI enforces the perf + determinism contract: a bench-regression job
 // gates the kernel microbenchmarks against BENCH_BASELINE.json through

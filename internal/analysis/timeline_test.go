@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/events"
+	"repro/internal/exec"
+)
+
+// fakeStats builds a two-worker trace: w0 runs a (0–2s) then c (3–4s),
+// w1 runs b (0–3s). Everything was enqueued at t=0.
+func fakeStats() []exec.TaskStats {
+	t0 := time.Unix(1000, 0)
+	at := func(s float64) time.Time { return t0.Add(time.Duration(s * float64(time.Second))) }
+	return []exec.TaskStats{
+		{TaskID: "a", Kernel: "k", WorkerID: "w0", Enqueue: at(0), Start: at(0.5), Finish: at(2)},
+		{TaskID: "b", Kernel: "k", WorkerID: "w1", Enqueue: at(0), Start: at(0.5), Finish: at(3)},
+		{TaskID: "c", Kernel: "k", WorkerID: "w0", Enqueue: at(0), Start: at(2.5), Finish: at(4)},
+	}
+}
+
+func TestSimTasksFromStats(t *testing.T) {
+	tasks := SimTasksFromStats(fakeStats())
+	if len(tasks) != 3 {
+		t.Fatalf("tasks = %d, want 3", len(tasks))
+	}
+	// Enqueue order with task-ID tiebreak: a, b, c.
+	if tasks[0].ID != "a" || tasks[1].ID != "b" || tasks[2].ID != "c" {
+		t.Fatalf("order = %s, %s, %s", tasks[0].ID, tasks[1].ID, tasks[2].ID)
+	}
+	if tasks[0].Duration != 1.5 || tasks[1].Duration != 2.5 || tasks[2].Duration != 1.5 {
+		t.Fatalf("durations = %v, %v, %v", tasks[0].Duration, tasks[1].Duration, tasks[2].Duration)
+	}
+}
+
+func TestTimelineFromStats(t *testing.T) {
+	fig, err := TimelineFromStats(fakeStats(), "test run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 2 || fig.Rows[0] != "w0" || fig.Rows[1] != "w1" {
+		t.Fatalf("rows = %v", fig.Rows)
+	}
+	if len(fig.Measured) != 3 {
+		t.Fatalf("measured blocks = %d", len(fig.Measured))
+	}
+	// Block "a": row 0, 0.5–2s after the trace origin.
+	found := false
+	for _, iv := range fig.Measured {
+		if iv.Label == "a" {
+			found = true
+			if iv.Row != 0 || iv.Start != 0.5 || iv.End != 2 {
+				t.Errorf("block a = %+v", iv)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no measured block for task a")
+	}
+	// The overlay simulates the same three tasks on two workers.
+	if len(fig.Simulated) != 3 {
+		t.Fatalf("simulated blocks = %d", len(fig.Simulated))
+	}
+	// Queue depth: 3 enqueued at 0, two starts at 0.5, one at 2.5.
+	wantDepth := []struct {
+		t float64
+		d int
+	}{{0, 3}, {0.5, 1}, {2.5, 0}}
+	if len(fig.Depth) != len(wantDepth) {
+		t.Fatalf("depth = %+v", fig.Depth)
+	}
+	for i, w := range wantDepth {
+		if fig.Depth[i].T != w.t || fig.Depth[i].Depth != w.d {
+			t.Fatalf("depth[%d] = %+v, want %+v", i, fig.Depth[i], w)
+		}
+	}
+
+	if _, err := TimelineFromStats(nil, "empty"); err == nil {
+		t.Fatal("empty trace produced a figure")
+	}
+}
+
+func TestWriteTimelineSVG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTimelineSVG(&buf, fakeStats(), "DVU campaign"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "DVU campaign", "w0", "w1", "queue depth", "</svg>"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Deterministic render.
+	var again bytes.Buffer
+	if err := WriteTimelineSVG(&again, fakeStats(), "DVU campaign"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("two renders of the same trace differ")
+	}
+}
+
+// TestTimelineUnplacedRowsNotSimulated: rows with no worker identity
+// render on a synthetic "(unplaced)" row but must not grant the
+// simulated overlay phantom parallelism.
+func TestTimelineUnplacedRowsNotSimulated(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	rows := []exec.TaskStats{
+		{TaskID: "a", WorkerID: "w0", Enqueue: t0, Start: t0, Finish: t0.Add(2 * time.Second)},
+		{TaskID: "b", WorkerID: "", Enqueue: t0, Start: t0, Finish: t0.Add(2 * time.Second)},
+		{TaskID: "c", WorkerID: "w0", Enqueue: t0, Start: t0.Add(2 * time.Second), Finish: t0.Add(4 * time.Second)},
+	}
+	fig, err := TimelineFromStats(rows, "unplaced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 2 { // "(unplaced)" + w0
+		t.Fatalf("rows = %v", fig.Rows)
+	}
+	// One real worker: the 3 simulated tasks must run serially (total 6s
+	// of work ⇒ last simulated end ≥ 6s), not in parallel on a phantom
+	// second worker.
+	maxEnd := 0.0
+	for _, iv := range fig.Simulated {
+		if iv.Row != 1 {
+			t.Fatalf("simulated block on row %d, want only the real worker row: %+v", iv.Row, iv)
+		}
+		if iv.End > maxEnd {
+			maxEnd = iv.End
+		}
+	}
+	if maxEnd < 6 {
+		t.Fatalf("simulated makespan %v implies phantom parallelism", maxEnd)
+	}
+}
+
+func TestWriteTimelineFile(t *testing.T) {
+	path := t.TempDir() + "/timeline.svg"
+	if err := WriteTimelineFile(path, fakeStats(), "file test"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "</svg>") {
+		t.Fatal("timeline file is not a complete SVG")
+	}
+	if err := WriteTimelineFile(t.TempDir()+"/no/such/dir.svg", fakeStats(), "t"); err == nil {
+		t.Fatal("uncreatable path succeeded")
+	}
+	if err := WriteTimelineFile(t.TempDir()+"/empty.svg", nil, "t"); err == nil {
+		t.Fatal("empty trace succeeded")
+	}
+}
+
+// TestTimelineClockSkewClampsDepth: on a cross-host deployment the
+// worker's Start stamp can precede the scheduler's Enqueue stamp; the
+// depth series must clamp at zero instead of rendering negative.
+func TestTimelineClockSkewClampsDepth(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	rows := []exec.TaskStats{
+		// Worker clock 2s behind the scheduler: starts "before" enqueue.
+		{TaskID: "a", WorkerID: "w0", Enqueue: t0.Add(2 * time.Second), Start: t0, Finish: t0.Add(time.Second)},
+		{TaskID: "b", WorkerID: "w0", Enqueue: t0.Add(3 * time.Second), Start: t0.Add(4 * time.Second), Finish: t0.Add(5 * time.Second)},
+	}
+	fig, err := TimelineFromStats(rows, "skewed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range fig.Depth {
+		if d.Depth < 0 {
+			t.Fatalf("depth[%d] went negative: %+v", i, fig.Depth)
+		}
+	}
+	var buf bytes.Buffer
+	if err := fig.Render(&buf); err != nil {
+		t.Fatalf("skewed figure failed to render: %v", err)
+	}
+}
+
+func TestReplayTimeline(t *testing.T) {
+	evs := []events.Event{
+		{Seq: 1, TimeNS: 0, Type: events.WorkerJoin, Worker: "w0"},
+		{Seq: 2, TimeNS: 0, Type: events.WorkerJoin, Worker: "w1"},
+		{Seq: 3, TimeNS: 1e9, Type: events.TaskReceived, Task: "a"},
+		{Seq: 4, TimeNS: 1e9, Type: events.TaskQueued, Task: "a"},
+		{Seq: 5, TimeNS: 1e9, Type: events.TaskReceived, Task: "b"},
+		{Seq: 6, TimeNS: 1e9, Type: events.TaskQueued, Task: "b"},
+		{Seq: 7, TimeNS: 2e9, Type: events.TaskAssigned, Task: "a", Worker: "w0"},
+		{Seq: 8, TimeNS: 2e9, Type: events.TaskRunning, Task: "a", Worker: "w0"},
+		{Seq: 9, TimeNS: 2e9, Type: events.TaskAssigned, Task: "b", Worker: "w1"},
+		{Seq: 10, TimeNS: 2e9, Type: events.TaskRunning, Task: "b", Worker: "w1"},
+		{Seq: 11, TimeNS: 5e9, Type: events.TaskDone, Task: "a", Worker: "w0"},
+		{Seq: 12, TimeNS: 7e9, Type: events.TaskDone, Task: "b", Worker: "w1"},
+	}
+	rep, err := events.ReplayEvents(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := ReplayTimeline(rep, "replayed run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 2 || len(fig.Measured) != 2 || len(fig.Simulated) != 2 {
+		t.Fatalf("rows=%d measured=%d simulated=%d", len(fig.Rows), len(fig.Measured), len(fig.Simulated))
+	}
+	// Origin is the first queue activity (t=1s in scheduler time), so
+	// block a runs 1–4s on the figure axis.
+	for _, iv := range fig.Measured {
+		if iv.Label == "a" && (iv.Row != 0 || iv.Start != 1 || iv.End != 4) {
+			t.Errorf("block a = %+v", iv)
+		}
+	}
+	var buf bytes.Buffer
+	if err := fig.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "replayed") {
+		t.Error("legend missing the replayed label")
+	}
+
+	if _, err := ReplayTimeline(&events.Replay{}, "empty"); err == nil {
+		t.Fatal("empty replay produced a figure")
+	}
+}

@@ -63,11 +63,12 @@ type Config struct {
 	Remote *RemoteCampaign
 	// SummaryOnly opts into the summary-only result mode for remote spec
 	// dispatch: feature kernels return a FeatureDigest instead of the
-	// full per-protein msa.Features payload, cutting the wire bytes when
-	// the caller only needs the printed report. The printed report is
-	// byte-identical either way; only executors that ship specs across
-	// processes are affected (in-process closures return nothing over a
-	// wire to begin with).
+	// full per-protein msa.Features payload, and inference kernels a
+	// PredictionDigest instead of the full fold.Prediction, cutting the
+	// wire bytes when the caller only needs the printed report. The
+	// printed report is byte-identical either way; only executors that
+	// ship specs across processes are affected (in-process closures
+	// return nothing over a wire to begin with).
 	SummaryOnly bool
 }
 
@@ -279,22 +280,61 @@ func InferenceStage(engine *fold.Engine, proteins []proteome.Protein, features m
 			return InferSpec{
 				Seed: cfg.Remote.Seed, Species: cfg.Remote.Species, ID: task.ID,
 				Model: task.Model, Preset: cfg.Preset, NodeMemGB: memGB,
+				Summary: cfg.SummaryOnly,
 			}
 		}
 	}
-	infOuts, err := exec.MapSpec(x, KernelInfer, allTasks,
-		inferTaskID,
-		inferSpec(standardNodeGPUMemGB),
-		func(_ int, task fold.Task) (*fold.Prediction, error) {
-			pred, err := engine.Infer(task)
+	// inferLocal is the in-process body of one inference slot; an OOM
+	// outcome is data (a nil prediction routes to the retry wave), not
+	// failure.
+	inferLocal := func(task fold.Task, memGB float64) (*fold.Prediction, error) {
+		task.NodeMemGB = memGB
+		pred, err := engine.Infer(task)
+		if err != nil {
+			if errors.Is(err, fold.ErrOutOfMemory) {
+				return nil, nil
+			}
+			return nil, err
+		}
+		return pred, nil
+	}
+	// inferWave fans one wave of tasks out over the executor. In summary
+	// mode the wire unit is a PredictionDigest (the pTMS/pLDDT summary)
+	// instead of the full fold.Prediction payload; the digest carries
+	// every scalar the campaign consumes, so the reconstructed
+	// predictions — and every reported number — are identical to full
+	// mode at strictly fewer wire bytes.
+	inferWave := func(tasks []fold.Task, memGB float64) ([]*fold.Prediction, error) {
+		if cfg.SummaryOnly {
+			digs, err := exec.MapSpec(x, KernelInfer, tasks,
+				inferTaskID,
+				inferSpec(memGB),
+				func(_ int, task fold.Task) (*PredictionDigest, error) {
+					pred, err := inferLocal(task, memGB)
+					if err != nil || pred == nil {
+						return nil, err
+					}
+					return DigestPrediction(pred), nil
+				})
 			if err != nil {
-				if errors.Is(err, fold.ErrOutOfMemory) {
-					return nil, nil // nil prediction marks an OOM for the retry wave
-				}
 				return nil, err
 			}
-			return pred, nil
-		})
+			preds := make([]*fold.Prediction, len(tasks))
+			for i, d := range digs {
+				if d != nil {
+					preds[i] = d.Prediction(tasks[i].ID, tasks[i].Length)
+				}
+			}
+			return preds, nil
+		}
+		return exec.MapSpec(x, KernelInfer, tasks,
+			inferTaskID,
+			inferSpec(memGB),
+			func(_ int, task fold.Task) (*fold.Prediction, error) {
+				return inferLocal(task, memGB)
+			})
+	}
+	infOuts, err := inferWave(allTasks, standardNodeGPUMemGB)
 	if err != nil {
 		return nil, err
 	}
@@ -329,22 +369,10 @@ func InferenceStage(engine *fold.Engine, proteins []proteome.Protein, features m
 	rep.WalltimeSec = sim.Makespan
 	rep.NodeHours = float64(cfg.SummitNodes) * sim.Makespan / 3600
 
-	// High-memory retry wave for OOM tasks, fanned out the same way.
+	// High-memory retry wave for OOM tasks, fanned out the same way (a
+	// task that OOMs even there is dropped).
 	if len(oomTasks) > 0 && cfg.HighMemNodes > 0 {
-		hmOuts, err := exec.MapSpec(x, KernelInfer, oomTasks,
-			inferTaskID,
-			inferSpec(highMemNodeGPUMemGB),
-			func(_ int, t fold.Task) (*fold.Prediction, error) {
-				t.NodeMemGB = highMemNodeGPUMemGB
-				pred, err := engine.Infer(t)
-				if err != nil {
-					if errors.Is(err, fold.ErrOutOfMemory) {
-						return nil, nil // beyond even high-mem: dropped
-					}
-					return nil, err
-				}
-				return pred, nil
-			})
+		hmOuts, err := inferWave(oomTasks, highMemNodeGPUMemGB)
 		if err != nil {
 			return nil, err
 		}

@@ -91,6 +91,67 @@ type InferSpec struct {
 	Model     int         `json:"model"`
 	Preset    fold.Preset `json:"preset"`
 	NodeMemGB float64     `json:"node_mem_gb"`
+	// Summary selects the summary-only result mode: the kernel returns a
+	// PredictionDigest instead of the full fold.Prediction payload. The
+	// digest carries every scalar the campaign consumes (ranking,
+	// coverage fractions, cost accounting), at a fraction of the wire
+	// bytes; only the per-residue arrays — which campaign inference never
+	// materializes anyway — and the identity fields the client already
+	// knows are omitted.
+	Summary bool `json:"summary,omitempty"`
+}
+
+// PredictionDigest is the summary-only stand-in for a full
+// fold.Prediction payload: the pTMS/pLDDT summary the report, ranking,
+// and cluster simulation consume, under short JSON keys. ID and Length
+// do not travel — the submitting client reconstructs them from the task
+// it dispatched (see Prediction).
+type PredictionDigest struct {
+	Model       int     `json:"m"`
+	Recycles    int     `json:"rec,omitempty"`
+	Converged   bool    `json:"conv,omitempty"`
+	MeanPLDDT   float64 `json:"plddt"`
+	PTMS        float64 `json:"ptms"`
+	FracAbove70 float64 `json:"f70,omitempty"`
+	FracAbove90 float64 `json:"f90,omitempty"`
+	GPUSeconds  float64 `json:"gpu_s"`
+	PeakMemGB   float64 `json:"mem_gb,omitempty"`
+}
+
+// DigestPrediction summarises a full prediction into the wire digest.
+func DigestPrediction(p *fold.Prediction) *PredictionDigest {
+	return &PredictionDigest{
+		Model:       p.Model,
+		Recycles:    p.Recycles,
+		Converged:   p.Converged,
+		MeanPLDDT:   p.MeanPLDDT,
+		PTMS:        p.PTMS,
+		FracAbove70: p.FracAbove70,
+		FracAbove90: p.FracAbove90,
+		GPUSeconds:  p.GPUSeconds,
+		PeakMemGB:   p.PeakMemGB,
+	}
+}
+
+// Prediction reconstructs the campaign view of the prediction from the
+// digest plus the task identity the client dispatched. Per-residue
+// arrays stay nil — exactly as in a full-mode campaign, which never sets
+// fold.Task.WantCoords — so every reported number is byte-identical to
+// full mode.
+func (d *PredictionDigest) Prediction(id string, length int) *fold.Prediction {
+	return &fold.Prediction{
+		ID:          id,
+		Model:       d.Model,
+		Length:      length,
+		Recycles:    d.Recycles,
+		Converged:   d.Converged,
+		MeanPLDDT:   d.MeanPLDDT,
+		PTMS:        d.PTMS,
+		FracAbove70: d.FracAbove70,
+		FracAbove90: d.FracAbove90,
+		GPUSeconds:  d.GPUSeconds,
+		PeakMemGB:   d.PeakMemGB,
+	}
 }
 
 // RelaxSpec is the argument block of KernelRelax. It is self-contained:

@@ -1,0 +1,256 @@
+// Package events is the scheduler's structured observability subsystem:
+// a typed per-task state-machine event record (the transition log Dask's
+// scheduler keeps), stamped scheduler-side with monotonic times, fanned
+// out to synchronous views (the JSONL event log, the free-text placement
+// log) and to live subscribers (the `proteomectl monitor` wire stream).
+//
+// The task state machine is
+//
+//	received → queued → assigned → running → done | failed
+//
+// with two re-entries: a task whose worker dies is queued again, and a
+// task whose client disconnects before assignment is dropped. Worker
+// membership changes are events too (worker_join / worker_leave), so a
+// log alone reconstructs queue depth over time and per-worker busy
+// intervals (see Replay) without any client cooperation.
+//
+// Events are an observation channel only, never an input: nothing in a
+// campaign report depends on them, and emitting, logging, or streaming
+// them must never change a result byte.
+package events
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Type is the kind of one scheduler event.
+type Type string
+
+// Task-transition and worker-membership event types. The task types
+// follow the scheduler's state machine in order; worker types bracket a
+// worker's registration lifetime.
+const (
+	// TaskReceived: the scheduler accepted the task from a client.
+	TaskReceived Type = "received"
+	// TaskQueued: the task entered the queue (immediately after received,
+	// and again when a dead worker's in-flight task is requeued).
+	TaskQueued Type = "queued"
+	// TaskAssigned: the scheduler picked a worker for the task.
+	TaskAssigned Type = "assigned"
+	// TaskRunning: the task was delivered and is running on the worker
+	// (workers are single-slot and start the handler on receipt).
+	TaskRunning Type = "running"
+	// TaskDone: the worker returned a successful result.
+	TaskDone Type = "done"
+	// TaskFailed: the worker returned a task error.
+	TaskFailed Type = "failed"
+	// TaskDropped: the task was discarded before assignment (its client
+	// disconnected).
+	TaskDropped Type = "dropped"
+	// WorkerJoin: a worker registered.
+	WorkerJoin Type = "worker_join"
+	// WorkerLeave: a worker disconnected (or failed a task send).
+	WorkerLeave Type = "worker_leave"
+)
+
+// Valid reports whether t is a known event type.
+func (t Type) Valid() bool {
+	switch t {
+	case TaskReceived, TaskQueued, TaskAssigned, TaskRunning,
+		TaskDone, TaskFailed, TaskDropped, WorkerJoin, WorkerLeave:
+		return true
+	}
+	return false
+}
+
+// TaskScoped reports whether events of this type must name a task.
+func (t Type) TaskScoped() bool {
+	switch t {
+	case TaskReceived, TaskQueued, TaskAssigned, TaskRunning,
+		TaskDone, TaskFailed, TaskDropped:
+		return true
+	}
+	return false
+}
+
+// Event is one scheduler-side state transition. Seq and TimeNS are
+// stamped by the Hub: Seq is the 1-based position in the stream and
+// TimeNS the monotonic nanoseconds since the hub (scheduler) started, so
+// an event log replays identically regardless of wall-clock adjustments.
+type Event struct {
+	Seq    uint64 `json:"seq"`
+	TimeNS int64  `json:"t_ns"`
+	Type   Type   `json:"type"`
+	// Task is the stable trace identity of the task (flow.Task.Label when
+	// the submitting executor tagged it, else the wire task ID) — the same
+	// identity the processing-times CSV keys its rows by.
+	Task string `json:"task,omitempty"`
+	// Worker identifies the placement for assigned/running/done/failed
+	// and the subject of worker_join/worker_leave.
+	Worker string `json:"worker,omitempty"`
+	// Err carries the task error of a failed event.
+	Err string `json:"error,omitempty"`
+}
+
+// Seconds returns the monotonic stamp in seconds since the hub started.
+func (e *Event) Seconds() float64 { return float64(e.TimeNS) / 1e9 }
+
+// Validate checks the structural invariants a decoded event must hold:
+// a known type, a task on task-scoped events, and a worker on
+// worker-membership events.
+func (e *Event) Validate() error {
+	if !e.Type.Valid() {
+		return fmt.Errorf("events: unknown event type %q", e.Type)
+	}
+	if e.Type.TaskScoped() && e.Task == "" {
+		return fmt.Errorf("events: %s event names no task", e.Type)
+	}
+	if (e.Type == WorkerJoin || e.Type == WorkerLeave) && e.Worker == "" {
+		return fmt.Errorf("events: %s event names no worker", e.Type)
+	}
+	return nil
+}
+
+// Hub is the scheduler-side event recorder: it stamps every emitted
+// event with a sequence number and a monotonic time, retains the full
+// history (so a subscriber that attaches mid-campaign observes the same
+// sequence as the persisted log), fans events out to synchronous sinks,
+// and wakes blocking subscriber cursors.
+//
+// Emit is safe for concurrent use, though the scheduler calls it from
+// its single event-loop goroutine; sinks run on the emitting goroutine
+// under the hub lock, in stream order — they must be fast and must never
+// block (file writes are fine, RPCs are not). Sink errors are the sink's
+// problem: recording must never stall scheduling.
+type Hub struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	start  time.Time
+	hist   []Event
+	sinks  []func(Event)
+	closed bool
+}
+
+// NewHub creates a hub whose monotonic clock starts now.
+func NewHub() *Hub {
+	h := &Hub{start: time.Now()}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+// AddSink registers a synchronous view of the stream. Register sinks
+// before events flow; events emitted earlier are not replayed to sinks
+// (subscribe with a Cursor for backlog semantics).
+func (h *Hub) AddSink(fn func(Event)) {
+	if fn == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sinks = append(h.sinks, fn)
+}
+
+// Emit stamps e (Seq, TimeNS), appends it to the history, feeds the
+// sinks, wakes subscribers, and returns the stamped event. Emitting on a
+// closed hub is a no-op returning the zero event.
+func (h *Hub) Emit(e Event) Event {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return Event{}
+	}
+	e.Seq = uint64(len(h.hist)) + 1
+	e.TimeNS = time.Since(h.start).Nanoseconds()
+	h.hist = append(h.hist, e)
+	for _, fn := range h.sinks {
+		fn(e)
+	}
+	h.cond.Broadcast()
+	return e
+}
+
+// Len reports the number of events emitted so far.
+func (h *Hub) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.hist)
+}
+
+// Snapshot returns a copy of the full event history.
+func (h *Hub) Snapshot() []Event {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]Event(nil), h.hist...)
+}
+
+// Close wakes every blocked cursor; once the backlog is drained their
+// Next returns false. Close is idempotent and does not discard history.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.closed = true
+	h.cond.Broadcast()
+}
+
+// Subscribe returns a cursor positioned at the start of the history, so
+// a subscriber attaching mid-campaign first replays the backlog and then
+// follows the live stream.
+func (h *Hub) Subscribe() *Cursor {
+	return &Cursor{h: h}
+}
+
+// Cursor is one subscriber's position in the hub's stream.
+type Cursor struct {
+	h         *Hub
+	next      int
+	cancelled bool
+}
+
+// Next blocks until the next event is available and returns it. It
+// returns ok=false once the hub is closed and the backlog is drained, or
+// as soon as the cursor is cancelled.
+func (c *Cursor) Next() (Event, bool) {
+	h := c.h
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for {
+		if c.cancelled {
+			return Event{}, false
+		}
+		if c.next < len(h.hist) {
+			break
+		}
+		if h.closed {
+			return Event{}, false
+		}
+		h.cond.Wait()
+	}
+	e := h.hist[c.next]
+	c.next++
+	return e, true
+}
+
+// Cancel unblocks a pending Next and makes every future Next return
+// false — how a subscriber's pump is torn down when its consumer goes
+// away with no events flowing (a detached monitor on an idle
+// scheduler). Safe to call from any goroutine, idempotent.
+func (c *Cursor) Cancel() {
+	h := c.h
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c.cancelled = true
+	h.cond.Broadcast()
+}
+
+// LogSink returns a synchronous sink appending every event to w as one
+// JSON document per line — the `sched -event-log` format ReadLog
+// decodes. Write errors are ignored: logging must never stall the
+// scheduler (the same contract as the free-text placement log).
+func LogSink(w io.Writer) func(Event) {
+	enc := json.NewEncoder(w)
+	return func(e Event) { _ = enc.Encode(e) }
+}

@@ -1,0 +1,31 @@
+package events
+
+import (
+	"fmt"
+	"io"
+
+	"encoding/json"
+)
+
+// ReadLog decodes a JSONL event log (the LogSink format): one JSON event
+// per line, in stream order. Every record is validated structurally; a
+// malformed or invalid record fails with its 1-based position. The
+// events decoded before the failure are returned alongside the error, so
+// a log truncated by a killed scheduler still replays its intact prefix.
+func ReadLog(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, fmt.Errorf("events: decoding log record %d: %w", len(out)+1, err)
+		}
+		if err := e.Validate(); err != nil {
+			return out, fmt.Errorf("events: log record %d: %w", len(out)+1, err)
+		}
+		out = append(out, e)
+	}
+}

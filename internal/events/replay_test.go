@@ -1,0 +1,199 @@
+package events
+
+import (
+	"reflect"
+	"testing"
+)
+
+// stream stamps a hand-written event sequence the way a Hub would, so
+// replay tests read as scheduler scenarios.
+func stream(evs ...Event) []Event {
+	for i := range evs {
+		evs[i].Seq = uint64(i + 1)
+	}
+	return evs
+}
+
+func TestTrackerLifecycle(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe(Event{Type: WorkerJoin, Worker: "w1", TimeNS: 1})
+	tr.Observe(Event{Type: TaskReceived, Task: "a", TimeNS: 2})
+	tr.Observe(Event{Type: TaskQueued, Task: "a", TimeNS: 2})
+	if tr.QueueDepth != 1 || tr.Received != 1 {
+		t.Fatalf("after queue: depth=%d received=%d", tr.QueueDepth, tr.Received)
+	}
+	tr.Observe(Event{Type: TaskAssigned, Task: "a", Worker: "w1", TimeNS: 3})
+	tr.Observe(Event{Type: TaskRunning, Task: "a", Worker: "w1", TimeNS: 3})
+	if tr.QueueDepth != 0 || tr.Busy() != 1 || tr.InFlight["a"] != "w1" {
+		t.Fatalf("after assign: depth=%d busy=%d inflight=%v", tr.QueueDepth, tr.Busy(), tr.InFlight)
+	}
+	tr.Observe(Event{Type: TaskDone, Task: "a", Worker: "w1", TimeNS: 9})
+	if tr.Done != 1 || tr.Busy() != 0 || tr.LastNS != 9 {
+		t.Fatalf("after done: done=%d busy=%d last=%d", tr.Done, tr.Busy(), tr.LastNS)
+	}
+	tr.Observe(Event{Type: WorkerLeave, Worker: "w1", TimeNS: 10})
+	if len(tr.Workers) != 0 {
+		t.Fatalf("worker set after leave: %v", tr.Workers)
+	}
+}
+
+func TestTrackerRequeueAndDrop(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe(Event{Type: TaskQueued, Task: "a"})
+	tr.Observe(Event{Type: TaskAssigned, Task: "a", Worker: "w1"})
+	// Worker dies: the scheduler requeues the in-flight task.
+	tr.Observe(Event{Type: WorkerLeave, Worker: "w1"})
+	tr.Observe(Event{Type: TaskQueued, Task: "a"})
+	if tr.QueueDepth != 1 || tr.Busy() != 0 {
+		t.Fatalf("after requeue: depth=%d busy=%d", tr.QueueDepth, tr.Busy())
+	}
+	tr.Observe(Event{Type: TaskDropped, Task: "a"})
+	if tr.QueueDepth != 0 || tr.Dropped != 1 {
+		t.Fatalf("after drop: depth=%d dropped=%d", tr.QueueDepth, tr.Dropped)
+	}
+	// Defensive: depth never goes negative on a malformed stream.
+	tr.Observe(Event{Type: TaskDropped, Task: "b"})
+	tr.Observe(Event{Type: TaskAssigned, Task: "c", Worker: "w2"})
+	if tr.QueueDepth != 0 {
+		t.Fatalf("depth went negative: %d", tr.QueueDepth)
+	}
+}
+
+// TestReplayReconstructsRun is the core offline-reconstruction contract:
+// a log alone yields the per-worker busy intervals and the queue-depth
+// series of the campaign.
+func TestReplayReconstructsRun(t *testing.T) {
+	evs := stream(
+		Event{TimeNS: 0, Type: WorkerJoin, Worker: "w1"},
+		Event{TimeNS: 1, Type: WorkerJoin, Worker: "w2"},
+		Event{TimeNS: 10, Type: TaskReceived, Task: "a"},
+		Event{TimeNS: 10, Type: TaskQueued, Task: "a"},
+		Event{TimeNS: 10, Type: TaskReceived, Task: "b"},
+		Event{TimeNS: 10, Type: TaskQueued, Task: "b"},
+		Event{TimeNS: 11, Type: TaskAssigned, Task: "a", Worker: "w1"},
+		Event{TimeNS: 12, Type: TaskRunning, Task: "a", Worker: "w1"},
+		Event{TimeNS: 13, Type: TaskAssigned, Task: "b", Worker: "w2"},
+		Event{TimeNS: 13, Type: TaskRunning, Task: "b", Worker: "w2"},
+		Event{TimeNS: 50, Type: TaskDone, Task: "a", Worker: "w1"},
+		Event{TimeNS: 60, Type: TaskFailed, Task: "b", Worker: "w2", Err: "boom"},
+	)
+	r, err := ReplayEvents(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Events != len(evs) || r.SpanNS != 60 {
+		t.Fatalf("events=%d span=%d", r.Events, r.SpanNS)
+	}
+	if !reflect.DeepEqual(r.Tasks, []string{"a", "b"}) {
+		t.Fatalf("tasks = %v", r.Tasks)
+	}
+	if !reflect.DeepEqual(r.Workers, []string{"w1", "w2"}) {
+		t.Fatalf("workers = %v", r.Workers)
+	}
+	wantIntervals := []Interval{
+		{Task: "a", Worker: "w1", StartNS: 12, EndNS: 50},
+		{Task: "b", Worker: "w2", StartNS: 13, EndNS: 60, Failed: true},
+	}
+	if !reflect.DeepEqual(r.Intervals, wantIntervals) {
+		t.Fatalf("intervals = %+v", r.Intervals)
+	}
+	wantDepth := []DepthPoint{
+		{TimeNS: 10, Depth: 2},
+		{TimeNS: 11, Depth: 1},
+		{TimeNS: 13, Depth: 0},
+	}
+	if !reflect.DeepEqual(r.Depth, wantDepth) {
+		t.Fatalf("depth = %+v", r.Depth)
+	}
+	if r.Done != 1 || r.Failed != 1 || r.MaxDepth() != 2 {
+		t.Fatalf("done=%d failed=%d maxdepth=%d", r.Done, r.Failed, r.MaxDepth())
+	}
+	busy := r.WorkerBusyNS()
+	if busy["w1"] != 38 || busy["w2"] != 47 {
+		t.Fatalf("busy = %v", busy)
+	}
+	s, e := r.Intervals[0].Seconds()
+	if s != 12e-9 || e != 50e-9 {
+		t.Fatalf("Seconds() = %v, %v", s, e)
+	}
+}
+
+// TestReplayWorkerDeath: a worker dying mid-task closes its interval at
+// the leave stamp (Lost) and the requeued task runs again elsewhere.
+func TestReplayWorkerDeath(t *testing.T) {
+	evs := stream(
+		Event{TimeNS: 0, Type: WorkerJoin, Worker: "w1"},
+		Event{TimeNS: 0, Type: WorkerJoin, Worker: "w2"},
+		Event{TimeNS: 5, Type: TaskReceived, Task: "a"},
+		Event{TimeNS: 5, Type: TaskQueued, Task: "a"},
+		Event{TimeNS: 6, Type: TaskAssigned, Task: "a", Worker: "w1"},
+		Event{TimeNS: 6, Type: TaskRunning, Task: "a", Worker: "w1"},
+		Event{TimeNS: 20, Type: WorkerLeave, Worker: "w1"},
+		Event{TimeNS: 20, Type: TaskQueued, Task: "a"},
+		Event{TimeNS: 21, Type: TaskAssigned, Task: "a", Worker: "w2"},
+		Event{TimeNS: 21, Type: TaskRunning, Task: "a", Worker: "w2"},
+		Event{TimeNS: 40, Type: TaskDone, Task: "a", Worker: "w2"},
+	)
+	r, err := ReplayEvents(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIntervals := []Interval{
+		{Task: "a", Worker: "w1", StartNS: 6, EndNS: 20, Lost: true},
+		{Task: "a", Worker: "w2", StartNS: 21, EndNS: 40},
+	}
+	if !reflect.DeepEqual(r.Intervals, wantIntervals) {
+		t.Fatalf("intervals = %+v", r.Intervals)
+	}
+	// Depth: queued(1) → assigned(0) → requeue(1) → assigned(0).
+	wantDepth := []DepthPoint{
+		{TimeNS: 5, Depth: 1},
+		{TimeNS: 6, Depth: 0},
+		{TimeNS: 20, Depth: 1},
+		{TimeNS: 21, Depth: 0},
+	}
+	if !reflect.DeepEqual(r.Depth, wantDepth) {
+		t.Fatalf("depth = %+v", r.Depth)
+	}
+	if r.Done != 1 {
+		t.Fatalf("done = %d", r.Done)
+	}
+}
+
+func TestReplayRejectsBadStreams(t *testing.T) {
+	// Non-increasing sequence numbers.
+	bad := []Event{
+		{Seq: 1, Type: TaskQueued, Task: "a"},
+		{Seq: 1, Type: TaskAssigned, Task: "a", Worker: "w"},
+	}
+	if _, err := ReplayEvents(bad); err == nil {
+		t.Error("replay accepted a repeated sequence number")
+	}
+	// Invalid event inside the stream.
+	bad = []Event{
+		{Seq: 1, Type: TaskQueued, Task: "a"},
+		{Seq: 2, Type: TaskDone},
+	}
+	if _, err := ReplayEvents(bad); err == nil {
+		t.Error("replay accepted an invalid event")
+	}
+	// An empty stream replays to an empty result.
+	r, err := ReplayEvents(nil)
+	if err != nil || r.Events != 0 || len(r.Intervals) != 0 {
+		t.Errorf("empty replay: %+v, %v", r, err)
+	}
+}
+
+// TestReplayDoneForUnknownTask: completions the replay never saw
+// assigned still count, but produce no interval.
+func TestReplayDoneForUnknownTask(t *testing.T) {
+	r, err := ReplayEvents(stream(
+		Event{TimeNS: 1, Type: TaskDone, Task: "ghost", Worker: "w1"},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Done != 1 || len(r.Intervals) != 0 {
+		t.Fatalf("done=%d intervals=%d", r.Done, len(r.Intervals))
+	}
+}

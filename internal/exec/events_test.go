@@ -1,0 +1,115 @@
+package exec
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/events"
+	"repro/internal/flow"
+)
+
+// doneLabels collects the task identities of the done events in a
+// scheduler's history.
+func doneLabels(hub *events.Hub) map[string]int {
+	got := make(map[string]int)
+	for _, e := range hub.Snapshot() {
+		if e.Type == events.TaskDone {
+			got[e.Task]++
+		}
+	}
+	return got
+}
+
+// TestFlowRunFeedsEventLabels: a closure batch's trace tags (Batch.TaskID)
+// become the task identities of the scheduler's structured event stream,
+// so a monitor names work exactly as the processing-times CSV does.
+func TestFlowRunFeedsEventLabels(t *testing.T) {
+	f, err := NewFlow(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	ids := []string{"DVU_00001", "DVU_00002", "DVU_00003"}
+	err = f.Run(Batch{
+		N:      len(ids),
+		Fn:     func(int) error { return nil },
+		Kernel: "campaign/feature",
+		TaskID: func(i int) string { return ids[i] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := doneLabels(f.sched.Events())
+	for _, id := range ids {
+		if got[id] != 1 {
+			t.Errorf("done events for %q = %d, want 1 (all: %v)", id, got[id], got)
+		}
+	}
+
+	// An untagged batch falls back to the wire ID (the decimal index).
+	if err := f.Run(Batch{N: 2, Fn: func(int) error { return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	got = doneLabels(f.sched.Events())
+	if got["0"] != 1 || got["1"] != 1 {
+		t.Errorf("untagged batch labels: %v", got)
+	}
+}
+
+// TestFlowDispatchSpecsFeedsEventLabels: the spec-dispatch path labels
+// wire tasks with the caller's trace IDs; without IDs the label is the
+// batch index — the same fallback the trace applies — never the opaque
+// nonce-prefixed wire ID.
+func TestFlowDispatchSpecsFeedsEventLabels(t *testing.T) {
+	testKernels(t)
+	sched := flow.NewScheduler()
+	addr, err := sched.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sched.Close)
+	for i := 0; i < 2; i++ {
+		w := flow.NewWorker(fmt.Sprintf("label-w%d", i), flow.SpecHandler())
+		if err := w.Connect(addr); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(w.Close)
+	}
+	f, err := ConnectFlow(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+
+	args := make([]json.RawMessage, 3)
+	ids := make([]string, 3)
+	for i := range args {
+		args[i] = json.RawMessage(fmt.Sprintf("%d", i))
+		ids[i] = fmt.Sprintf("PROT_%05d/m%d", i, i)
+	}
+	if _, err := f.DispatchSpecs("exectest/square", args, ids); err != nil {
+		t.Fatal(err)
+	}
+	hub := sched.Events()
+	got := doneLabels(hub)
+	for _, id := range ids {
+		if got[id] != 1 {
+			t.Errorf("done events for %q = %d, want 1 (all: %v)", id, got[id], got)
+		}
+	}
+
+	if _, err := f.DispatchSpecs("exectest/square", args[:2], nil); err != nil {
+		t.Fatal(err)
+	}
+	got = doneLabels(hub)
+	if got["0"] != 1 || got["1"] != 1 {
+		t.Errorf("nil-ids batch labels: %v", got)
+	}
+	for label := range got {
+		if len(label) > 20 {
+			t.Errorf("opaque wire ID %q leaked into the event stream", label)
+		}
+	}
+}

@@ -232,6 +232,12 @@ func (f *Flow) DispatchSpecs(kernel string, args []json.RawMessage, ids []string
 		}
 		return strconv.Itoa(idx)
 	}
+	// The trace tag travels as the wire task's label, so the scheduler's
+	// structured event stream (and a live monitor) names tasks exactly as
+	// the processing-times CSV does — the wire ID is batch bookkeeping.
+	for i := range tasks {
+		tasks[i].Label = traceID(i)
+	}
 	var observe func(*flow.Result)
 	if sink := f.trace; sink != nil {
 		observe = func(r *flow.Result) {
@@ -336,6 +342,12 @@ func (f *Flow) Run(batch Batch) error {
 	tasks := make([]flow.Task, n)
 	for i := range tasks {
 		tasks[i] = flow.Task{ID: strconv.Itoa(i)}
+		// Tag the wire task with its trace identity when the batch has
+		// one; unlabeled batches fall back to the wire ID (the decimal
+		// index), which is already the trace fallback.
+		if batch.TaskID != nil {
+			tasks[i].Label = batch.TaskID(i)
+		}
 	}
 	var observe func(*flow.Result)
 	if sink := f.trace; sink != nil {

@@ -167,9 +167,16 @@ func inferKernel(args json.RawMessage) (json.RawMessage, error) {
 	})
 	if err != nil {
 		if errors.Is(err, fold.ErrOutOfMemory) {
+			// Null either way: summary and full mode agree on the OOM
+			// encoding, so the retry wave routes identically.
 			return json.Marshal((*fold.Prediction)(nil))
 		}
 		return nil, err
+	}
+	if s.Summary {
+		// Summary mode keeps the full prediction on the worker and ships
+		// the pTMS/pLDDT digest — same compute, strictly fewer bytes.
+		return json.Marshal(core.DigestPrediction(pred))
 	}
 	return json.Marshal(pred)
 }

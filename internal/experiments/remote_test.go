@@ -144,22 +144,26 @@ func TestCampaignSummaryMode(t *testing.T) {
 	}
 
 	// The reduction is observable in the recorded trace: strictly fewer
-	// wire bytes overall, and specifically on the feature batch.
+	// wire bytes overall, and specifically on the feature batch and — now
+	// that predictions travel as pTMS/pLDDT digests — the inference
+	// batch, the next-largest wire item.
 	if sumTrace.WireBytes() >= fullTrace.WireBytes() {
 		t.Errorf("summary wire bytes = %d, want < full %d", sumTrace.WireBytes(), fullTrace.WireBytes())
 	}
-	kernelBytes := func(tr *exec.Trace) int {
+	kernelBytes := func(tr *exec.Trace, kernel string) int {
 		n := 0
 		for _, r := range tr.Rows() {
-			if r.Kernel == core.KernelFeature {
+			if r.Kernel == kernel {
 				n += r.PayloadBytes
 			}
 		}
 		return n
 	}
-	if kernelBytes(sumTrace) >= kernelBytes(fullTrace) {
-		t.Errorf("summary feature-batch bytes = %d, want < full %d",
-			kernelBytes(sumTrace), kernelBytes(fullTrace))
+	for _, kernel := range []string{core.KernelFeature, core.KernelInfer} {
+		if kernelBytes(sumTrace, kernel) >= kernelBytes(fullTrace, kernel) {
+			t.Errorf("summary %s bytes = %d, want < full %d",
+				kernel, kernelBytes(sumTrace, kernel), kernelBytes(fullTrace, kernel))
+		}
 	}
 }
 

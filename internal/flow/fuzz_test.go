@@ -75,7 +75,12 @@ func FuzzDecodeMessage(f *testing.F) {
 	f.Add([]byte(`{"type":"result","result":{"task_id":"t1","worker_id":"w1","start":"2022-01-25T00:00:00Z","end":"2022-01-25T00:00:01Z","error":"boom"}}`))
 	f.Add([]byte(`{"type":"result","result":{"task_id":"t1","worker_id":"w1","enqueued_ns":1643068800000000000,"start":"2022-01-25T00:00:01Z","end":"2022-01-25T00:00:02Z","payload":{"digest":{"length":120,"depth":14,"neff":6.5,"templates":2}}}}`))
 	f.Add([]byte(`{"type":"submit","tasks":[{"id":"a"},{"id":"b"}]}`))
+	f.Add([]byte(`{"type":"submit","tasks":[{"id":"0","label":"DVU_00001/m2","payload":{"kernel":"campaign/infer"}}]}`))
 	f.Add([]byte(`{"type":"accepted","count":2}`))
+	f.Add([]byte(`{"type":"subscribe"}`))
+	f.Add([]byte(`{"type":"event","event":{"seq":7,"t_ns":1500,"type":"assigned","task":"DVU_00001","worker":"w1"}}`))
+	f.Add([]byte(`{"type":"event","event":{"seq":8,"t_ns":1501,"type":"failed","task":"a/m3","worker":"w2","error":"boom"}}`))
+	f.Add([]byte(`{"type":"event","event":{"seq":1,"t_ns":0,"type":"worker_join","worker":"w1"}}`))
 	f.Add([]byte(`{"type":"shutdown"}`))
 	f.Add([]byte(`{"type":1}`))
 	f.Add([]byte(`{}`))
@@ -104,6 +109,15 @@ func FuzzDecodeMessage(f *testing.F) {
 		}
 		if m.Task != nil && again.Task.ID != m.Task.ID {
 			t.Fatalf("task ID changed: %q != %q", again.Task.ID, m.Task.ID)
+		}
+		if m.Task != nil && again.Task.Label != m.Task.Label {
+			t.Fatalf("task label changed: %q != %q", again.Task.Label, m.Task.Label)
+		}
+		if (again.Event == nil) != (m.Event == nil) {
+			t.Fatalf("event pointer changed across round trip")
+		}
+		if m.Event != nil && *again.Event != *m.Event {
+			t.Fatalf("event changed across round trip: %+v != %+v", *again.Event, *m.Event)
 		}
 		if m.Task != nil && again.Task.EnqueuedNS != m.Task.EnqueuedNS {
 			t.Fatalf("task enqueue stamp changed across round trip")

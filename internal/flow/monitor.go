@@ -1,0 +1,115 @@
+package flow
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/events"
+)
+
+// ErrStreamEnd marks the normal end of a monitor stream: the scheduler
+// shut down cleanly or the monitor itself was closed. Any other error
+// from Next — a malformed or invalid frame, an abrupt connection reset —
+// is a real failure and should be surfaced, not swallowed.
+var ErrStreamEnd = errors.New("flow: monitor stream ended")
+
+// Monitor is a read-only subscriber to a scheduler's structured event
+// stream — the `proteomectl monitor` client. It attaches without any
+// cooperation from the submitting client: the scheduler first replays
+// its full backlog (so a monitor attaching mid-campaign observes the
+// same sequence as the persisted event log), then streams live events.
+// Monitoring is observation only; attaching or detaching never perturbs
+// scheduling or a campaign report.
+type Monitor struct {
+	conn net.Conn
+	dec  *json.Decoder
+
+	// ReadTimeout, when set before the first Next, bounds how long Next
+	// waits for the next event. An idle campaign legitimately stays
+	// silent, so the default (zero) disables it; set it in tests or
+	// supervised deployments.
+	ReadTimeout time.Duration
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// ConnectMonitor dials the scheduler and subscribes to its event stream.
+// The returned monitor must be closed.
+func ConnectMonitor(addr string) (*Monitor, error) {
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("flow: monitor dial: %w", err)
+	}
+	enc := json.NewEncoder(conn)
+	_ = conn.SetWriteDeadline(time.Now().Add(dialTimeout))
+	if err := enc.Encode(message{Type: msgSubscribe}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("flow: monitor subscribe: %w", err)
+	}
+	_ = conn.SetWriteDeadline(time.Time{})
+	return &Monitor{conn: conn, dec: json.NewDecoder(bufio.NewReader(conn))}, nil
+}
+
+// ConnectMonitorFile is ConnectMonitor via a scheduler file written by
+// Scheduler.WriteSchedulerFile.
+func ConnectMonitorFile(path string) (*Monitor, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("flow: reading scheduler file: %w", err)
+	}
+	sf, err := ParseSchedulerFile(data)
+	if err != nil {
+		return nil, err
+	}
+	return ConnectMonitor(sf.Address)
+}
+
+// Next blocks until the next event arrives and returns it. A clean end
+// of the stream — the scheduler closed the connection, or Close was
+// called on this monitor — returns an error wrapping ErrStreamEnd;
+// anything else (a malformed or invalid frame, an abrupt reset) is a
+// genuine failure, because a monitor trusts scheduler-controlled bytes
+// no further than the decoder does.
+func (m *Monitor) Next() (events.Event, error) {
+	for {
+		if m.ReadTimeout > 0 {
+			_ = m.conn.SetReadDeadline(time.Now().Add(m.ReadTimeout))
+		}
+		var msg message
+		if err := m.dec.Decode(&msg); err != nil {
+			m.mu.Lock()
+			closed := m.closed
+			m.mu.Unlock()
+			if closed || errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return events.Event{}, fmt.Errorf("%w: %v", ErrStreamEnd, err)
+			}
+			return events.Event{}, fmt.Errorf("flow: monitor stream: %w", err)
+		}
+		if msg.Type != msgEvent || msg.Event == nil {
+			continue
+		}
+		if err := msg.Event.Validate(); err != nil {
+			return events.Event{}, fmt.Errorf("flow: monitor stream: %w", err)
+		}
+		return *msg.Event, nil
+	}
+}
+
+// Close detaches the monitor. Pending and future Next calls fail.
+func (m *Monitor) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.closed = true
+	m.conn.Close()
+}

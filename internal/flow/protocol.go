@@ -13,7 +13,12 @@
 //     completion records carrying per-task statistics (the scheduler's
 //     enqueue stamp, start and end processing times, worker identity) to
 //     an observer — the feed the paper's processing-times CSV is written
-//     from (exec.TaskStats).
+//     from (exec.TaskStats);
+//   - read-only Monitors that subscribe to the scheduler's structured
+//     event stream (internal/events): the full backlog first, then live
+//     task transitions and worker membership changes, so a monitor
+//     attaching mid-campaign reconstructs queue depth and per-worker
+//     in-flight work with no cooperation from the submitting client.
 //
 // The wire protocol is newline-delimited JSON over TCP, using only the
 // standard library.
@@ -23,11 +28,20 @@ import (
 	"encoding/json"
 	"fmt"
 	"time"
+
+	"repro/internal/events"
 )
 
 // Task is one unit of work. Payload is opaque to the engine.
 type Task struct {
 	ID string `json:"id"`
+	// Label is the stable, human-meaningful trace identity of the task (a
+	// protein ID, a "target/m3" inference slot) — the same identity the
+	// processing-times CSV keys its rows by. The engine schedules by ID
+	// (unique per batch and client); the label only feeds the scheduler's
+	// structured event stream, so a monitor and an event log name tasks
+	// the way the submitting executor's trace does. Empty falls back to ID.
+	Label string `json:"label,omitempty"`
 	// Weight is used by scheduling policies (e.g. sequence length for the
 	// paper's longest-first sort); the engine itself does not interpret it.
 	Weight  float64         `json:"weight,omitempty"`
@@ -90,6 +104,8 @@ type message struct {
 	Tasks []Task `json:"tasks,omitempty"`
 	// result
 	Result *Result `json:"result,omitempty"`
+	// event stream (scheduler → monitor)
+	Event *events.Event `json:"event,omitempty"`
 	// batch bookkeeping
 	Count int `json:"count,omitempty"`
 }
@@ -101,6 +117,11 @@ const (
 	msgSubmit   = "submit"
 	msgAccepted = "accepted"
 	msgShutdown = "shutdown"
+	// msgSubscribe turns a connection into a read-only monitor: the
+	// scheduler replies with its full event backlog followed by the live
+	// stream, one msgEvent frame per events.Event.
+	msgSubscribe = "subscribe"
+	msgEvent     = "event"
 )
 
 // SchedulerFile is the JSON document the scheduler writes so workers and

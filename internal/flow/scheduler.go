@@ -9,20 +9,38 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"repro/internal/events"
 )
 
 // Scheduler is the central dataflow coordinator. It owns the task queue and
 // assigns tasks to registered workers as they become free. All state
 // transitions happen on a single event loop goroutine; connection
 // goroutines communicate with it over channels.
+//
+// Every transition is also emitted as a structured events.Event through
+// the scheduler's Hub — the per-task state-machine record Dask's
+// scheduler keeps (received → queued → assigned → running → done/failed,
+// plus worker join/leave), stamped scheduler-side with monotonic times.
+// The free-text PlacementLog and the JSONL EventLog are synchronous views
+// over that stream, and read-only monitor connections (ConnectMonitor)
+// subscribe to it live over the wire.
 type Scheduler struct {
-	// PlacementLog, when set before Start, receives one line per
-	// task-to-worker assignment ("assign <task> -> <worker>") — the
-	// scheduler-side half of the per-task telemetry, mirroring the
-	// transition log Dask's scheduler keeps. Written only from the event
-	// loop goroutine; write errors are ignored (logging must never stall
-	// scheduling).
+	// PlacementLog, when set before Start, receives one line per task
+	// assignment ("assign <task> -> <worker>") and one per completion
+	// ("done <task> <- <worker>" / "fail <task> <- <worker>: <err>"), so
+	// the log alone is sufficient to reconstruct busy intervals. It is a
+	// thin view over the structured event stream; write errors are
+	// ignored (logging must never stall scheduling).
 	PlacementLog io.Writer
+
+	// EventLog, when set before Start, receives the full structured
+	// stream as JSONL (`sched -event-log`): one events.Event per line,
+	// decodable by events.ReadLog and replayable by events.ReplayEvents.
+	// Write errors are ignored, as with PlacementLog.
+	EventLog io.Writer
+
+	hub *events.Hub
 
 	ln   net.Listener
 	done chan struct{}
@@ -32,6 +50,7 @@ type Scheduler struct {
 
 	mu     sync.Mutex
 	closed bool
+	conns  map[net.Conn]bool
 }
 
 type schedEvent struct {
@@ -61,8 +80,15 @@ func NewScheduler() *Scheduler {
 	return &Scheduler{
 		done:   make(chan struct{}),
 		events: make(chan schedEvent, 256),
+		hub:    events.NewHub(),
+		conns:  make(map[net.Conn]bool),
 	}
 }
+
+// Events returns the scheduler's event hub. Snapshot it for the full
+// history, or Subscribe for backlog-then-live consumption; in another
+// process, use ConnectMonitor instead.
+func (s *Scheduler) Events() *events.Hub { return s.hub }
 
 // Start listens on addr (e.g. "127.0.0.1:0") and runs the scheduler loop in
 // the background. It returns the bound address.
@@ -71,11 +97,34 @@ func (s *Scheduler) Start(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("flow: scheduler listen: %w", err)
 	}
+	// The views attach before any event can flow. Sinks run on the event
+	// loop goroutine in stream order.
+	if s.EventLog != nil {
+		s.hub.AddSink(events.LogSink(s.EventLog))
+	}
+	if s.PlacementLog != nil {
+		s.hub.AddSink(placementView(s.PlacementLog))
+	}
 	s.ln = ln
 	s.wg.Add(2)
 	go s.acceptLoop()
 	go s.eventLoop()
 	return ln.Addr().String(), nil
+}
+
+// placementView renders the structured stream as the scheduler's
+// classic free-text placement log.
+func placementView(w io.Writer) func(events.Event) {
+	return func(e events.Event) {
+		switch e.Type {
+		case events.TaskAssigned:
+			fmt.Fprintf(w, "assign %s -> %s\n", e.Task, e.Worker)
+		case events.TaskDone:
+			fmt.Fprintf(w, "done %s <- %s\n", e.Task, e.Worker)
+		case events.TaskFailed:
+			fmt.Fprintf(w, "fail %s <- %s: %s\n", e.Task, e.Worker, e.Err)
+		}
+	}
 }
 
 // WriteSchedulerFile writes the JSON scheduler file workers use to find the
@@ -107,12 +156,41 @@ func (s *Scheduler) Close() {
 		return
 	}
 	s.closed = true
+	// Snapshot open connections so blocked readers (worker/client pumps
+	// waiting in Decode, monitor pumps waiting for events) unblock and
+	// their goroutines exit before wg.Wait below.
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
 	close(s.done)
 	if s.ln != nil {
 		s.ln.Close()
 	}
+	s.hub.Close()
+	for _, c := range conns {
+		c.Close()
+	}
 	s.wg.Wait()
+}
+
+// track registers a live connection for Close; it reports false when the
+// scheduler is already closed (the caller should drop the conn).
+func (s *Scheduler) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = true
+	return true
+}
+
+func (s *Scheduler) untrack(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, conn)
 }
 
 func (s *Scheduler) acceptLoop() {
@@ -132,11 +210,16 @@ func (s *Scheduler) acceptLoop() {
 	}
 }
 
-// serveConn reads the first message to classify the peer (worker or
-// client), then pumps its messages into the event loop.
+// serveConn reads the first message to classify the peer (worker, client,
+// or monitor), then pumps its messages into the event loop — or, for a
+// monitor, pumps the event stream out to it.
 func (s *Scheduler) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
+	if !s.track(conn) {
+		return
+	}
+	defer s.untrack(conn)
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	enc := json.NewEncoder(conn)
 
@@ -172,6 +255,37 @@ func (s *Scheduler) serveConn(conn net.Conn) {
 				s.sendEvent(schedEvent{kind: "submit", cc: cc, tsk: m.Tasks})
 			}
 		}
+	case msgSubscribe:
+		// A read-only monitor: replay the backlog, then follow the live
+		// stream. The cursor reads from the hub's retained history, so a
+		// slow monitor can never stall the scheduler — it only falls
+		// behind on its own connection, and a wedged one is cut off by
+		// the per-frame write deadline.
+		cur := s.hub.Subscribe()
+		// Peer-close watchdog: monitors never send after subscribing, so
+		// any read result means the monitor went away. Cancelling the
+		// cursor unblocks the pump below even when no events are flowing
+		// (a detached monitor on an idle scheduler must not leak this
+		// goroutine and socket until the next event).
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			var m message
+			_ = dec.Decode(&m)
+			cur.Cancel()
+			conn.Close()
+		}()
+		for {
+			e, ok := cur.Next()
+			if !ok {
+				return // scheduler closed or monitor detached
+			}
+			_ = conn.SetWriteDeadline(time.Now().Add(resultWriteTimeout))
+			if err := enc.Encode(message{Type: msgEvent, Event: &e}); err != nil {
+				return // monitor went away
+			}
+			_ = conn.SetWriteDeadline(time.Time{})
+		}
 	}
 }
 
@@ -180,6 +294,22 @@ func (s *Scheduler) sendEvent(e schedEvent) {
 	case s.events <- e:
 	case <-s.done:
 	}
+}
+
+// taskLabel is the event-stream identity of a task: the submitting
+// executor's trace tag when present, else the wire ID.
+func taskLabel(t *Task) string {
+	if t.Label != "" {
+		return t.Label
+	}
+	return t.ID
+}
+
+// emit records one structured event (Seq and TimeNS are stamped by the
+// hub). Called only from the event loop goroutine, so views observe
+// transitions in scheduling order.
+func (s *Scheduler) emit(typ events.Type, task, worker, errMsg string) {
+	s.hub.Emit(events.Event{Type: typ, Task: task, Worker: worker, Err: errMsg})
 }
 
 // eventLoop is the single-threaded heart of the scheduler: a FIFO task
@@ -206,16 +336,19 @@ func (s *Scheduler) eventLoop() {
 			t := q.task
 			w.current = &t
 			inFlight[t.ID] = q
-			if s.PlacementLog != nil {
-				fmt.Fprintf(s.PlacementLog, "assign %s -> %s\n", t.ID, w.id)
-			}
+			s.emit(events.TaskAssigned, taskLabel(&t), w.id, "")
 			if err := w.enc.Encode(message{Type: msgTask, Task: &t}); err != nil {
 				// Worker send failed: requeue and drop the worker.
 				delete(inFlight, t.ID)
 				queue = append([]queued{q}, queue...)
 				delete(workers, w)
 				w.conn.Close()
+				s.emit(events.WorkerLeave, "", w.id, "")
+				s.emit(events.TaskQueued, taskLabel(&t), "", "")
+				continue
 			}
+			// Delivered: single-slot workers start the handler on receipt.
+			s.emit(events.TaskRunning, taskLabel(&t), w.id, "")
 		}
 	}
 
@@ -228,17 +361,20 @@ func (s *Scheduler) eventLoop() {
 			case "register":
 				workers[e.wc] = true
 				free = append(free, e.wc)
+				s.emit(events.WorkerJoin, "", e.wc.id, "")
 				assign()
 			case "workerGone":
 				if !workers[e.wc] {
 					break
 				}
 				delete(workers, e.wc)
+				s.emit(events.WorkerLeave, "", e.wc.id, "")
 				// Requeue the in-flight task so no work is lost.
 				if e.wc.current != nil {
 					if q, ok := inFlight[e.wc.current.ID]; ok {
 						delete(inFlight, e.wc.current.ID)
 						queue = append([]queued{q}, queue...)
+						s.emit(events.TaskQueued, taskLabel(&q.task), "", "")
 					}
 				}
 				// Remove from the free list if present.
@@ -253,6 +389,11 @@ func (s *Scheduler) eventLoop() {
 				q, ok := inFlight[e.res.TaskID]
 				if ok {
 					delete(inFlight, e.res.TaskID)
+					if e.res.Err != "" {
+						s.emit(events.TaskFailed, taskLabel(&q.task), e.wc.id, e.res.Err)
+					} else {
+						s.emit(events.TaskDone, taskLabel(&q.task), e.wc.id, "")
+					}
 					if q.client != nil {
 						_ = q.client.enc.Encode(message{Type: msgResult, Result: e.res})
 						q.client.pending--
@@ -277,6 +418,8 @@ func (s *Scheduler) eventLoop() {
 				now := time.Now().UnixNano()
 				for _, t := range e.tsk {
 					t.EnqueuedNS = now
+					s.emit(events.TaskReceived, taskLabel(&t), "", "")
+					s.emit(events.TaskQueued, taskLabel(&t), "", "")
 					queue = append(queue, queued{task: t, client: e.cc})
 				}
 				assign()
@@ -286,6 +429,8 @@ func (s *Scheduler) eventLoop() {
 				for _, q := range queue {
 					if q.client != e.cc {
 						kept = append(kept, q)
+					} else {
+						s.emit(events.TaskDropped, taskLabel(&q.task), "", "")
 					}
 				}
 				queue = kept

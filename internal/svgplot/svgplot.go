@@ -1,0 +1,302 @@
+// Package svgplot renders the paper's Fig-2-style figures — a per-worker
+// task timeline (one row per worker, one block per task execution) with
+// an optional queue-depth strip below — as dependency-free SVG using
+// only the standard library.
+//
+// The package draws data it is handed and nothing else: callers build a
+// Timeline from a recorded trace (internal/analysis), an event-log
+// replay (internal/events), or a dataflow simulation (internal/cluster).
+// The overlay mode draws a second, outlined interval set over the filled
+// one — the measured-vs-simulated comparison the ROADMAP's load-balance
+// figure asks for.
+//
+// Rendering is deterministic: identical input yields byte-identical SVG
+// (numbers are formatted with fixed precision and map-free iteration), a
+// property the golden-file test gates.
+package svgplot
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Interval is one task execution block: a half-open time range [Start,
+// End] in seconds on one row (worker) of the timeline.
+type Interval struct {
+	// Row indexes Timeline.Rows.
+	Row int
+	// Start and End bound the block in seconds on the shared time axis.
+	Start, End float64
+	// Label, when non-empty, becomes the block's hover tooltip (an SVG
+	// <title> child) — typically the task identity.
+	Label string
+}
+
+// DepthPoint is one step of the queue-depth series.
+type DepthPoint struct {
+	// T is the time in seconds on the shared axis.
+	T float64
+	// Depth is the queue depth from T onward (a step function).
+	Depth int
+}
+
+// Timeline is the full figure description.
+type Timeline struct {
+	// Title is drawn above the plot.
+	Title string
+	// Rows labels the worker rows, top to bottom.
+	Rows []string
+	// Measured intervals are drawn as filled blocks.
+	Measured []Interval
+	// Simulated intervals, when present, are drawn as outlined blocks
+	// over the measured ones — the overlay mode comparing a recorded run
+	// against the dataflow simulator's prediction for the same tasks.
+	Simulated []Interval
+	// Depth, when present, adds a queue-depth step chart below the
+	// timeline on the same time axis.
+	Depth []DepthPoint
+	// MeasuredLabel and SimulatedLabel name the legend entries; empty
+	// selects "measured" and "simulated".
+	MeasuredLabel, SimulatedLabel string
+}
+
+// Fixed layout and the brand-neutral palette. Colors pair a colorblind-
+// safe blue (measured fill) with a high-contrast orange (simulated
+// outline); the depth line reuses the measured hue darkened.
+const (
+	leftMargin  = 150
+	rightMargin = 24
+	topMargin   = 56
+	plotWidth   = 720
+	rowHeight   = 16
+	rowGap      = 4
+	depthHeight = 80
+	depthGap    = 34
+	axisHeight  = 30
+
+	colorMeasured  = "#4477aa"
+	colorSimulated = "#ee7733"
+	colorDepth     = "#225588"
+	colorGrid      = "#dddddd"
+	colorText      = "#333333"
+)
+
+// ftoa formats a coordinate or data value with fixed precision so the
+// output is deterministic and diff-friendly.
+func ftoa(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 2, 64)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// escape makes a string safe for SVG text and attribute content.
+func escape(s string) string {
+	r := strings.NewReplacer(
+		"&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&#39;",
+	)
+	return r.Replace(s)
+}
+
+// validate rejects figures that cannot render sensibly.
+func (f *Timeline) validate() error {
+	if len(f.Rows) == 0 {
+		return fmt.Errorf("svgplot: timeline has no rows")
+	}
+	check := func(kind string, ivs []Interval) error {
+		for i := range ivs {
+			iv := &ivs[i]
+			if iv.Row < 0 || iv.Row >= len(f.Rows) {
+				return fmt.Errorf("svgplot: %s interval %d row %d out of range [0,%d)", kind, i, iv.Row, len(f.Rows))
+			}
+			if math.IsNaN(iv.Start) || math.IsInf(iv.Start, 0) ||
+				math.IsNaN(iv.End) || math.IsInf(iv.End, 0) {
+				return fmt.Errorf("svgplot: %s interval %d has non-finite bounds", kind, i)
+			}
+			if iv.End < iv.Start {
+				return fmt.Errorf("svgplot: %s interval %d ends (%g) before it starts (%g)", kind, i, iv.End, iv.Start)
+			}
+		}
+		return nil
+	}
+	if err := check("measured", f.Measured); err != nil {
+		return err
+	}
+	if err := check("simulated", f.Simulated); err != nil {
+		return err
+	}
+	for i := range f.Depth {
+		if math.IsNaN(f.Depth[i].T) || math.IsInf(f.Depth[i].T, 0) {
+			return fmt.Errorf("svgplot: depth point %d has non-finite time", i)
+		}
+		if f.Depth[i].Depth < 0 {
+			return fmt.Errorf("svgplot: depth point %d is negative (%d)", i, f.Depth[i].Depth)
+		}
+		if i > 0 && f.Depth[i].T < f.Depth[i-1].T {
+			return fmt.Errorf("svgplot: depth points not in time order at %d", i)
+		}
+	}
+	return nil
+}
+
+// span returns the extent of the time axis (always > 0).
+func (f *Timeline) span() float64 {
+	max := 0.0
+	for _, ivs := range [][]Interval{f.Measured, f.Simulated} {
+		for i := range ivs {
+			if ivs[i].End > max {
+				max = ivs[i].End
+			}
+		}
+	}
+	for i := range f.Depth {
+		if f.Depth[i].T > max {
+			max = f.Depth[i].T
+		}
+	}
+	if max <= 0 {
+		return 1
+	}
+	return max
+}
+
+// Render writes the figure as a standalone SVG document.
+func (f *Timeline) Render(w io.Writer) error {
+	if err := f.validate(); err != nil {
+		return err
+	}
+	span := f.span()
+	timelineH := len(f.Rows)*(rowHeight+rowGap) - rowGap
+	height := topMargin + timelineH + axisHeight
+	depthTop := 0
+	if len(f.Depth) > 0 {
+		depthTop = topMargin + timelineH + depthGap
+		height = depthTop + depthHeight + axisHeight
+	}
+	width := leftMargin + plotWidth + rightMargin
+
+	x := func(t float64) float64 { return leftMargin + t/span*plotWidth }
+	rowY := func(row int) int { return topMargin + row*(rowHeight+rowGap) }
+
+	bw := bufio.NewWriter(w)
+	var err error
+	printf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(bw, format, args...)
+		}
+	}
+
+	printf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="Helvetica,Arial,sans-serif">`+"\n",
+		width, height, width, height)
+	printf(`<rect width="%d" height="%d" fill="#ffffff"/>`+"\n", width, height)
+	if f.Title != "" {
+		printf(`<text x="%d" y="22" font-size="15" fill="%s">%s</text>`+"\n", leftMargin, colorText, escape(f.Title))
+	}
+
+	// Legend, right-aligned on the title line.
+	mLabel, sLabel := f.MeasuredLabel, f.SimulatedLabel
+	if mLabel == "" {
+		mLabel = "measured"
+	}
+	if sLabel == "" {
+		sLabel = "simulated"
+	}
+	legendX := leftMargin + plotWidth - 240
+	printf(`<rect x="%d" y="12" width="14" height="10" fill="%s" fill-opacity="0.85"/>`+"\n", legendX, colorMeasured)
+	printf(`<text x="%d" y="21" font-size="11" fill="%s">%s</text>`+"\n", legendX+20, colorText, escape(mLabel))
+	if len(f.Simulated) > 0 {
+		printf(`<rect x="%d" y="12" width="14" height="10" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n", legendX+120, colorSimulated)
+		printf(`<text x="%d" y="21" font-size="11" fill="%s">%s</text>`+"\n", legendX+140, colorText, escape(sLabel))
+	}
+
+	// Time gridlines + axis ticks, shared by both charts.
+	ticks := 6
+	axisY := height - axisHeight + 14
+	for i := 0; i <= ticks; i++ {
+		t := span * float64(i) / float64(ticks)
+		gx := ftoa(x(t))
+		printf(`<line x1="%s" y1="%d" x2="%s" y2="%d" stroke="%s" stroke-width="1"/>`+"\n",
+			gx, topMargin, gx, height-axisHeight, colorGrid)
+		printf(`<text x="%s" y="%d" font-size="10" text-anchor="middle" fill="%s">%s</text>`+"\n",
+			gx, axisY, colorText, ftoa(t))
+	}
+	printf(`<text x="%d" y="%d" font-size="11" text-anchor="middle" fill="%s">seconds</text>`+"\n",
+		leftMargin+plotWidth/2, axisY+14, colorText)
+
+	// Worker rows: label + baseline + blocks.
+	for row, label := range f.Rows {
+		y := rowY(row)
+		printf(`<text x="%d" y="%d" font-size="10" text-anchor="end" fill="%s">%s</text>`+"\n",
+			leftMargin-8, y+rowHeight-4, colorText, escape(label))
+		printf(`<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="0.5"/>`+"\n",
+			leftMargin, y+rowHeight, leftMargin+plotWidth, y+rowHeight, colorGrid)
+	}
+	block := func(iv *Interval, style string) {
+		bx := x(iv.Start)
+		wd := x(iv.End) - bx
+		if wd < 0.5 {
+			wd = 0.5 // a zero-width task still leaves a visible tick
+		}
+		printf(`<rect x="%s" y="%d" width="%s" height="%d" %s>`,
+			ftoa(bx), rowY(iv.Row)+1, ftoa(wd), rowHeight-2, style)
+		if iv.Label != "" {
+			printf(`<title>%s</title>`, escape(iv.Label))
+		}
+		printf("</rect>\n")
+	}
+	measuredStyle := fmt.Sprintf(`fill="%s" fill-opacity="0.85"`, colorMeasured)
+	for i := range f.Measured {
+		block(&f.Measured[i], measuredStyle)
+	}
+	simulatedStyle := fmt.Sprintf(`fill="none" stroke="%s" stroke-width="1.5"`, colorSimulated)
+	for i := range f.Simulated {
+		block(&f.Simulated[i], simulatedStyle)
+	}
+
+	// Queue-depth strip: a step polyline on the shared time axis.
+	if len(f.Depth) > 0 {
+		maxDepth := 1
+		for i := range f.Depth {
+			if f.Depth[i].Depth > maxDepth {
+				maxDepth = f.Depth[i].Depth
+			}
+		}
+		dy := func(d int) float64 {
+			return float64(depthTop+depthHeight) - float64(d)/float64(maxDepth)*depthHeight
+		}
+		printf(`<text x="%d" y="%d" font-size="10" text-anchor="end" fill="%s">queue depth</text>`+"\n",
+			leftMargin-8, depthTop+depthHeight/2, colorText)
+		printf(`<text x="%d" y="%d" font-size="9" text-anchor="end" fill="%s">max %d</text>`+"\n",
+			leftMargin-8, depthTop+depthHeight/2+12, colorText, maxDepth)
+		printf(`<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="0.5"/>`+"\n",
+			leftMargin, depthTop+depthHeight, leftMargin+plotWidth, depthTop+depthHeight, colorGrid)
+		var pts strings.Builder
+		prev := 0
+		add := func(t float64, d int) {
+			fmt.Fprintf(&pts, "%s,%s ", ftoa(x(t)), ftoa(dy(d)))
+		}
+		first := f.Depth[0]
+		add(first.T, 0)
+		for i := range f.Depth {
+			p := f.Depth[i]
+			add(p.T, prev) // horizontal run at the previous depth
+			add(p.T, p.Depth)
+			prev = p.Depth
+		}
+		add(span, prev)
+		printf(`<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+			strings.TrimRight(pts.String(), " "), colorDepth)
+	}
+
+	printf("</svg>\n")
+	if err != nil {
+		return fmt.Errorf("svgplot: rendering timeline: %w", err)
+	}
+	if ferr := bw.Flush(); ferr != nil {
+		return fmt.Errorf("svgplot: rendering timeline: %w", ferr)
+	}
+	return nil
+}

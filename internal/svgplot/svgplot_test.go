@@ -1,0 +1,182 @@
+package svgplot
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -update regenerates the golden SVG; review the diff before committing.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenFigure is a small but complete figure: three workers, measured
+// blocks, a simulated overlay, a queue-depth strip, and labels that need
+// XML escaping.
+func goldenFigure() *Timeline {
+	return &Timeline{
+		Title: `DVU campaign <measured & simulated>`,
+		Rows:  []string{"worker-a", "worker-b", "w&<>\"'"},
+		Measured: []Interval{
+			{Row: 0, Start: 0.5, End: 3.25, Label: "DVU_00001"},
+			{Row: 1, Start: 0.5, End: 2, Label: "DVU_00002/m3"},
+			{Row: 2, Start: 0.75, End: 4, Label: `task "quoted" & <odd>`},
+			{Row: 1, Start: 2.25, End: 2.25}, // zero-width tick
+		},
+		Simulated: []Interval{
+			{Row: 0, Start: 0, End: 2.75},
+			{Row: 1, Start: 0, End: 1.5},
+			{Row: 2, Start: 0, End: 3.5},
+		},
+		Depth: []DepthPoint{
+			{T: 0, Depth: 4},
+			{T: 0.5, Depth: 2},
+			{T: 0.75, Depth: 1},
+			{T: 2.25, Depth: 0},
+		},
+		MeasuredLabel:  "recorded run",
+		SimulatedLabel: "SimulateDataflow",
+	}
+}
+
+// TestRenderGolden gates the renderer byte for byte: figures must stay
+// deterministic so recorded campaigns diff cleanly across runs.
+func TestRenderGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenFigure().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "timeline_golden.svg")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run `go test -update ./internal/svgplot` to create it): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("rendered SVG differs from %s (run with -update after reviewing)\ngot %d bytes, want %d",
+			golden, buf.Len(), len(want))
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := goldenFigure().Render(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := goldenFigure().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two renders of the same figure differ")
+	}
+}
+
+func TestRenderContent(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenFigure().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<svg xmlns=\"http://www.w3.org/2000/svg\"",
+		"DVU campaign &lt;measured &amp; simulated&gt;",
+		"worker-a",
+		"w&amp;&lt;&gt;&quot;&#39;",
+		"<title>DVU_00001</title>",
+		"recorded run",
+		"SimulateDataflow",
+		"queue depth",
+		"max 4",
+		"<polyline",
+		"seconds",
+		"</svg>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered SVG missing %q", want)
+		}
+	}
+	// Raw unescaped metacharacters must never leak from labels.
+	if strings.Contains(out, `task "quoted"`) {
+		t.Error("unescaped label leaked into the SVG")
+	}
+}
+
+func TestRenderWithoutOverlayOrDepth(t *testing.T) {
+	f := &Timeline{
+		Rows:     []string{"w0"},
+		Measured: []Interval{{Row: 0, Start: 0, End: 1}},
+	}
+	var buf bytes.Buffer
+	if err := f.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "simulated") {
+		t.Error("legend shows a simulated entry with no overlay")
+	}
+	if strings.Contains(out, "queue depth") {
+		t.Error("depth strip rendered with no depth data")
+	}
+}
+
+func TestRenderRejectsBadFigures(t *testing.T) {
+	bad := []*Timeline{
+		{},
+		{Rows: []string{"w"}, Measured: []Interval{{Row: 1, Start: 0, End: 1}}},
+		{Rows: []string{"w"}, Measured: []Interval{{Row: -1, Start: 0, End: 1}}},
+		{Rows: []string{"w"}, Measured: []Interval{{Row: 0, Start: 2, End: 1}}},
+		{Rows: []string{"w"}, Measured: []Interval{{Row: 0, Start: math.NaN(), End: 1}}},
+		{Rows: []string{"w"}, Simulated: []Interval{{Row: 0, Start: 0, End: math.Inf(1)}}},
+		{Rows: []string{"w"}, Depth: []DepthPoint{{T: math.NaN()}}},
+		{Rows: []string{"w"}, Depth: []DepthPoint{{T: 2}, {T: 1}}},
+		{Rows: []string{"w"}, Depth: []DepthPoint{{T: 1, Depth: -1}}},
+	}
+	for i, f := range bad {
+		var buf bytes.Buffer
+		if err := f.Render(&buf); err == nil {
+			t.Errorf("figure %d rendered without error", i)
+		}
+	}
+}
+
+// TestRenderEmptySpan: a figure whose only content sits at t=0 must not
+// divide by zero.
+func TestRenderEmptySpan(t *testing.T) {
+	f := &Timeline{
+		Rows:     []string{"w"},
+		Measured: []Interval{{Row: 0, Start: 0, End: 0}},
+	}
+	var buf bytes.Buffer
+	if err := f.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "</svg>") {
+		t.Fatal("degenerate figure did not render to completion")
+	}
+}
+
+func TestFtoa(t *testing.T) {
+	tests := map[float64]string{
+		0:       "0",
+		1.5:     "1.5",
+		2.25:    "2.25",
+		3.999:   "4",
+		100:     "100",
+		0.10001: "0.1",
+	}
+	for in, want := range tests {
+		if got := ftoa(in); got != want {
+			t.Errorf("ftoa(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
