@@ -541,6 +541,188 @@ func TestMonitorMidCampaign(t *testing.T) {
 	}
 }
 
+// TestResumeAfterSchedulerKill is the crash-recovery acceptance test: a
+// scheduler killed mid-campaign loses nothing that matters. Its event log
+// survives; a restarted scheduler (-resume-log) continues the stream; a
+// resumed submit (-resume) skips every task the interrupted run completed
+// — recomputing them locally from the deterministic world — and produces
+// a report byte-identical to an uninterrupted run while strictly fewer
+// tasks cross the wire.
+func TestResumeAfterSchedulerKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	campaign := []string{"-species", "DVU", "-preset", "genome", "-limit", "300", "-seed", "20220125"}
+
+	// Phase A — references from an undisturbed world: the pool executor's
+	// report, and a full uninterrupted submit's stats CSV on its own
+	// cluster (the killed submit never writes one).
+	pool := runBin(t, append([]string{"run", "-executor", "pool"}, campaign...)...)
+	refSched := e2eCluster(t, 2)
+	fullCSV := filepath.Join(filepath.Dir(refSched), "full.csv")
+	full := runBin(t, append([]string{"submit", "-scheduler-file", refSched, "-stats", fullCSV}, campaign...)...)
+	if string(full) != string(pool) {
+		t.Fatalf("uninterrupted submit differs from pool executor:\n--- submit ---\n%s--- pool ---\n%s", full, pool)
+	}
+
+	// Phase B — the doomed cluster: scheduler with an event log, two
+	// workers, a submit in flight. All hand-rolled so the scheduler can be
+	// killed at a moment of our choosing.
+	dir := t.TempDir()
+	schedFile := filepath.Join(dir, "sched.json")
+	eventLog := filepath.Join(dir, "events.jsonl")
+	resumeLog := filepath.Join(dir, "resume.jsonl")
+	resumedCSV := filepath.Join(dir, "resumed.csv")
+
+	spawn := func(name string, args ...string) *osexec.Cmd {
+		t.Helper()
+		cmd := osexec.Command(binPath, args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting %s: %v", name, err)
+		}
+		t.Cleanup(func() {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		})
+		return cmd
+	}
+	waitSchedFile := func() {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if data, err := os.ReadFile(schedFile); err == nil {
+				if _, err := flow.ParseSchedulerFile(data); err == nil {
+					return
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("scheduler file %s not written in time", schedFile)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	sched := spawn("scheduler", "sched", "-listen", "127.0.0.1:0",
+		"-scheduler-file", schedFile, "-event-log", eventLog)
+	waitSchedFile()
+	spawn("worker", "worker", "-scheduler-file", schedFile, "-id", "e2e-b0")
+	spawn("worker", "worker", "-scheduler-file", schedFile, "-id", "e2e-b1")
+
+	submit := osexec.Command(binPath,
+		append([]string{"submit", "-scheduler-file", schedFile}, campaign...)...)
+	submit.Stdout = os.Stderr
+	submit.Stderr = os.Stderr
+	if err := submit.Start(); err != nil {
+		t.Fatalf("starting submit: %v", err)
+	}
+	submitDone := make(chan error, 1)
+	go func() { submitDone <- submit.Wait(); close(submitDone) }()
+	t.Cleanup(func() { _ = submit.Process.Kill(); <-submitDone })
+
+	// Kill the scheduler once real progress is on disk but the campaign
+	// is far from finished (~20 of the 2100 tasks).
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		data, _ := os.ReadFile(eventLog)
+		if bytes.Count(data, []byte(`"type":"done"`)) >= 20 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("campaign made no progress before the kill window")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	_ = sched.Process.Kill()
+	_, _ = sched.Process.Wait()
+	// The orphaned submit exits on its own (lost connection); either exit
+	// status is acceptable — the resume contract is what matters.
+	select {
+	case <-submitDone:
+	case <-time.After(60 * time.Second):
+		t.Fatal("killed-scheduler submit did not exit")
+	}
+
+	// Snapshot the log before the restarted scheduler rewrites it in
+	// place: this frozen copy is what the resumed submit replays.
+	logData, err := os.ReadFile(eventLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(resumeLog, logData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	completed, err := events.CompletedFromLog(bytes.NewReader(logData))
+	if err != nil {
+		t.Fatalf("reading the crashed scheduler's log: %v", err)
+	}
+	if completed.Len() == 0 {
+		t.Fatal("crashed run completed no tasks; the kill landed too early")
+	}
+
+	// Phase C — recovery: a fresh scheduler resumes the event stream from
+	// its own log, fresh workers join, and the submit resumes from the
+	// snapshot.
+	if err := os.Remove(schedFile); err != nil {
+		t.Fatal(err)
+	}
+	spawn("restarted scheduler", "sched", "-listen", "127.0.0.1:0",
+		"-scheduler-file", schedFile, "-event-log", eventLog, "-resume-log")
+	waitSchedFile()
+	spawn("worker", "worker", "-scheduler-file", schedFile, "-id", "e2e-c0")
+	spawn("worker", "worker", "-scheduler-file", schedFile, "-id", "e2e-c1")
+
+	resumed := runBin(t, append([]string{"submit", "-scheduler-file", schedFile,
+		"-resume", resumeLog, "-stats", resumedCSV}, campaign...)...)
+
+	// The resumed report is byte-identical to the uninterrupted run.
+	if string(resumed) != string(pool) {
+		t.Errorf("resumed report differs from pool executor:\n--- resumed ---\n%s--- pool ---\n%s", resumed, pool)
+	}
+
+	// Strictly fewer tasks crossed the wire, and none of them was a task
+	// the crashed run already completed.
+	fullHeader, fullRows := readStatsCSV(t, fullCSV)
+	resHeader, resRows := readStatsCSV(t, resumedCSV)
+	if len(resRows) >= len(fullRows) {
+		t.Errorf("resumed run dispatched %d tasks, want strictly fewer than the full run's %d", len(resRows), len(fullRows))
+	}
+	if len(resRows) == 0 {
+		t.Error("resumed run dispatched nothing; the crashed run had already finished")
+	}
+	_ = fullHeader
+	idCol := statsColumn(t, resHeader, "task_id")
+	for _, row := range resRows {
+		if completed.Done(row[idCol]) {
+			t.Errorf("task %s was completed before the crash but re-dispatched on resume", row[idCol])
+		}
+	}
+	t.Logf("resume: %d tasks completed pre-crash, %d of %d re-dispatched",
+		completed.Len(), len(resRows), len(fullRows))
+
+	// The restarted scheduler's log is one continuous, replayable stream:
+	// the crashed run's intact prefix plus everything the resumed
+	// campaign appended, with strictly increasing sequence numbers.
+	finalData, err := os.ReadFile(eventLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalEvents, err := events.ReadLog(bytes.NewReader(finalData))
+	if err != nil {
+		t.Fatalf("decoding the restarted scheduler's log: %v", err)
+	}
+	if len(finalEvents) <= completed.Len() {
+		t.Errorf("final log has %d events; expected the crashed prefix plus the resumed campaign", len(finalEvents))
+	}
+	if _, err := events.ReplayEvents(finalEvents); err != nil {
+		t.Fatalf("replaying the stitched log across the restart: %v", err)
+	}
+}
+
 // TestSubmitSurvivesWorkerChurn kills one worker mid-campaign: the
 // scheduler requeues its in-flight task and the remaining workers finish
 // the batch with the identical report — the fault-tolerance half of the

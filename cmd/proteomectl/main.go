@@ -25,6 +25,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -33,6 +34,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
@@ -117,18 +119,28 @@ commands:
   predict -species C -id ID [-out F] [-seed S]
                                 predict + relax one protein, write PDB
   sched -listen A [-scheduler-file F] [-log-placement] [-event-log F]
+      [-resume-log] [-max-retries N] [-heartbeat-timeout D] [-event-backlog N]
                                 start a standalone dataflow scheduler;
                                 -event-log persists the structured task
-                                transition stream as JSONL
-  worker (-connect A | -scheduler-file F) [-id ID]
-                                start a worker serving the campaign kernels
+                                transition stream as JSONL, -resume-log
+                                continues an existing log across a restart,
+                                -max-retries quarantines poison tasks,
+                                -heartbeat-timeout declares silent workers
+                                dead, -event-backlog bounds in-memory history
+  worker (-connect A | -scheduler-file F) [-id ID] [-heartbeat D] [-dial-retry D]
+                                start a worker serving the campaign kernels;
+                                -dial-retry lets it start before the scheduler
   submit (-connect A | -scheduler-file F) -species C [-preset P] [-nodes N]
       [-seed S] [-limit K] [-stats F] [-timeline F] [-summary]
+      [-resume F] [-resume-stats F] [-dial-retry D]
                                 run the campaign on the remote cluster;
                                 -stats writes the per-task processing-times
                                 CSV, -timeline the measured-vs-simulated
                                 worker-timeline SVG, -summary keeps feature
-                                and prediction payloads off the wire
+                                and prediction payloads off the wire,
+                                -resume/-resume-stats skip tasks an
+                                interrupted run already completed (the
+                                report stays byte-identical)
   monitor (-connect A | -scheduler-file F) [-json]
                                 tail a running campaign live (queue depth,
                                 per-worker in-flight, throughput) from the
@@ -361,19 +373,54 @@ func schedCmd(args []string, stdout io.Writer) error {
 	schedFile := fs.String("scheduler-file", "", "write a JSON scheduler file advertising the bound address")
 	logPlacement := fs.Bool("log-placement", false, "log every task assignment and completion to stdout")
 	eventLog := fs.String("event-log", "", "persist the structured task-transition stream (received/queued/assigned/running/done/failed + worker join/leave) as JSONL to this file; replayable offline with events.ReadLog")
+	resumeLog := fs.Bool("resume-log", false, "on restart, replay an existing -event-log first: the stream continues where the crashed scheduler stopped (a torn final record is discarded), so monitors still see the full campaign backlog and `submit -resume` can skip completed tasks")
+	maxRetries := fs.Int("max-retries", 3, "requeue a task whose worker died at most this many times, then quarantine it with a terminal failed event (0 = requeue forever)")
+	heartbeatTimeout := fs.Duration("heartbeat-timeout", 0, "declare a worker dead after this long without a heartbeat or result and requeue its task (0 disables; workers must send -heartbeat at a few multiples below this)")
+	eventBacklog := fs.Int("event-backlog", 0, "retain at most this many events in memory for late-attaching monitors, evicting oldest-first with an explicit truncated marker (0 = unbounded; the -event-log file always keeps everything)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	s := flow.NewScheduler()
+	s.MaxRetries = *maxRetries
+	s.HeartbeatTimeout = *heartbeatTimeout
+	if *eventBacklog > 0 {
+		s.Events().SetLimit(*eventBacklog)
+	}
 	if *logPlacement {
 		s.PlacementLog = stdout
 	}
 	if *eventLog != "" {
+		var restored []events.Event
+		if *resumeLog {
+			if data, err := os.ReadFile(*eventLog); err == nil {
+				// A tail torn by the crash is expected: restore the intact
+				// prefix and rewrite the file as one valid stream.
+				evs, rerr := events.ReadLog(bytes.NewReader(data))
+				if rerr != nil {
+					fmt.Fprintf(os.Stderr, "proteomectl: event log: discarding torn tail after %d events: %v\n", len(evs), rerr)
+				}
+				restored = evs
+			} else if !os.IsNotExist(err) {
+				return err
+			}
+		}
 		f, err := os.Create(*eventLog)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
+		if len(restored) > 0 {
+			// Re-encode the intact prefix so the final file decodes as a
+			// single contiguous stream across the restart.
+			sink := events.LogSink(f)
+			for _, e := range restored {
+				sink(e)
+			}
+			if err := s.RestoreEvents(restored); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "resumed event log: %d events restored\n", len(restored))
+		}
 		s.EventLog = f
 	}
 	addr, err := s.Start(*listen)
@@ -399,6 +446,8 @@ func workerCmd(args []string, stdout io.Writer) error {
 	connect := fs.String("connect", "", "scheduler address (host:port)")
 	schedFile := fs.String("scheduler-file", "", "scheduler file to read the address from")
 	id := fs.String("id", fmt.Sprintf("worker-%d", os.Getpid()), "worker identity")
+	heartbeat := fs.Duration("heartbeat", 15*time.Second, "send a liveness heartbeat to the scheduler on this interval (0 disables); pair with sched -heartbeat-timeout to detect wedged workers")
+	dialRetry := fs.Duration("dial-retry", 30*time.Second, "keep retrying the scheduler (and a missing scheduler file) with backoff for this long, so workers may start before the scheduler (0 = one attempt)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -407,6 +456,8 @@ func workerCmd(args []string, stdout io.Writer) error {
 	}
 	experiments.RegisterCampaignKernels()
 	w := flow.NewWorker(*id, flow.SpecHandler())
+	w.HeartbeatInterval = *heartbeat
+	w.DialBudget = *dialRetry
 	var err error
 	if *connect != "" {
 		err = w.Connect(*connect)
@@ -447,6 +498,9 @@ func submitCmd(args []string, stdout io.Writer) error {
 		"fail when no result arrives for this long (0 disables); raise it when individual tasks run long")
 	summary := fs.Bool("summary", false,
 		"summary-only results: feature kernels return a digest instead of full per-protein features, cutting wire bytes; the printed report is byte-identical")
+	resume := fs.String("resume", "", "resume an interrupted campaign from a scheduler event log (sched -event-log): tasks recorded done are recomputed locally instead of re-dispatched; the report is byte-identical to an uninterrupted run")
+	resumeStats := fs.String("resume-stats", "", "like -resume, from a processing-times CSV of the interrupted run (-stats); combinable with -resume")
+	dialRetry := fs.Duration("dial-retry", 10*time.Second, "keep retrying the scheduler (and a missing scheduler file) with backoff for this long (0 = one attempt)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -457,11 +511,42 @@ func submitCmd(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *resume != "" || *resumeStats != "" {
+		set := events.NewCompletedSet()
+		if *resume != "" {
+			f, err := os.Open(*resume)
+			if err != nil {
+				return err
+			}
+			logSet, err := events.CompletedFromLog(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			set.Merge(logSet)
+		}
+		if *resumeStats != "" {
+			f, err := os.Open(*resumeStats)
+			if err != nil {
+				return err
+			}
+			ids, err := exec.CompletedFromStatsCSV(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			set.AddAll(ids)
+		}
+		// Stderr, so the stdout report stays byte-identical to an
+		// uninterrupted run.
+		fmt.Fprintf(os.Stderr, "resume: %d tasks already completed; dispatching only the remainder\n", set.Len())
+		cr.cfg.Resume = set.Done
+	}
 	var fl *exec.Flow
 	if *connect != "" {
-		fl, err = exec.ConnectFlow(*connect)
+		fl, err = exec.ConnectFlowRetry(*connect, *dialRetry)
 	} else {
-		fl, err = exec.ConnectFlowFile(*schedFile)
+		fl, err = exec.ConnectFlowFileRetry(*schedFile, *dialRetry)
 	}
 	if err != nil {
 		return err

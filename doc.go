@@ -95,6 +95,30 @@
 // campaign report byte-identical with and without a monitor attached,
 // and that the event log's task set exactly matches the stats CSV.
 //
+// The same event stream makes campaigns crash-safe. Workers heartbeat
+// from a dedicated goroutine (`worker -heartbeat`); a worker silent past
+// `sched -heartbeat-timeout` is declared dead with a worker_lost event
+// and its in-flight task requeued — catching frozen processes whose TCP
+// connections never drop. Requeues are budgeted: the scheduler counts
+// per-task delivery attempts, and a task whose worker died on every
+// attempt (`sched -max-retries`) is quarantined — terminal failed +
+// quarantined events with the attempt history, a failed result to the
+// client — instead of cycling forever; a JobSpec's escalation payload is
+// swapped in on the first redelivery (the high-memory retry wave,
+// scheduler-side). Initial dials retry with backoff under a budget
+// (flow.DialRetry, `-dial-retry`) so process start order is free, and
+// the in-memory event backlog can be bounded (`sched -event-backlog`)
+// with an explicit truncated marker for late subscribers. A killed
+// scheduler resumes from its own log (`sched -resume-log` restores the
+// stream, continues sequence numbers, and appends to the same file), and
+// a killed campaign resumes event-sourced: `submit -resume events.jsonl`
+// (and/or -resume-stats tasks.csv) replays what completed into an
+// events.CompletedSet, and exec.MapSpecResume recomputes those tasks
+// locally — every stage value is a pure function of (seed, species,
+// task) — while dispatching only the remainder, so the report stays
+// byte-identical to an uninterrupted run and the resumed stats CSV
+// records strictly fewer dispatched tasks (TestResumeAfterSchedulerKill).
+//
 // CI enforces the perf + determinism contract: a bench-regression job
 // gates the kernel microbenchmarks against BENCH_BASELINE.json through
 // cmd/benchguard (allocs/op exactly, ns/op with generous tolerance), the

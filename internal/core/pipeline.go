@@ -70,6 +70,18 @@ type Config struct {
 	// ship specs across processes are affected (in-process closures
 	// return nothing over a wire to begin with).
 	SummaryOnly bool
+	// Resume, when set, reports tasks a previous interrupted run already
+	// completed (keyed by trace identity: protein ID, "target/mN",
+	// relax target ID — typically an events.CompletedSet replayed from a
+	// scheduler event log via `submit -resume`). Stages recompute those
+	// tasks locally instead of re-dispatching them, so the report stays
+	// byte-identical to an uninterrupted run while the cluster only sees
+	// the missing tasks. Only spec-dispatching (remote) executors are
+	// affected; nil resumes nothing. Note the feature and relax stages
+	// share trace identities (the target ID), so a completed feature task
+	// also short-circuits that target's relax dispatch — both recompute
+	// to identical values either way.
+	Resume func(task string) bool
 }
 
 // remoteGuard rejects a spec-only executor without the campaign identity
@@ -140,7 +152,7 @@ func FeatureStage(proteins []proteome.Protein, gen FeatureGen, fs fsim.Filesyste
 	if err := cfg.remoteGuard(x); err != nil {
 		return nil, err
 	}
-	outs, err := exec.MapSpec(x, KernelFeature, proteins,
+	outs, err := exec.MapSpecResume(x, KernelFeature, proteins,
 		func(_ int, p proteome.Protein) string { return p.Seq.ID },
 		func(_ int, p proteome.Protein) any {
 			return FeatureSpec{
@@ -162,7 +174,8 @@ func FeatureStage(proteins []proteome.Protein, gen FeatureGen, fs fsim.Filesyste
 				return FeatureOut{}, err
 			}
 			return FeatureOut{Features: f, Seconds: dur}, nil
-		})
+		},
+		cfg.Resume)
 	if err != nil {
 		return nil, err
 	}
@@ -306,7 +319,7 @@ func InferenceStage(engine *fold.Engine, proteins []proteome.Protein, features m
 	// mode at strictly fewer wire bytes.
 	inferWave := func(tasks []fold.Task, memGB float64) ([]*fold.Prediction, error) {
 		if cfg.SummaryOnly {
-			digs, err := exec.MapSpec(x, KernelInfer, tasks,
+			digs, err := exec.MapSpecResume(x, KernelInfer, tasks,
 				inferTaskID,
 				inferSpec(memGB),
 				func(_ int, task fold.Task) (*PredictionDigest, error) {
@@ -315,7 +328,8 @@ func InferenceStage(engine *fold.Engine, proteins []proteome.Protein, features m
 						return nil, err
 					}
 					return DigestPrediction(pred), nil
-				})
+				},
+				cfg.Resume)
 			if err != nil {
 				return nil, err
 			}
@@ -327,12 +341,13 @@ func InferenceStage(engine *fold.Engine, proteins []proteome.Protein, features m
 			}
 			return preds, nil
 		}
-		return exec.MapSpec(x, KernelInfer, tasks,
+		return exec.MapSpecResume(x, KernelInfer, tasks,
 			inferTaskID,
 			inferSpec(memGB),
 			func(_ int, task fold.Task) (*fold.Prediction, error) {
 				return inferLocal(task, memGB)
-			})
+			},
+			cfg.Resume)
 	}
 	infOuts, err := inferWave(allTasks, standardNodeGPUMemGB)
 	if err != nil {
@@ -464,14 +479,15 @@ func RelaxStage(targets []TargetResult, cfg Config, platform relax.Platform) (*R
 	// remote deployment runs all three workflow stages on its workers; the
 	// RelaxSpec is self-contained (no campaign world needed).
 	x := exec.Resolve(cfg.Executor, cfg.Parallelism)
-	durs, err := exec.MapSpec(x, KernelRelax, ins,
+	durs, err := exec.MapSpecResume(x, KernelRelax, ins,
 		func(_ int, it relaxIn) string { return it.id },
 		func(_ int, it relaxIn) any {
 			return RelaxSpec{Length: it.length, Platform: int(platform)}
 		},
 		func(_ int, it relaxIn) (float64, error) {
 			return relax.ModelTime(platform, RelaxHeavyAtoms(it.length), 1), nil
-		})
+		},
+		cfg.Resume)
 	if err != nil {
 		return nil, err
 	}

@@ -51,17 +51,32 @@ const (
 	// TaskDropped: the task was discarded before assignment (its client
 	// disconnected).
 	TaskDropped Type = "dropped"
+	// TaskQuarantined: the task exhausted its retry budget (every attempt
+	// ended with its worker dying mid-task) and was removed from
+	// scheduling. Always immediately preceded by the terminal failed event
+	// carrying the attempt history.
+	TaskQuarantined Type = "quarantined"
 	// WorkerJoin: a worker registered.
 	WorkerJoin Type = "worker_join"
 	// WorkerLeave: a worker disconnected (or failed a task send).
 	WorkerLeave Type = "worker_leave"
+	// WorkerLost: the scheduler declared a still-connected worker dead
+	// because it fell silent past the heartbeat deadline (wedged process,
+	// dead network path). Its in-flight task is requeued like worker_leave.
+	WorkerLost Type = "worker_lost"
+	// Truncated: a marker synthesized for a subscriber whose cursor points
+	// before the oldest event retained by a bounded hub backlog; Err says
+	// how many events were evicted. It is never emitted into a persisted
+	// log — only cursors observe it.
+	Truncated Type = "truncated"
 )
 
 // Valid reports whether t is a known event type.
 func (t Type) Valid() bool {
 	switch t {
 	case TaskReceived, TaskQueued, TaskAssigned, TaskRunning,
-		TaskDone, TaskFailed, TaskDropped, WorkerJoin, WorkerLeave:
+		TaskDone, TaskFailed, TaskDropped, TaskQuarantined,
+		WorkerJoin, WorkerLeave, WorkerLost, Truncated:
 		return true
 	}
 	return false
@@ -71,7 +86,7 @@ func (t Type) Valid() bool {
 func (t Type) TaskScoped() bool {
 	switch t {
 	case TaskReceived, TaskQueued, TaskAssigned, TaskRunning,
-		TaskDone, TaskFailed, TaskDropped:
+		TaskDone, TaskFailed, TaskDropped, TaskQuarantined:
 		return true
 	}
 	return false
@@ -94,6 +109,9 @@ type Event struct {
 	Worker string `json:"worker,omitempty"`
 	// Err carries the task error of a failed event.
 	Err string `json:"error,omitempty"`
+	// Attempt is the 1-based delivery attempt for requeue/failure events
+	// under a scheduler retry budget (0 = first attempt / not tracked).
+	Attempt int `json:"attempt,omitempty"`
 }
 
 // Seconds returns the monotonic stamp in seconds since the hub started.
@@ -109,17 +127,18 @@ func (e *Event) Validate() error {
 	if e.Type.TaskScoped() && e.Task == "" {
 		return fmt.Errorf("events: %s event names no task", e.Type)
 	}
-	if (e.Type == WorkerJoin || e.Type == WorkerLeave) && e.Worker == "" {
+	if (e.Type == WorkerJoin || e.Type == WorkerLeave || e.Type == WorkerLost) && e.Worker == "" {
 		return fmt.Errorf("events: %s event names no worker", e.Type)
 	}
 	return nil
 }
 
 // Hub is the scheduler-side event recorder: it stamps every emitted
-// event with a sequence number and a monotonic time, retains the full
-// history (so a subscriber that attaches mid-campaign observes the same
-// sequence as the persisted log), fans events out to synchronous sinks,
-// and wakes blocking subscriber cursors.
+// event with a sequence number and a monotonic time, retains the history
+// (all of it by default, or a bounded tail under SetLimit — so a
+// subscriber that attaches mid-campaign observes the same sequence as
+// the persisted log), fans events out to synchronous sinks, and wakes
+// blocking subscriber cursors.
 //
 // Emit is safe for concurrent use, though the scheduler calls it from
 // its single event-loop goroutine; sinks run on the emitting goroutine
@@ -133,6 +152,15 @@ type Hub struct {
 	hist   []Event
 	sinks  []func(Event)
 	closed bool
+
+	// lastSeq is the sequence of the most recently stamped (or restored)
+	// event; it keeps counting even when eviction shrinks hist.
+	lastSeq uint64
+	// limit bounds len(hist); 0 means unbounded.
+	limit int
+	// evictedNS is the TimeNS of the newest evicted event — the stamp the
+	// synthesized Truncated marker carries.
+	evictedNS int64
 }
 
 // NewHub creates a hub whose monotonic clock starts now.
@@ -154,6 +182,72 @@ func (h *Hub) AddSink(fn func(Event)) {
 	h.sinks = append(h.sinks, fn)
 }
 
+// SetLimit bounds the in-memory backlog to at most n events, evicting
+// oldest-first (the hub-scaling fix for proteome-sized campaigns: a
+// 6,000-worker run emits millions of events and the hub must not hold
+// them all). A cursor that falls behind the retained window receives a
+// single synthesized Truncated marker and resumes at the oldest retained
+// event. n <= 0 restores the default unbounded retention. Sinks (the
+// persisted JSONL log) are unaffected — they observe every event as it
+// is emitted.
+func (h *Hub) SetLimit(n int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if n <= 0 {
+		h.limit = 0
+		return
+	}
+	h.limit = n
+	h.evict()
+}
+
+// evict drops history beyond the limit, oldest first. Caller holds mu.
+func (h *Hub) evict() {
+	if h.limit <= 0 || len(h.hist) <= h.limit {
+		return
+	}
+	k := len(h.hist) - h.limit
+	h.evictedNS = h.hist[k-1].TimeNS
+	h.hist = h.hist[k:]
+}
+
+// Restore seeds a fresh hub with a previously recorded stream (a
+// restarted `sched -event-log` replaying its own log), so sequence
+// numbers and monotonic stamps continue where the crashed scheduler
+// stopped and late subscribers still see the full campaign backlog.
+// Events must be valid with contiguous sequences; the hub must not have
+// emitted yet. The monotonic clock is rebased so the next Emit stamps a
+// time after the last restored event.
+func (h *Hub) Restore(evs []Event) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.lastSeq != 0 {
+		return fmt.Errorf("events: restore on a hub that already has events")
+	}
+	for i := range evs {
+		e := &evs[i]
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("events: restoring event %d: %w", i+1, err)
+		}
+		want := uint64(i) + 1
+		if i > 0 {
+			want = evs[i-1].Seq + 1
+		}
+		if e.Seq != want {
+			return fmt.Errorf("events: restoring event %d: sequence %d, want %d", i+1, e.Seq, want)
+		}
+	}
+	if len(evs) == 0 {
+		return nil
+	}
+	h.hist = append([]Event(nil), evs...)
+	last := evs[len(evs)-1]
+	h.lastSeq = last.Seq
+	h.start = time.Now().Add(-time.Duration(last.TimeNS))
+	h.evict()
+	return nil
+}
+
 // Emit stamps e (Seq, TimeNS), appends it to the history, feeds the
 // sinks, wakes subscribers, and returns the stamped event. Emitting on a
 // closed hub is a no-op returning the zero event.
@@ -163,9 +257,11 @@ func (h *Hub) Emit(e Event) Event {
 	if h.closed {
 		return Event{}
 	}
-	e.Seq = uint64(len(h.hist)) + 1
+	h.lastSeq++
+	e.Seq = h.lastSeq
 	e.TimeNS = time.Since(h.start).Nanoseconds()
 	h.hist = append(h.hist, e)
+	h.evict()
 	for _, fn := range h.sinks {
 		fn(e)
 	}
@@ -196,23 +292,30 @@ func (h *Hub) Close() {
 	h.cond.Broadcast()
 }
 
-// Subscribe returns a cursor positioned at the start of the history, so
+// Subscribe returns a cursor positioned at the start of the stream, so
 // a subscriber attaching mid-campaign first replays the backlog and then
-// follows the live stream.
+// follows the live stream. On a bounded hub whose oldest events were
+// already evicted, the cursor's first read yields a Truncated marker and
+// resumes at the oldest retained event.
 func (h *Hub) Subscribe() *Cursor {
-	return &Cursor{h: h}
+	return &Cursor{h: h, nextSeq: 1}
 }
 
-// Cursor is one subscriber's position in the hub's stream.
+// Cursor is one subscriber's position in the hub's stream, tracked by
+// sequence number so oldest-first eviction cannot silently skip or
+// re-deliver events.
 type Cursor struct {
 	h         *Hub
-	next      int
+	nextSeq   uint64
 	cancelled bool
 }
 
 // Next blocks until the next event is available and returns it. It
 // returns ok=false once the hub is closed and the backlog is drained, or
-// as soon as the cursor is cancelled.
+// as soon as the cursor is cancelled. When the cursor's position was
+// evicted from a bounded backlog, Next returns one synthesized Truncated
+// marker (Err states how many events are gone) and continues from the
+// oldest retained event.
 func (c *Cursor) Next() (Event, bool) {
 	h := c.h
 	h.mu.Lock()
@@ -221,7 +324,7 @@ func (c *Cursor) Next() (Event, bool) {
 		if c.cancelled {
 			return Event{}, false
 		}
-		if c.next < len(h.hist) {
+		if c.nextSeq <= h.lastSeq && len(h.hist) > 0 {
 			break
 		}
 		if h.closed {
@@ -229,8 +332,22 @@ func (c *Cursor) Next() (Event, bool) {
 		}
 		h.cond.Wait()
 	}
-	e := h.hist[c.next]
-	c.next++
+	first := h.hist[0].Seq
+	if c.nextSeq < first {
+		// The events between the cursor and the retained window were
+		// evicted: surface that explicitly instead of silently jumping.
+		n := first - c.nextSeq
+		marker := Event{
+			Seq:    first - 1,
+			TimeNS: h.evictedNS,
+			Type:   Truncated,
+			Err:    fmt.Sprintf("events: %d events evicted from bounded backlog", n),
+		}
+		c.nextSeq = first
+		return marker, true
+	}
+	e := h.hist[c.nextSeq-first]
+	c.nextSeq++
 	return e, true
 }
 

@@ -10,7 +10,8 @@ import (
 
 func TestTypeValidation(t *testing.T) {
 	valid := []Type{TaskReceived, TaskQueued, TaskAssigned, TaskRunning,
-		TaskDone, TaskFailed, TaskDropped, WorkerJoin, WorkerLeave}
+		TaskDone, TaskFailed, TaskDropped, TaskQuarantined,
+		WorkerJoin, WorkerLeave, WorkerLost, Truncated}
 	for _, ty := range valid {
 		if !ty.Valid() {
 			t.Errorf("%q should be valid", ty)
@@ -23,8 +24,8 @@ func TestTypeValidation(t *testing.T) {
 	}
 	taskScoped := map[Type]bool{
 		TaskReceived: true, TaskQueued: true, TaskAssigned: true, TaskRunning: true,
-		TaskDone: true, TaskFailed: true, TaskDropped: true,
-		WorkerJoin: false, WorkerLeave: false,
+		TaskDone: true, TaskFailed: true, TaskDropped: true, TaskQuarantined: true,
+		WorkerJoin: false, WorkerLeave: false, WorkerLost: false, Truncated: false,
 	}
 	for ty, want := range taskScoped {
 		if ty.TaskScoped() != want {

@@ -20,6 +20,11 @@ func FuzzReadLog(f *testing.F) {
 	f.Add([]byte(`{"seq":1,"t_ns":5,"type":"failed","task":"a/m3","worker":"w2","error":"boom"}`))
 	f.Add([]byte(`{"seq":1,"t_ns":5,"type":"dropped","task":"a"}`))
 	f.Add([]byte(`{"seq":1,"t_ns":5,"type":"worker_leave","worker":"w9"}`))
+	f.Add([]byte(`{"seq":1,"t_ns":5,"type":"worker_lost","worker":"w1","error":"silent for 300ms"}`))
+	f.Add([]byte(`{"seq":1,"t_ns":5,"type":"quarantined","task":"DVU_00001","attempt":3}`))
+	f.Add([]byte(`{"seq":1,"t_ns":5,"type":"truncated","error":"events: 6 events evicted from bounded backlog"}`))
+	f.Add([]byte(`{"seq":1,"t_ns":5,"type":"failed","task":"a","error":"retry budget 2","attempt":3}
+{"seq":2,"t_ns":6,"type":"quarantined","task":"a","attempt":3}`))
 	f.Add([]byte(`{"seq":18446744073709551615,"t_ns":-1,"type":"queued","task":"x"}`))
 	f.Add([]byte(`{"type":"done"}`))
 	f.Add([]byte(`{"type":"warp","task":"a"}`))

@@ -13,6 +13,9 @@ import (
 type Tracker struct {
 	// Received / Done / Failed / Dropped count task outcomes so far.
 	Received, Done, Failed, Dropped int
+	// Quarantined counts tasks removed from scheduling by the retry
+	// budget (each also counted in Failed by its terminal failed event).
+	Quarantined int
 	// QueueDepth is the number of tasks currently queued (not assigned).
 	QueueDepth int
 	// InFlight maps an assigned task to the worker running it.
@@ -61,9 +64,13 @@ func (t *Tracker) Observe(e Event) {
 		if t.QueueDepth > 0 {
 			t.QueueDepth--
 		}
+	case TaskQuarantined:
+		// The terminal failed event preceding it already counted the
+		// failure and cleared the in-flight entry.
+		t.Quarantined++
 	case WorkerJoin:
 		t.Workers[e.Worker] = true
-	case WorkerLeave:
+	case WorkerLeave, WorkerLost:
 		delete(t.Workers, e.Worker)
 	}
 }
@@ -110,8 +117,8 @@ type Replay struct {
 	// Depth is the queue-depth series: one point per change, starting at
 	// the first event's stamp.
 	Depth []DepthPoint
-	// Done / Failed / Dropped count task outcomes.
-	Done, Failed, Dropped int
+	// Done / Failed / Dropped / Quarantined count task outcomes.
+	Done, Failed, Dropped, Quarantined int
 	// SpanNS is the stamp of the last event.
 	SpanNS int64
 }
@@ -193,10 +200,11 @@ func ReplayEvents(evs []Event) (*Replay, error) {
 			}
 		case WorkerJoin:
 			workers[e.Worker] = true
-		case WorkerLeave:
-			// The worker died (or its task send failed): close its open
-			// interval at the leave stamp. The scheduler requeues the task
-			// right after, so the tracker's depth stays consistent.
+		case WorkerLeave, WorkerLost:
+			// The worker died (or its task send failed, or it fell silent
+			// past the heartbeat deadline): close its open interval at the
+			// leave stamp. The scheduler requeues the task right after, so
+			// the tracker's depth stays consistent.
 			for task, o := range inFlight {
 				if o.worker == e.Worker {
 					delete(inFlight, task)
@@ -212,7 +220,7 @@ func ReplayEvents(evs []Event) (*Replay, error) {
 		recordDepth(e.TimeNS)
 	}
 
-	r.Done, r.Failed, r.Dropped = tr.Done, tr.Failed, tr.Dropped
+	r.Done, r.Failed, r.Dropped, r.Quarantined = tr.Done, tr.Failed, tr.Dropped, tr.Quarantined
 	r.Tasks = sortedKeys(tasks)
 	r.Workers = sortedKeys(workers)
 	sort.SliceStable(r.Intervals, func(i, j int) bool {

@@ -1,0 +1,260 @@
+package events
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// emitN emits n task events ("t001"...) and returns the hub.
+func emitN(t *testing.T, h *Hub, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		h.Emit(Event{Type: TaskReceived, Task: taskName(i)})
+	}
+}
+
+func taskName(i int) string {
+	return "t" + string(rune('0'+i/100%10)) + string(rune('0'+i/10%10)) + string(rune('0'+i%10))
+}
+
+func TestHubBoundedBacklogEvictsOldest(t *testing.T) {
+	h := NewHub()
+	h.SetLimit(5)
+	emitN(t, h, 12)
+	snap := h.Snapshot()
+	if len(snap) != 5 {
+		t.Fatalf("retained %d events, want 5", len(snap))
+	}
+	if snap[0].Seq != 8 || snap[4].Seq != 12 {
+		t.Fatalf("retained window [%d, %d], want [8, 12]", snap[0].Seq, snap[4].Seq)
+	}
+	// Sequence numbering keeps counting past eviction.
+	e := h.Emit(Event{Type: TaskReceived, Task: "late"})
+	if e.Seq != 13 {
+		t.Fatalf("next Seq = %d, want 13", e.Seq)
+	}
+}
+
+func TestHubBoundedBacklogSinksSeeEverything(t *testing.T) {
+	h := NewHub()
+	h.SetLimit(3)
+	var buf bytes.Buffer
+	h.AddSink(LogSink(&buf))
+	emitN(t, h, 10)
+	logged, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	if len(logged) != 10 {
+		t.Fatalf("sink recorded %d events, want all 10 despite limit 3", len(logged))
+	}
+}
+
+func TestCursorTruncatedMarkerAfterEviction(t *testing.T) {
+	h := NewHub()
+	h.SetLimit(4)
+	emitN(t, h, 10)
+	h.Close()
+	cur := h.Subscribe()
+	first, ok := cur.Next()
+	if !ok {
+		t.Fatal("cursor returned no events")
+	}
+	if first.Type != Truncated {
+		t.Fatalf("first event type %q, want truncated marker", first.Type)
+	}
+	if first.Seq != 6 {
+		t.Fatalf("marker Seq = %d, want 6 (events 1-6 evicted)", first.Seq)
+	}
+	if !strings.Contains(first.Err, "6 events evicted") {
+		t.Fatalf("marker Err = %q, want eviction count", first.Err)
+	}
+	var got []Event
+	for {
+		e, ok := cur.Next()
+		if !ok {
+			break
+		}
+		got = append(got, e)
+	}
+	if len(got) != 4 {
+		t.Fatalf("cursor delivered %d events after marker, want 4", len(got))
+	}
+	for i, e := range got {
+		if want := uint64(7 + i); e.Seq != want {
+			t.Fatalf("event %d Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+	// The marker + retained tail still replays as a valid stream
+	// (strictly increasing sequences), so a monitor's JSONL capture that
+	// starts with the marker remains replayable.
+	if _, err := ReplayEvents(append([]Event{first}, got...)); err != nil {
+		t.Fatalf("ReplayEvents on marker-prefixed stream: %v", err)
+	}
+}
+
+func TestCursorNoMarkerWithoutEviction(t *testing.T) {
+	h := NewHub()
+	h.SetLimit(10)
+	emitN(t, h, 5)
+	h.Close()
+	cur := h.Subscribe()
+	e, ok := cur.Next()
+	if !ok || e.Type == Truncated {
+		t.Fatalf("first event = %v ok=%v, want plain first event", e, ok)
+	}
+	if e.Seq != 1 {
+		t.Fatalf("first Seq = %d, want 1", e.Seq)
+	}
+}
+
+func TestHubRestoreContinuesStream(t *testing.T) {
+	// Record a stream on one hub (the crashed scheduler)...
+	h1 := NewHub()
+	h1.Emit(Event{Type: WorkerJoin, Worker: "w1"})
+	h1.Emit(Event{Type: TaskReceived, Task: "a"})
+	h1.Emit(Event{Type: TaskQueued, Task: "a"})
+	recorded := h1.Snapshot()
+
+	// ...and restore it into a fresh one (the restarted scheduler).
+	h2 := NewHub()
+	if err := h2.Restore(recorded); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	e := h2.Emit(Event{Type: TaskAssigned, Task: "a", Worker: "w1"})
+	if e.Seq != 4 {
+		t.Fatalf("post-restore Seq = %d, want 4", e.Seq)
+	}
+	if e.TimeNS < recorded[2].TimeNS {
+		t.Fatalf("post-restore stamp %d went backwards (last restored %d)", e.TimeNS, recorded[2].TimeNS)
+	}
+	// A subscriber attaching after the restart replays the full stream.
+	h2.Close()
+	cur := h2.Subscribe()
+	var seqs []uint64
+	for {
+		ev, ok := cur.Next()
+		if !ok {
+			break
+		}
+		seqs = append(seqs, ev.Seq)
+	}
+	if len(seqs) != 4 || seqs[0] != 1 || seqs[3] != 4 {
+		t.Fatalf("restored backlog seqs = %v, want [1 2 3 4]", seqs)
+	}
+	if _, err := ReplayEvents(h2.Snapshot()); err != nil {
+		t.Fatalf("ReplayEvents across restore: %v", err)
+	}
+}
+
+func TestHubRestoreRejectsBadStreams(t *testing.T) {
+	h := NewHub()
+	if err := h.Restore([]Event{{Seq: 2, Type: TaskReceived, Task: "a"}}); err == nil {
+		t.Fatal("Restore accepted a stream not starting at seq 1")
+	}
+	h = NewHub()
+	if err := h.Restore([]Event{
+		{Seq: 1, Type: TaskReceived, Task: "a"},
+		{Seq: 3, Type: TaskQueued, Task: "a"},
+	}); err == nil {
+		t.Fatal("Restore accepted a gapped stream")
+	}
+	h = NewHub()
+	h.Emit(Event{Type: WorkerJoin, Worker: "w"})
+	if err := h.Restore([]Event{{Seq: 1, Type: TaskReceived, Task: "a"}}); err == nil {
+		t.Fatal("Restore accepted a hub that already emitted")
+	}
+}
+
+func TestCompletedSet(t *testing.T) {
+	evs := []Event{
+		{Seq: 1, Type: TaskReceived, Task: "a"},
+		{Seq: 2, Type: TaskQueued, Task: "a"},
+		{Seq: 3, Type: TaskDone, Task: "a", Worker: "w1"},
+		{Seq: 4, Type: TaskReceived, Task: "b"},
+		{Seq: 5, Type: TaskFailed, Task: "b", Worker: "w1", Err: "boom"},
+		{Seq: 6, Type: TaskReceived, Task: "c"},
+		{Seq: 7, Type: TaskQuarantined, Task: "c", Attempt: 3},
+		{Seq: 8, Type: TaskReceived, Task: "d"},
+	}
+	set := CompletedFromEvents(evs)
+	if !set.Done("a") {
+		t.Error("done task a not in completed set")
+	}
+	for _, task := range []string{"b", "c", "d", "nope", ""} {
+		if set.Done(task) {
+			t.Errorf("task %q should not be completed", task)
+		}
+	}
+	if set.Len() != 1 {
+		t.Errorf("Len = %d, want 1", set.Len())
+	}
+	set.AddAll([]string{"x", "y", ""})
+	other := NewCompletedSet()
+	other.Add("z")
+	set.Merge(other)
+	if set.Len() != 4 || !set.Done("x") || !set.Done("z") {
+		t.Errorf("after AddAll+Merge: Len=%d x=%v z=%v", set.Len(), set.Done("x"), set.Done("z"))
+	}
+}
+
+func TestCompletedFromLog(t *testing.T) {
+	var buf bytes.Buffer
+	h := NewHub()
+	h.AddSink(LogSink(&buf))
+	h.Emit(Event{Type: TaskReceived, Task: "a"})
+	h.Emit(Event{Type: TaskDone, Task: "a", Worker: "w1"})
+	h.Emit(Event{Type: TaskReceived, Task: "b"})
+	// Simulate a kill mid-write: the final record is torn.
+	data := buf.Bytes()
+	torn := append(append([]byte(nil), data...), []byte(`{"seq":4,"t_ns":9,"type":"do`)...)
+
+	set, err := CompletedFromLog(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatalf("CompletedFromLog on torn log: %v", err)
+	}
+	if !set.Done("a") || set.Done("b") || set.Len() != 1 {
+		t.Fatalf("torn log resume: a=%v b=%v len=%d", set.Done("a"), set.Done("b"), set.Len())
+	}
+
+	// A log yielding nothing at all fails loudly (wrong file).
+	if _, err := CompletedFromLog(strings.NewReader("not a log\n")); err == nil {
+		t.Fatal("CompletedFromLog accepted a non-log file")
+	}
+}
+
+func TestTrackerAndReplayNewTypes(t *testing.T) {
+	evs := []Event{
+		{Seq: 1, Type: WorkerJoin, Worker: "w1"},
+		{Seq: 2, Type: TaskReceived, Task: "a"},
+		{Seq: 3, Type: TaskQueued, Task: "a"},
+		{Seq: 4, Type: TaskAssigned, Task: "a", Worker: "w1", TimeNS: 10},
+		{Seq: 5, Type: TaskRunning, Task: "a", Worker: "w1", TimeNS: 11},
+		{Seq: 6, Type: WorkerLost, Worker: "w1", Err: "silent", TimeNS: 20},
+		{Seq: 7, Type: TaskFailed, Task: "a", Err: "quarantined", Attempt: 1, TimeNS: 21},
+		{Seq: 8, Type: TaskQuarantined, Task: "a", Attempt: 1, TimeNS: 21},
+	}
+	r, err := ReplayEvents(evs)
+	if err != nil {
+		t.Fatalf("ReplayEvents: %v", err)
+	}
+	if r.Quarantined != 1 || r.Failed != 1 {
+		t.Fatalf("Quarantined=%d Failed=%d, want 1 and 1", r.Quarantined, r.Failed)
+	}
+	// The worker-lost event closed the open interval as Lost.
+	if len(r.Intervals) != 1 || !r.Intervals[0].Lost || r.Intervals[0].EndNS != 20 {
+		t.Fatalf("intervals = %+v, want one Lost interval ending at 20", r.Intervals)
+	}
+	// The tracker dropped the lost worker from the live set.
+	tr := NewTracker()
+	for _, e := range evs {
+		tr.Observe(e)
+	}
+	if len(tr.Workers) != 0 {
+		t.Fatalf("tracker still lists workers %v after worker_lost", tr.Workers)
+	}
+	if tr.Quarantined != 1 {
+		t.Fatalf("tracker Quarantined = %d, want 1", tr.Quarantined)
+	}
+}

@@ -150,6 +150,25 @@ func SpecsOnly(ex Executor) bool {
 // id(i, item), when non-nil, names item i in the recorded trace on both
 // paths — the task_id column of the processing-times CSV.
 func MapSpec[T, R any](ex Executor, kernel string, items []T, id func(i int, item T) string, arg func(i int, item T) any, fn func(i int, item T) (R, error)) ([]R, error) {
+	return MapSpecResume(ex, kernel, items, id, arg, fn, nil)
+}
+
+// MapSpecResume is MapSpec with a resume skip-set: done(taskID) reports
+// whether an interrupted prior run already completed that item (an
+// events.CompletedSet replayed from a scheduler event log). Because the
+// kernel is a pure function of its arguments, a skipped item is
+// recomputed locally via fn instead of re-dispatched to the cluster —
+// results (and the final report) stay byte-identical to an uninterrupted
+// run, while the cluster and the recorded trace only see the missing
+// items. The skip-set only matters on spec-only (remote) executors:
+// in-process back ends run every item locally anyway, so done is
+// ignored there (as is a nil done, which makes this exactly MapSpec).
+//
+// A local recompute failure surfaces immediately without dispatching:
+// the skipped item completed before under the same pure function, so a
+// failure means the resume log does not match this campaign's
+// (seed, species) world.
+func MapSpecResume[T, R any](ex Executor, kernel string, items []T, id func(i int, item T) string, arg func(i int, item T) any, fn func(i int, item T) (R, error), done func(task string) bool) ([]R, error) {
 	taskID := func(int) string { return "" }
 	if id != nil {
 		taskID = func(i int) string { return id(i, items[i]) }
@@ -162,33 +181,51 @@ func MapSpec[T, R any](ex Executor, kernel string, items []T, id func(i int, ite
 		}
 		return mapBatch(ex, b, items, fn)
 	}
-	args := make([]json.RawMessage, len(items))
+	out := make([]R, len(items))
+	pending := make([]int, 0, len(items))
+	for i, item := range items {
+		if done != nil {
+			if tid := taskID(i); tid != "" && done(tid) {
+				r, err := fn(i, item)
+				if err != nil {
+					return nil, fmt.Errorf("exec: recomputing completed %s task %s [%d]: %w", kernel, tid, i, err)
+				}
+				out[i] = r
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+	if len(pending) == 0 {
+		return out, nil
+	}
+	args := make([]json.RawMessage, len(pending))
 	var ids []string
 	if id != nil {
-		ids = make([]string, len(items))
+		ids = make([]string, len(pending))
 	}
-	for i, item := range items {
-		raw, err := json.Marshal(arg(i, item))
+	for k, i := range pending {
+		raw, err := json.Marshal(arg(i, items[i]))
 		if err != nil {
 			return nil, fmt.Errorf("exec: marshaling %s args [%d]: %w", kernel, i, err)
 		}
-		args[i] = raw
+		args[k] = raw
 		if ids != nil {
-			ids[i] = taskID(i)
+			ids[k] = taskID(i)
 		}
 	}
 	payloads, err := sd.DispatchSpecs(kernel, args, ids)
 	if err != nil {
 		return nil, err
 	}
-	if len(payloads) != len(items) {
-		return nil, fmt.Errorf("exec: %s returned %d/%d results", kernel, len(payloads), len(items))
+	if len(payloads) != len(pending) {
+		return nil, fmt.Errorf("exec: %s returned %d/%d results", kernel, len(payloads), len(pending))
 	}
-	out := make([]R, len(items))
-	for i, raw := range payloads {
+	for k, raw := range payloads {
 		if len(raw) == 0 {
 			continue // kernel returned no payload: zero value
 		}
+		i := pending[k]
 		if err := json.Unmarshal(raw, &out[i]); err != nil {
 			return nil, fmt.Errorf("exec: decoding %s result [%d]: %w", kernel, i, err)
 		}

@@ -131,6 +131,28 @@ func ConnectFlowFile(path string) (*Flow, error) {
 	return &Flow{client: c, remote: true, specNonce: specBatchNonce()}, nil
 }
 
+// ConnectFlowRetry is ConnectFlow with a dial retry budget: the client
+// keeps retrying with backoff (flow.DialRetry) until the scheduler
+// accepts or the budget elapses, so a submit racing a starting scheduler
+// converges instead of failing.
+func ConnectFlowRetry(addr string, budget time.Duration) (*Flow, error) {
+	c, err := flow.ConnectClientRetry(addr, budget)
+	if err != nil {
+		return nil, fmt.Errorf("exec: flow connect: %w", err)
+	}
+	return &Flow{client: c, remote: true, specNonce: specBatchNonce()}, nil
+}
+
+// ConnectFlowFileRetry is ConnectFlowFile with a shared retry budget
+// covering both the scheduler file appearing and the dial.
+func ConnectFlowFileRetry(path string, budget time.Duration) (*Flow, error) {
+	c, err := flow.ConnectClientFileRetry(path, budget)
+	if err != nil {
+		return nil, fmt.Errorf("exec: flow connect: %w", err)
+	}
+	return &Flow{client: c, remote: true, specNonce: specBatchNonce()}, nil
+}
+
 // SetResultTimeout adjusts the client's per-result progress deadline: the
 // longest a spec batch waits between consecutive scheduler messages
 // before failing. Zero disables it. Remote deployments whose individual

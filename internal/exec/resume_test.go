@@ -1,0 +1,144 @@
+package exec
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMapSpecResumeSkipsCompleted is the resume contract on a spec-only
+// executor: completed tasks recompute locally (deterministic world), only
+// the pending remainder crosses the wire, and the merged output is
+// indistinguishable from a full run.
+func TestMapSpecResumeSkipsCompleted(t *testing.T) {
+	f := remoteCluster(t, 2)
+	tr := &Trace{}
+	if !AttachTrace(f, tr) {
+		t.Fatal("remote flow executor should accept a trace")
+	}
+
+	items := []int{3, 4, 5, 6, 7, 8}
+	id := func(_ int, n int) string { return fmt.Sprintf("item-%d", n) }
+	completed := map[string]bool{"item-3": true, "item-5": true, "item-7": true}
+
+	out, err := MapSpecResume(f, "exectest/square", items, id,
+		func(_ int, n int) any { return n },
+		func(_ int, n int) (int, error) { return n * n, nil }, // same pure function the kernel computes
+		func(task string) bool { return completed[task] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range items {
+		if out[i] != n*n {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], n*n)
+		}
+	}
+	// The trace records only the dispatched remainder — this row-count
+	// gap is how the e2e proves a resume re-ran strictly fewer tasks.
+	if tr.Len() != 3 {
+		t.Fatalf("trace has %d rows, want 3 dispatched tasks", tr.Len())
+	}
+	for _, row := range tr.Rows() {
+		if completed[row.TaskID] {
+			t.Fatalf("completed task %s was dispatched to the cluster", row.TaskID)
+		}
+	}
+}
+
+func TestMapSpecResumeAllCompleted(t *testing.T) {
+	f := remoteCluster(t, 1)
+	tr := &Trace{}
+	AttachTrace(f, tr)
+	items := []int{1, 2, 3}
+	out, err := MapSpecResume(f, "exectest/square", items,
+		func(_ int, n int) string { return fmt.Sprintf("item-%d", n) },
+		func(_ int, n int) any { t.Fatal("arg builder ran with nothing to dispatch"); return nil },
+		func(_ int, n int) (int, error) { return n * 100, nil },
+		func(string) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 100 || out[1] != 200 || out[2] != 300 {
+		t.Fatalf("out = %v", out)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("fully-resumed batch dispatched %d tasks", tr.Len())
+	}
+}
+
+// TestMapSpecResumeRecomputeFailure: a completed task whose local
+// recomputation errors means the resume log does not match this
+// (seed, species) world — that must surface loudly, not resume quietly.
+func TestMapSpecResumeRecomputeFailure(t *testing.T) {
+	f := remoteCluster(t, 1)
+	_, err := MapSpecResume(f, "exectest/square", []int{1, 2},
+		func(_ int, n int) string { return fmt.Sprintf("item-%d", n) },
+		func(_ int, n int) any { return n },
+		func(_ int, n int) (int, error) {
+			if n == 1 {
+				return 0, fmt.Errorf("wrong world")
+			}
+			return n, nil
+		},
+		func(string) bool { return true })
+	if err == nil || !strings.Contains(err.Error(), "recomputing completed") {
+		t.Fatalf("err = %v, want recompute failure", err)
+	}
+}
+
+// TestMapSpecResumePoolIgnoresSkipSet: non-spec executors run the closure
+// for every item anyway, so the skip-set is irrelevant there — resume
+// against `-executor pool` is just a plain run.
+func TestMapSpecResumePoolIgnoresSkipSet(t *testing.T) {
+	pool := &Pool{Workers: 2}
+	out, err := MapSpecResume(pool, "exectest/square", []int{1, 2, 3}, nil,
+		func(_ int, n int) any { t.Fatal("arg builder must not run on the pool"); return nil },
+		func(_ int, n int) (int, error) { return n + 10, nil },
+		func(string) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 11 || out[1] != 12 || out[2] != 13 {
+		t.Fatalf("pool resume out = %v", out)
+	}
+}
+
+func TestCompletedFromStatsCSV(t *testing.T) {
+	base := time.Unix(1000, 0)
+	rows := []TaskStats{
+		{TaskID: "P001", Kernel: "campaign/feature", WorkerID: "w1", Enqueue: base, Start: base, Finish: base.Add(time.Second)},
+		{TaskID: "P002", Kernel: "campaign/feature", WorkerID: "w2", Enqueue: base, Start: base, Finish: base.Add(time.Second), Err: "boom"},
+		{TaskID: "P003", Kernel: "campaign/feature", WorkerID: "w1", Enqueue: base, Start: base, Finish: base.Add(2 * time.Second)},
+	}
+	var buf bytes.Buffer
+	if err := WriteStatsCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+
+	done, err := CompletedFromStatsCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Failed rows are not completed — a resume re-dispatches them.
+	if len(done) != 2 || done[0] != "P001" || done[1] != "P003" {
+		t.Fatalf("completed = %v, want [P001 P003]", done)
+	}
+
+	// A torn tail (kill mid-write) yields the intact prefix.
+	torn := buf.String()
+	torn = torn[:len(torn)-10] + "\"unclosed"
+	done, err = CompletedFromStatsCSV(strings.NewReader(torn))
+	if err != nil {
+		t.Fatalf("torn CSV: %v", err)
+	}
+	if len(done) == 0 || done[0] != "P001" {
+		t.Fatalf("torn CSV completed = %v, want intact prefix starting with P001", done)
+	}
+
+	// The wrong file entirely is rejected loudly.
+	if _, err := CompletedFromStatsCSV(strings.NewReader("species,proteins\nyeast,6000\n")); err == nil {
+		t.Fatal("CompletedFromStatsCSV accepted a non-stats CSV")
+	}
+}

@@ -159,6 +159,38 @@ func WriteStatsCSV(w io.Writer, rows []TaskStats) error {
 	return cw.Error()
 }
 
+// CompletedFromStatsCSV reads a processing-times CSV (the StatsHeader
+// schema WriteStatsCSV emits) and returns the task_id of every row that
+// completed without error — the other resume source besides the event
+// log (`submit -resume-stats`). The header row is validated so a wrong
+// file fails loudly instead of silently resuming from nothing.
+func CompletedFromStatsCSV(r io.Reader) ([]string, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("exec: reading stats header: %w", err)
+	}
+	if len(header) != len(StatsHeader) || header[0] != StatsHeader[0] {
+		return nil, fmt.Errorf("exec: not a processing-times CSV (header %v)", header)
+	}
+	errCol := len(StatsHeader) - 1
+	var done []string
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return done, nil
+		}
+		if err != nil {
+			// A torn tail (killed writer) keeps the intact prefix, like
+			// events.ReadLog.
+			return done, nil
+		}
+		if rec[0] != "" && rec[errCol] == "" {
+			done = append(done, rec[0])
+		}
+	}
+}
+
 // Traceable is the optional Executor extension for telemetry: both back
 // ends implement it. SetTrace installs the sink every subsequent batch
 // records into (nil disables tracing); it must be called before the

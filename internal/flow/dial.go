@@ -1,0 +1,115 @@
+package flow
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"time"
+)
+
+// Dial retry backoff: first retry after dialBackoffMin, doubling up to
+// dialBackoffMax until the budget is exhausted.
+const (
+	dialBackoffMin = 50 * time.Millisecond
+	dialBackoffMax = 2 * time.Second
+)
+
+// DialRetry dials addr, retrying with exponential backoff (50ms doubling,
+// capped at 2s) until the connection succeeds or the budget elapses. It
+// removes the start-order footgun of the multi-terminal recipe: a worker
+// or client started before the scheduler converges once the scheduler
+// comes up instead of exiting. The first attempt is always made; a zero
+// or negative budget means exactly one attempt (plain dial).
+func DialRetry(addr string, budget time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(budget)
+	backoff := dialBackoffMin
+	for {
+		timeout := dialTimeout
+		if budget > 0 {
+			if rem := time.Until(deadline); rem > 0 && rem < timeout {
+				timeout = rem
+			}
+		}
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err == nil {
+			return conn, nil
+		}
+		if budget <= 0 {
+			return nil, fmt.Errorf("flow: dial %s: %w", addr, err)
+		}
+		if time.Now().Add(backoff).After(deadline) {
+			return nil, fmt.Errorf("flow: dial %s: retry budget %s exhausted: %w", addr, budget, err)
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > dialBackoffMax {
+			backoff = dialBackoffMax
+		}
+	}
+}
+
+// waitSchedulerFile reads and parses a scheduler file, retrying a missing
+// or unparseable (mid-write) file with the same backoff as DialRetry
+// until the deadline. A zero or negative budget means one attempt.
+func waitSchedulerFile(path string, budget time.Duration) (SchedulerFile, error) {
+	deadline := time.Now().Add(budget)
+	backoff := dialBackoffMin
+	for {
+		sf, err := readSchedulerFile(path)
+		if err == nil {
+			return sf, nil
+		}
+		if budget <= 0 {
+			return SchedulerFile{}, err
+		}
+		if time.Now().Add(backoff).After(deadline) {
+			return SchedulerFile{}, fmt.Errorf("flow: scheduler file %s: retry budget %s exhausted: %w", path, budget, err)
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > dialBackoffMax {
+			backoff = dialBackoffMax
+		}
+	}
+}
+
+func readSchedulerFile(path string) (SchedulerFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return SchedulerFile{}, fmt.Errorf("flow: reading scheduler file: %w", err)
+	}
+	return ParseSchedulerFile(data)
+}
+
+// ConnectClientRetry dials the scheduler like ConnectClient, but keeps
+// retrying with backoff within the budget — for clients racing a
+// scheduler that is still starting.
+func ConnectClientRetry(addr string, budget time.Duration) (*Client, error) {
+	conn, err := DialRetry(addr, budget)
+	if err != nil {
+		return nil, fmt.Errorf("flow: client dial: %w", err)
+	}
+	return &Client{
+		conn:          conn,
+		enc:           json.NewEncoder(conn),
+		dec:           json.NewDecoder(bufio.NewReader(conn)),
+		ResultTimeout: DefaultResultTimeout,
+	}, nil
+}
+
+// ConnectClientFileRetry connects via a scheduler file, waiting for the
+// file to appear and the scheduler to accept within one shared budget.
+func ConnectClientFileRetry(path string, budget time.Duration) (*Client, error) {
+	deadline := time.Now().Add(budget)
+	sf, err := waitSchedulerFile(path, budget)
+	if err != nil {
+		return nil, err
+	}
+	rem := time.Duration(0)
+	if budget > 0 {
+		rem = time.Until(deadline)
+	}
+	return ConnectClientRetry(sf.Address, rem)
+}

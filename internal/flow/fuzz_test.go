@@ -81,6 +81,11 @@ func FuzzDecodeMessage(f *testing.F) {
 	f.Add([]byte(`{"type":"event","event":{"seq":7,"t_ns":1500,"type":"assigned","task":"DVU_00001","worker":"w1"}}`))
 	f.Add([]byte(`{"type":"event","event":{"seq":8,"t_ns":1501,"type":"failed","task":"a/m3","worker":"w2","error":"boom"}}`))
 	f.Add([]byte(`{"type":"event","event":{"seq":1,"t_ns":0,"type":"worker_join","worker":"w1"}}`))
+	f.Add([]byte(`{"type":"heartbeat","worker_id":"w1"}`))
+	f.Add([]byte(`{"type":"task","task":{"id":"t1","attempt":2,"payload":{"mem":16},"escalate_payload":{"mem":512}}}`))
+	f.Add([]byte(`{"type":"event","event":{"seq":3,"t_ns":9,"type":"queued","task":"a","attempt":1}}`))
+	f.Add([]byte(`{"type":"event","event":{"seq":4,"t_ns":10,"type":"quarantined","task":"a","attempt":3}}`))
+	f.Add([]byte(`{"type":"event","event":{"seq":5,"t_ns":11,"type":"worker_lost","worker":"w1","error":"silent"}}`))
 	f.Add([]byte(`{"type":"shutdown"}`))
 	f.Add([]byte(`{"type":1}`))
 	f.Add([]byte(`{}`))
@@ -128,5 +133,28 @@ func FuzzDecodeMessage(f *testing.F) {
 		if m.Result != nil && again.Result.EnqueuedNS != m.Result.EnqueuedNS {
 			t.Fatalf("result enqueue stamp changed across round trip")
 		}
+		// The retry fields ride the same frame: the attempt counter and
+		// the escalation payload must survive redelivery intact.
+		if m.Task != nil && again.Task.Attempt != m.Task.Attempt {
+			t.Fatalf("task attempt changed across round trip: %d != %d", again.Task.Attempt, m.Task.Attempt)
+		}
+		if m.Task != nil && compactJSON(m.Task.EscalatePayload) != compactJSON(again.Task.EscalatePayload) {
+			t.Fatalf("escalate payload changed across round trip: %s != %s",
+				m.Task.EscalatePayload, again.Task.EscalatePayload)
+		}
 	})
+}
+
+// compactJSON normalises a raw payload for comparison: the encoder
+// compacts RawMessage whitespace, so only the compact form is stable
+// across a round trip.
+func compactJSON(raw json.RawMessage) string {
+	if len(raw) == 0 {
+		return ""
+	}
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		return string(raw)
+	}
+	return buf.String()
 }

@@ -53,6 +53,16 @@ type Task struct {
 	// time.Time so an unstamped task (client submit, pre-telemetry peer)
 	// really omits the field on the wire. Clients leave it zero.
 	EnqueuedNS int64 `json:"enqueued_ns,omitempty"`
+	// Attempt is stamped by the scheduler on redelivery: 0 on the first
+	// assignment, then the number of times the task has been requeued
+	// after a worker death. Workers may use it to adjust execution (the
+	// paper reruns OOM-failed targets with more memory).
+	Attempt int `json:"attempt,omitempty"`
+	// EscalatePayload, when set by the submitter, replaces Payload the
+	// first time the task is requeued after a worker death — the paper's
+	// high-memory retry wave moved scheduler-side, so a task that killed
+	// its worker is redelivered with escalated resources automatically.
+	EscalatePayload json.RawMessage `json:"escalate_payload,omitempty"`
 }
 
 // Result is the completion record of one task, including the timing fields
@@ -122,6 +132,12 @@ const (
 	// stream, one msgEvent frame per events.Event.
 	msgSubscribe = "subscribe"
 	msgEvent     = "event"
+	// msgHeartbeat is a worker→scheduler liveness beacon carrying only
+	// the worker ID, sent on an interval from a dedicated goroutine so a
+	// long-running handler keeps the worker alive. A worker silent past
+	// the scheduler's heartbeat deadline is declared dead (worker_lost)
+	// and its in-flight task requeued.
+	msgHeartbeat = "heartbeat"
 )
 
 // SchedulerFile is the JSON document the scheduler writes so workers and

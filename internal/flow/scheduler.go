@@ -40,6 +40,23 @@ type Scheduler struct {
 	// Write errors are ignored, as with PlacementLog.
 	EventLog io.Writer
 
+	// MaxRetries, when positive, bounds how many times a task is requeued
+	// after its worker died mid-task. A task whose worker dies a
+	// (MaxRetries+1)-th time is quarantined: a terminal failed event with
+	// the attempt history is emitted (and a failed Result returned to the
+	// submitting client) instead of requeueing forever — the poison-task
+	// guard. Zero keeps the legacy unlimited-requeue behavior.
+	MaxRetries int
+
+	// HeartbeatTimeout, when positive, declares a worker dead once it has
+	// been silent (no heartbeat, result, or registration) for this long:
+	// a worker_lost event is emitted, its in-flight task requeued under
+	// the retry budget, and its connection closed. Catching
+	// wedged-but-connected workers requires workers to send heartbeats
+	// (Worker.HeartbeatInterval) at a few multiples below this deadline.
+	// Zero disables the check.
+	HeartbeatTimeout time.Duration
+
 	hub *events.Hub
 
 	ln   net.Listener
@@ -54,7 +71,7 @@ type Scheduler struct {
 }
 
 type schedEvent struct {
-	kind string // "register", "result", "submit", "workerGone", "clientGone"
+	kind string // "register", "result", "submit", "workerGone", "clientGone", "heartbeat"
 	wc   *workerConn
 	cc   *clientConn
 	res  *Result
@@ -67,6 +84,9 @@ type workerConn struct {
 	conn    net.Conn
 	current *Task // task in flight, for requeue on disconnect
 	busy    bool
+	// lastBeat is the last time the worker proved liveness (register,
+	// result, or heartbeat frame). Only the event loop touches it.
+	lastBeat time.Time
 }
 
 type clientConn struct {
@@ -89,6 +109,21 @@ func NewScheduler() *Scheduler {
 // history, or Subscribe for backlog-then-live consumption; in another
 // process, use ConnectMonitor instead.
 func (s *Scheduler) Events() *events.Hub { return s.hub }
+
+// RestoreEvents seeds the scheduler's event hub with a previously
+// persisted stream before Start — how a restarted `sched -event-log`
+// rebuilds its record from its own log, so sequence numbers and
+// monotonic stamps continue where the crashed scheduler stopped and a
+// monitor attaching after the restart still replays the full campaign
+// backlog. Task payloads do not survive a restart (the log records
+// transitions, not work): interrupted clients re-submit, skipping
+// completed tasks via `submit -resume`.
+func (s *Scheduler) RestoreEvents(evs []events.Event) error {
+	if s.ln != nil {
+		return fmt.Errorf("flow: RestoreEvents after Start")
+	}
+	return s.hub.Restore(evs)
+}
 
 // Start listens on addr (e.g. "127.0.0.1:0") and runs the scheduler loop in
 // the background. It returns the bound address.
@@ -239,6 +274,8 @@ func (s *Scheduler) serveConn(conn net.Conn) {
 			}
 			if m.Type == msgResult && m.Result != nil {
 				s.sendEvent(schedEvent{kind: "result", wc: wc, res: m.Result})
+			} else if m.Type == msgHeartbeat {
+				s.sendEvent(schedEvent{kind: "heartbeat", wc: wc})
 			}
 		}
 	case msgSubmit:
@@ -318,13 +355,78 @@ func (s *Scheduler) eventLoop() {
 	defer s.wg.Done()
 
 	type queued struct {
-		task   Task
-		client *clientConn
+		task     Task
+		client   *clientConn
+		attempts int // deliveries that ended with the worker dying
 	}
 	var queue []queued
 	var free []*workerConn
 	workers := map[*workerConn]bool{}
 	inFlight := map[string]queued{} // task ID -> origin, for requeue
+
+	// requeue returns a task whose worker died to the front of the queue,
+	// charging one attempt against the retry budget. Over budget, the
+	// task is quarantined: a terminal failed event (with the attempt
+	// history) then a quarantined marker, and the submitting client gets
+	// a failed Result so its Map completes instead of waiting forever.
+	requeue := func(q queued) {
+		label := taskLabel(&q.task)
+		q.attempts++
+		if s.MaxRetries > 0 && q.attempts > s.MaxRetries {
+			errMsg := fmt.Sprintf("flow: task %s quarantined: worker died on all %d attempts (retry budget %d)",
+				label, q.attempts, s.MaxRetries)
+			s.hub.Emit(events.Event{Type: events.TaskFailed, Task: label, Err: errMsg, Attempt: q.attempts})
+			s.hub.Emit(events.Event{Type: events.TaskQuarantined, Task: label, Attempt: q.attempts})
+			if q.client != nil {
+				_ = q.client.enc.Encode(message{Type: msgResult, Result: &Result{TaskID: q.task.ID, Err: errMsg}})
+				q.client.pending--
+			}
+			return
+		}
+		// Resource escalation on retry (the paper's high-memory wave,
+		// scheduler-side): a task that killed its worker is redelivered
+		// with its escalated payload.
+		if len(q.task.EscalatePayload) > 0 {
+			q.task.Payload = q.task.EscalatePayload
+		}
+		q.task.Attempt = q.attempts
+		queue = append([]queued{q}, queue...)
+		s.hub.Emit(events.Event{Type: events.TaskQueued, Task: label, Attempt: q.attempts})
+	}
+
+	// dropWorker removes a worker the event loop decided is gone (lost
+	// heartbeat) — as opposed to workerGone, which reacts to its read
+	// pump failing. Closing the conn makes the pump fail soon after; the
+	// workers map check there prevents a duplicate leave event.
+	dropWorker := func(wc *workerConn) {
+		delete(workers, wc)
+		for i, w := range free {
+			if w == wc {
+				free = append(free[:i], free[i+1:]...)
+				break
+			}
+		}
+		if wc.current != nil {
+			if q, ok := inFlight[wc.current.ID]; ok {
+				delete(inFlight, wc.current.ID)
+				requeue(q)
+			}
+		}
+		wc.conn.Close()
+	}
+
+	// Sweep for heartbeat-silent workers at a fraction of the deadline,
+	// so detection lags the deadline by at most a quarter of it.
+	var beatCheck <-chan time.Time
+	if s.HeartbeatTimeout > 0 {
+		interval := s.HeartbeatTimeout / 4
+		if interval <= 0 {
+			interval = s.HeartbeatTimeout
+		}
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		beatCheck = ticker.C
+	}
 
 	assign := func() {
 		for len(queue) > 0 && len(free) > 0 {
@@ -356,25 +458,45 @@ func (s *Scheduler) eventLoop() {
 		select {
 		case <-s.done:
 			return
+		case now := <-beatCheck:
+			// Declare workers silent past the deadline dead: wedged-but-
+			// connected processes never fail the read pump, so the only
+			// signal is the heartbeat going quiet.
+			for wc := range workers {
+				silent := now.Sub(wc.lastBeat)
+				if silent <= s.HeartbeatTimeout {
+					continue
+				}
+				s.emit(events.WorkerLost, "", wc.id,
+					fmt.Sprintf("flow: worker %s silent for %s (heartbeat deadline %s)",
+						wc.id, silent.Round(time.Millisecond), s.HeartbeatTimeout))
+				dropWorker(wc)
+			}
+			assign()
 		case e := <-s.events:
 			switch e.kind {
 			case "register":
 				workers[e.wc] = true
 				free = append(free, e.wc)
+				e.wc.lastBeat = time.Now()
 				s.emit(events.WorkerJoin, "", e.wc.id, "")
 				assign()
+			case "heartbeat":
+				if workers[e.wc] {
+					e.wc.lastBeat = time.Now()
+				}
 			case "workerGone":
 				if !workers[e.wc] {
 					break
 				}
 				delete(workers, e.wc)
 				s.emit(events.WorkerLeave, "", e.wc.id, "")
-				// Requeue the in-flight task so no work is lost.
+				// Requeue the in-flight task so no work is lost (subject to
+				// the retry budget).
 				if e.wc.current != nil {
 					if q, ok := inFlight[e.wc.current.ID]; ok {
 						delete(inFlight, e.wc.current.ID)
-						queue = append([]queued{q}, queue...)
-						s.emit(events.TaskQueued, taskLabel(&q.task), "", "")
+						requeue(q)
 					}
 				}
 				// Remove from the free list if present.
@@ -386,6 +508,7 @@ func (s *Scheduler) eventLoop() {
 				}
 				assign()
 			case "result":
+				e.wc.lastBeat = time.Now()
 				q, ok := inFlight[e.res.TaskID]
 				if ok {
 					delete(inFlight, e.res.TaskID)

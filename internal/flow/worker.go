@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
-	"os"
 	"sync"
 	"time"
 )
@@ -28,8 +27,29 @@ type Worker struct {
 	// worker fast instead of leaving it hanging.
 	ReadTimeout time.Duration
 
+	// DialBudget, when set before Connect/ConnectFile, keeps retrying the
+	// scheduler (and, for ConnectFile, a missing scheduler file) with
+	// backoff for this long — so a worker started before its scheduler
+	// converges instead of exiting. Zero means one attempt.
+	DialBudget time.Duration
+
+	// HeartbeatInterval, when set before Connect, sends a heartbeat frame
+	// to the scheduler on this interval from a dedicated goroutine, so a
+	// worker stays alive through a long-running handler but a wedged
+	// process or dead network path is detected by the scheduler's
+	// heartbeat deadline. Zero disables heartbeats.
+	HeartbeatInterval time.Duration
+
 	conn net.Conn
 	wg   sync.WaitGroup
+
+	// writeMu serializes frames on the connection: the task loop's result
+	// sends and the heartbeat goroutine share one json.Encoder, which is
+	// not safe for concurrent use.
+	writeMu sync.Mutex
+
+	stop     chan struct{}
+	stopOnce sync.Once
 
 	mu     sync.Mutex
 	closed bool
@@ -45,27 +65,37 @@ func NewWorker(id string, h Handler) *Worker {
 
 // ConnectFile reads a scheduler file (written by
 // Scheduler.WriteSchedulerFile) and connects to the advertised address —
-// the registration mechanism of Section 3.3 step 2.
+// the registration mechanism of Section 3.3 step 2. With a DialBudget
+// set, a missing or mid-write file and an unreachable scheduler are both
+// retried with backoff inside one shared budget, so the worker may be
+// started before the scheduler exists at all.
 func (w *Worker) ConnectFile(path string) error {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return fmt.Errorf("flow: reading scheduler file: %w", err)
-	}
-	sf, err := ParseSchedulerFile(data)
+	deadline := time.Now().Add(w.DialBudget)
+	sf, err := waitSchedulerFile(path, w.DialBudget)
 	if err != nil {
 		return err
 	}
-	return w.Connect(sf.Address)
+	rem := time.Duration(0)
+	if w.DialBudget > 0 {
+		rem = time.Until(deadline)
+	}
+	return w.connect(sf.Address, rem)
 }
 
-// Connect registers with the scheduler (dial bounded by dialTimeout) and
-// starts the task loop in the background.
+// Connect registers with the scheduler (dial bounded by dialTimeout,
+// retried within DialBudget when set) and starts the task loop in the
+// background.
 func (w *Worker) Connect(addr string) error {
-	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	return w.connect(addr, w.DialBudget)
+}
+
+func (w *Worker) connect(addr string, budget time.Duration) error {
+	conn, err := DialRetry(addr, budget)
 	if err != nil {
 		return fmt.Errorf("flow: worker dial: %w", err)
 	}
 	w.conn = conn
+	w.stop = make(chan struct{})
 	enc := json.NewEncoder(conn)
 	_ = conn.SetWriteDeadline(time.Now().Add(dialTimeout))
 	if err := enc.Encode(message{Type: msgRegister, WorkerID: w.ID, Slots: 1}); err != nil {
@@ -73,9 +103,52 @@ func (w *Worker) Connect(addr string) error {
 		return fmt.Errorf("flow: worker register: %w", err)
 	}
 	_ = conn.SetWriteDeadline(time.Time{})
+	if w.HeartbeatInterval > 0 {
+		w.wg.Add(1)
+		go w.heartbeatLoop(enc)
+	}
 	w.wg.Add(1)
 	go w.loop(enc)
 	return nil
+}
+
+// send writes one frame under the connection write lock with a bounded
+// deadline, so heartbeats and results never interleave bytes and a
+// scheduler that stopped reading cannot wedge the sender forever.
+func (w *Worker) send(enc *json.Encoder, m message) error {
+	w.writeMu.Lock()
+	defer w.writeMu.Unlock()
+	_ = w.conn.SetWriteDeadline(time.Now().Add(resultWriteTimeout))
+	err := enc.Encode(m)
+	_ = w.conn.SetWriteDeadline(time.Time{})
+	return err
+}
+
+// heartbeatLoop sends liveness beacons on the configured interval. It
+// runs on its own goroutine deliberately: a handler busy on a long task
+// keeps beating (long tasks are healthy), while a frozen process or dead
+// network path stops the beacons and trips the scheduler's deadline.
+func (w *Worker) heartbeatLoop(enc *json.Encoder) {
+	defer w.wg.Done()
+	tick := time.NewTicker(w.HeartbeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-tick.C:
+			if err := w.send(enc, message{Type: msgHeartbeat, WorkerID: w.ID}); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// stopHeartbeat signals the heartbeat goroutine to exit. Idempotent.
+func (w *Worker) stopHeartbeat() {
+	if w.stop != nil {
+		w.stopOnce.Do(func() { close(w.stop) })
+	}
 }
 
 func (w *Worker) loop(enc *json.Encoder) {
@@ -84,6 +157,7 @@ func (w *Worker) loop(enc *json.Encoder) {
 	// fired); close it so the scheduler observes workerGone and requeues
 	// any in-flight task instead of assigning into a dead worker.
 	defer w.conn.Close()
+	defer w.stopHeartbeat()
 	dec := json.NewDecoder(bufio.NewReader(w.conn))
 	for {
 		if w.ReadTimeout > 0 {
@@ -112,13 +186,9 @@ func (w *Worker) loop(enc *json.Encoder) {
 		w.mu.Lock()
 		w.processed++
 		w.mu.Unlock()
-		// Bound the result send so a scheduler that stopped reading cannot
-		// wedge the worker goroutine forever.
-		_ = w.conn.SetWriteDeadline(time.Now().Add(resultWriteTimeout))
-		if err := enc.Encode(message{Type: msgResult, Result: &res}); err != nil {
+		if err := w.send(enc, message{Type: msgResult, Result: &res}); err != nil {
 			return
 		}
-		_ = w.conn.SetWriteDeadline(time.Time{})
 	}
 }
 
@@ -145,6 +215,7 @@ func (w *Worker) Close() {
 	}
 	w.closed = true
 	w.mu.Unlock()
+	w.stopHeartbeat()
 	if w.conn != nil {
 		w.conn.Close()
 	}
