@@ -16,6 +16,9 @@ const testBaseline = `{
     },
     "BenchmarkEnergyForces": {
       "current": {"ns_per_op": 582059, "bytes_per_op": 30, "allocs_per_op": 0}
+    },
+    "BenchmarkDispatchThroughput/json": {
+      "current": {"ns_per_op": 80000000, "bytes_per_op": 8500000, "allocs_per_op": 36000, "allocs_tolerance": 0.10}
     }
   }
 }`
@@ -87,6 +90,32 @@ func TestAllocImprovementAlsoFailsExactGate(t *testing.T) {
 	}
 	if !strings.Contains(report, "improved") || !strings.Contains(report, "update BENCH_BASELINE.json") {
 		t.Errorf("report:\n%s", report)
+	}
+}
+
+func TestAllocsToleranceBand(t *testing.T) {
+	// A concurrency benchmark's allocs wobble with goroutine scheduling;
+	// its baseline row carries allocs_tolerance and is gated as a band.
+	// 2% above baseline: inside the ±10% band. The sub-benchmark name
+	// (with GOMAXPROCS suffix) must resolve to the baseline key.
+	ok, report := runGuard(t, writeBaseline(t), "",
+		"BenchmarkDispatchThroughput/json-4   5   80000000 ns/op   26000 tasks/s   8500000 B/op   36720 allocs/op\n")
+	if !ok {
+		t.Fatalf("allocs within the tolerance band failed the gate:\n%s", report)
+	}
+	// 15% above baseline: outside the band, in either direction.
+	ok, report = runGuard(t, writeBaseline(t), "",
+		"BenchmarkDispatchThroughput/json-4   5   80000000 ns/op   8500000 B/op   41400 allocs/op\n")
+	if ok {
+		t.Fatal("allocs past the tolerance band passed the gate")
+	}
+	if !strings.Contains(report, "outside baseline 36000") {
+		t.Errorf("report:\n%s", report)
+	}
+	ok, _ = runGuard(t, writeBaseline(t), "",
+		"BenchmarkDispatchThroughput/json-4   5   80000000 ns/op   8500000 B/op   30600 allocs/op\n")
+	if ok {
+		t.Fatal("alloc improvement past the tolerance band passed the gate")
 	}
 }
 

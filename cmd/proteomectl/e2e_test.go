@@ -69,6 +69,15 @@ func e2eCluster(t *testing.T, n int) string {
 // -event-log for the observability tests).
 func e2eClusterArgs(t *testing.T, n int, schedArgs ...string) string {
 	t.Helper()
+	wires := make([]string, n)
+	return e2eClusterWires(t, wires, schedArgs...)
+}
+
+// e2eClusterWires is the mixed-fleet variant: one worker per entry of
+// wires, each dialing with that -wire codec ("" leaves the flag at its
+// JSON default).
+func e2eClusterWires(t *testing.T, wires []string, schedArgs ...string) string {
+	t.Helper()
 	if buildErr != nil {
 		t.Fatal(buildErr)
 	}
@@ -106,8 +115,12 @@ func e2eClusterArgs(t *testing.T, n int, schedArgs ...string) string {
 		time.Sleep(20 * time.Millisecond)
 	}
 
-	for i := 0; i < n; i++ {
-		spawn("worker", "worker", "-scheduler-file", schedFile, "-id", fmt.Sprintf("e2e-w%d", i))
+	for i, wire := range wires {
+		args := []string{"worker", "-scheduler-file", schedFile, "-id", fmt.Sprintf("e2e-w%d", i)}
+		if wire != "" {
+			args = append(args, "-wire", wire)
+		}
+		spawn("worker", args...)
 	}
 	return schedFile
 }
@@ -153,6 +166,75 @@ func TestCampaignMultiProcess(t *testing.T) {
 	}
 	if string(remote) != string(loopback) {
 		t.Errorf("multi-process report differs from loopback flow executor:\n--- multi-process ---\n%s--- loopback ---\n%s", remote, loopback)
+	}
+}
+
+// TestCampaignCrossCodec is the wire-interop acceptance test: a mixed
+// fleet — binary workers and a JSON worker on one batching scheduler —
+// must produce campaign reports byte-identical to the in-process pool
+// executor whether the submitting client speaks JSON or binary, with a
+// JSON monitor attached throughout. The codec is pure transport; nothing
+// about it may leak into a reported number.
+func TestCampaignCrossCodec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	schedFile := e2eClusterWires(t, []string{"binary", "binary", "json"}, "-batch", "4")
+
+	// A JSON monitor rides along for the whole test: a read-only peer on
+	// the legacy wire must coexist with binary dispatch traffic.
+	mon := osexec.Command(binPath, "monitor", "-scheduler-file", schedFile, "-json")
+	var monOut bytes.Buffer
+	mon.Stdout = &monOut
+	mon.Stderr = os.Stderr
+	if err := mon.Start(); err != nil {
+		t.Fatalf("starting monitor: %v", err)
+	}
+	t.Cleanup(func() {
+		_ = mon.Process.Kill()
+		_ = mon.Wait()
+	})
+
+	campaign := []string{"-species", "DVU", "-preset", "genome", "-limit", "180", "-seed", "20220125"}
+
+	viaJSON := runBin(t, append([]string{"submit", "-scheduler-file", schedFile, "-wire", "json"}, campaign...)...)
+	viaBinary := runBin(t, append([]string{"submit", "-scheduler-file", schedFile, "-wire", "binary"}, campaign...)...)
+	pool := runBin(t, append([]string{"run", "-executor", "pool"}, campaign...)...)
+
+	if len(viaJSON) == 0 {
+		t.Fatal("mixed-fleet campaign produced no report")
+	}
+	if string(viaJSON) != string(pool) {
+		t.Errorf("JSON submit over the mixed fleet differs from pool executor:\n--- submit ---\n%s--- pool ---\n%s", viaJSON, pool)
+	}
+	if string(viaBinary) != string(pool) {
+		t.Errorf("binary submit over the mixed fleet differs from pool executor:\n--- submit ---\n%s--- pool ---\n%s", viaBinary, pool)
+	}
+
+	// The monitor saw real traffic, decoded cleanly, and its JSONL output
+	// replays as a valid event stream covering both campaigns' tasks.
+	// (A short drain, then the kill may tear the final line mid-write —
+	// ReadLog's intact prefix is what the assertion runs against.)
+	time.Sleep(300 * time.Millisecond)
+	_ = mon.Process.Kill()
+	// Cmd.Wait (not Process.Wait): it joins the goroutine copying the
+	// monitor's stdout into monOut before we read the buffer.
+	_ = mon.Wait()
+	seen, err := events.ReadLog(bytes.NewReader(monOut.Bytes()))
+	if err != nil && len(seen) == 0 {
+		t.Fatalf("monitor JSONL does not replay as an event stream: %v", err)
+	}
+	doneTasks := 0
+	for _, e := range seen {
+		if e.Type == events.TaskDone {
+			doneTasks++
+		}
+	}
+	if doneTasks == 0 {
+		t.Error("JSON monitor observed no completed tasks on the mixed fleet")
 	}
 }
 

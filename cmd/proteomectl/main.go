@@ -120,19 +120,25 @@ commands:
                                 predict + relax one protein, write PDB
   sched -listen A [-scheduler-file F] [-log-placement] [-event-log F]
       [-resume-log] [-max-retries N] [-heartbeat-timeout D] [-event-backlog N]
+      [-batch N]
                                 start a standalone dataflow scheduler;
                                 -event-log persists the structured task
                                 transition stream as JSONL, -resume-log
                                 continues an existing log across a restart,
                                 -max-retries quarantines poison tasks,
                                 -heartbeat-timeout declares silent workers
-                                dead, -event-backlog bounds in-memory history
+                                dead, -event-backlog bounds in-memory history,
+                                -batch hands a free worker up to N tasks per
+                                frame (amortizes per-message cost at scale)
   worker (-connect A | -scheduler-file F) [-id ID] [-heartbeat D] [-dial-retry D]
+      [-wire json|binary]
                                 start a worker serving the campaign kernels;
-                                -dial-retry lets it start before the scheduler
+                                -dial-retry lets it start before the scheduler,
+                                -wire picks the wire codec (binary cuts framing
+                                cost; mixed -wire fleets share one scheduler)
   submit (-connect A | -scheduler-file F) -species C [-preset P] [-nodes N]
       [-seed S] [-limit K] [-stats F] [-timeline F] [-summary]
-      [-resume F] [-resume-stats F] [-dial-retry D]
+      [-resume F] [-resume-stats F] [-dial-retry D] [-wire json|binary]
                                 run the campaign on the remote cluster;
                                 -stats writes the per-task processing-times
                                 CSV, -timeline the measured-vs-simulated
@@ -141,7 +147,7 @@ commands:
                                 -resume/-resume-stats skip tasks an
                                 interrupted run already completed (the
                                 report stays byte-identical)
-  monitor (-connect A | -scheduler-file F) [-json]
+  monitor (-connect A | -scheduler-file F) [-json] [-wire json|binary]
                                 tail a running campaign live (queue depth,
                                 per-worker in-flight, throughput) from the
                                 scheduler's event stream; read-only`)
@@ -363,36 +369,101 @@ func runCmd(args []string, stdout io.Writer) error {
 	return cf.finishStats(trace)
 }
 
+// connFlags is the scheduler-connection block shared by every command
+// that dials a running scheduler (worker, submit, monitor): the address
+// or scheduler file, the dial retry budget, and the wire codec — each
+// registered exactly once, here.
+type connFlags struct {
+	connect   string
+	schedFile string
+	dialRetry time.Duration
+	wire      string
+}
+
+func (c *connFlags) register(fs *flag.FlagSet, retryDefault time.Duration) {
+	fs.StringVar(&c.connect, "connect", "", "scheduler address (host:port)")
+	fs.StringVar(&c.schedFile, "scheduler-file", "", "scheduler file to read the address from")
+	fs.DurationVar(&c.dialRetry, "dial-retry", retryDefault, "keep retrying the scheduler (and a missing scheduler file) with backoff for this long (0 = one attempt)")
+	fs.StringVar(&c.wire, "wire", "json", "wire codec: json (compatible with every release) or binary (length-prefixed frames — cheaper per message on dispatch-heavy fleets); peers with different -wire values interoperate on one scheduler")
+}
+
+func (c *connFlags) validate(cmd string) error {
+	if (c.connect == "") == (c.schedFile == "") {
+		return fmt.Errorf("%s needs exactly one of -connect or -scheduler-file", cmd)
+	}
+	if !flow.ValidWire(c.wire) {
+		return fmt.Errorf("%s: unknown -wire %q (want json or binary)", cmd, c.wire)
+	}
+	return nil
+}
+
+// dialOptions converts the flag block into the one options struct every
+// flow dialer consumes.
+func (c *connFlags) dialOptions() flow.DialOptions {
+	return flow.DialOptions{
+		Addr:          c.connect,
+		SchedulerFile: c.schedFile,
+		Retry:         c.dialRetry,
+		Codec:         c.wire,
+	}
+}
+
+// schedOptions is the `sched` flag block.
+type schedOptions struct {
+	listen           string
+	schedFile        string
+	logPlacement     bool
+	eventLog         string
+	resumeLog        bool
+	maxRetries       int
+	heartbeatTimeout time.Duration
+	eventBacklog     int
+	batch            int
+}
+
+func (o *schedOptions) register(fs *flag.FlagSet) {
+	fs.StringVar(&o.listen, "listen", "127.0.0.1:8786", "address to listen on (host:port; port 0 picks one)")
+	fs.StringVar(&o.schedFile, "scheduler-file", "", "write a JSON scheduler file advertising the bound address")
+	fs.BoolVar(&o.logPlacement, "log-placement", false, "log every task assignment and completion to stdout")
+	fs.StringVar(&o.eventLog, "event-log", "", "persist the structured task-transition stream (received/queued/assigned/running/done/failed + worker join/leave) as JSONL to this file; replayable offline with events.ReadLog")
+	fs.BoolVar(&o.resumeLog, "resume-log", false, "on restart, replay an existing -event-log first: the stream continues where the crashed scheduler stopped (a torn final record is discarded), so monitors still see the full campaign backlog and `submit -resume` can skip completed tasks")
+	fs.IntVar(&o.maxRetries, "max-retries", 3, "requeue a task whose worker died at most this many times, then quarantine it with a terminal failed event (0 = requeue forever)")
+	fs.DurationVar(&o.heartbeatTimeout, "heartbeat-timeout", 0, "declare a worker dead after this long without a heartbeat or result and requeue its task (0 disables; workers must send -heartbeat at a few multiples below this)")
+	fs.IntVar(&o.eventBacklog, "event-backlog", 0, "retain at most this many events in memory for late-attaching monitors, evicting oldest-first with an explicit truncated marker (0 = unbounded; the -event-log file always keeps everything)")
+	fs.IntVar(&o.batch, "batch", 1, "hand a free worker up to this many tasks per frame (acked in one frame back), amortizing per-message cost at scale; requires current workers when > 1")
+}
+
+// scheduler builds the configured scheduler (not yet started).
+func (o *schedOptions) scheduler() *flow.Scheduler {
+	s := flow.NewScheduler()
+	s.MaxRetries = o.maxRetries
+	s.HeartbeatTimeout = o.heartbeatTimeout
+	s.Batch = o.batch
+	if o.eventBacklog > 0 {
+		s.Events().SetLimit(o.eventBacklog)
+	}
+	return s
+}
+
 // schedCmd runs a standalone dataflow scheduler until interrupted —
 // terminal 1 of the three-terminal deployment. The scheduler file it
 // writes is how workers and clients find it, as in the paper's Summit
 // deployment (Dask's scheduler-file mechanism).
 func schedCmd(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("sched", flag.ContinueOnError)
-	listen := fs.String("listen", "127.0.0.1:8786", "address to listen on (host:port; port 0 picks one)")
-	schedFile := fs.String("scheduler-file", "", "write a JSON scheduler file advertising the bound address")
-	logPlacement := fs.Bool("log-placement", false, "log every task assignment and completion to stdout")
-	eventLog := fs.String("event-log", "", "persist the structured task-transition stream (received/queued/assigned/running/done/failed + worker join/leave) as JSONL to this file; replayable offline with events.ReadLog")
-	resumeLog := fs.Bool("resume-log", false, "on restart, replay an existing -event-log first: the stream continues where the crashed scheduler stopped (a torn final record is discarded), so monitors still see the full campaign backlog and `submit -resume` can skip completed tasks")
-	maxRetries := fs.Int("max-retries", 3, "requeue a task whose worker died at most this many times, then quarantine it with a terminal failed event (0 = requeue forever)")
-	heartbeatTimeout := fs.Duration("heartbeat-timeout", 0, "declare a worker dead after this long without a heartbeat or result and requeue its task (0 disables; workers must send -heartbeat at a few multiples below this)")
-	eventBacklog := fs.Int("event-backlog", 0, "retain at most this many events in memory for late-attaching monitors, evicting oldest-first with an explicit truncated marker (0 = unbounded; the -event-log file always keeps everything)")
+	var o schedOptions
+	o.register(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
-	s := flow.NewScheduler()
-	s.MaxRetries = *maxRetries
-	s.HeartbeatTimeout = *heartbeatTimeout
-	if *eventBacklog > 0 {
-		s.Events().SetLimit(*eventBacklog)
-	}
-	if *logPlacement {
+	s := o.scheduler()
+	if o.logPlacement {
 		s.PlacementLog = stdout
 	}
-	if *eventLog != "" {
+	if o.eventLog != "" {
 		var restored []events.Event
-		if *resumeLog {
-			if data, err := os.ReadFile(*eventLog); err == nil {
+		if o.resumeLog {
+			if data, err := os.ReadFile(o.eventLog); err == nil {
 				// A tail torn by the crash is expected: restore the intact
 				// prefix and rewrite the file as one valid stream.
 				evs, rerr := events.ReadLog(bytes.NewReader(data))
@@ -404,7 +475,7 @@ func schedCmd(args []string, stdout io.Writer) error {
 				return err
 			}
 		}
-		f, err := os.Create(*eventLog)
+		f, err := os.Create(o.eventLog)
 		if err != nil {
 			return err
 		}
@@ -423,13 +494,13 @@ func schedCmd(args []string, stdout io.Writer) error {
 		}
 		s.EventLog = f
 	}
-	addr, err := s.Start(*listen)
+	addr, err := s.Start(o.listen)
 	if err != nil {
 		return err
 	}
 	defer s.Close()
-	if *schedFile != "" {
-		if err := s.WriteSchedulerFile(*schedFile); err != nil {
+	if o.schedFile != "" {
+		if err := s.WriteSchedulerFile(o.schedFile); err != nil {
 			return err
 		}
 	}
@@ -438,37 +509,41 @@ func schedCmd(args []string, stdout io.Writer) error {
 	return nil
 }
 
+// workerOptions is the `worker` flag block: the shared connection flags
+// plus worker identity and heartbeat cadence.
+type workerOptions struct {
+	conn      connFlags
+	id        string
+	heartbeat time.Duration
+}
+
+func (o *workerOptions) register(fs *flag.FlagSet) {
+	o.conn.register(fs, 30*time.Second)
+	fs.StringVar(&o.id, "id", fmt.Sprintf("worker-%d", os.Getpid()), "worker identity")
+	fs.DurationVar(&o.heartbeat, "heartbeat", 15*time.Second, "send a liveness heartbeat to the scheduler on this interval (0 disables); pair with sched -heartbeat-timeout to detect wedged workers")
+}
+
 // workerCmd runs one dataflow worker serving the registered campaign
 // kernels — terminal 2 (started once per GPU in the paper, up to 6,000
 // times). It exits when interrupted or when the scheduler goes away.
 func workerCmd(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("worker", flag.ContinueOnError)
-	connect := fs.String("connect", "", "scheduler address (host:port)")
-	schedFile := fs.String("scheduler-file", "", "scheduler file to read the address from")
-	id := fs.String("id", fmt.Sprintf("worker-%d", os.Getpid()), "worker identity")
-	heartbeat := fs.Duration("heartbeat", 15*time.Second, "send a liveness heartbeat to the scheduler on this interval (0 disables); pair with sched -heartbeat-timeout to detect wedged workers")
-	dialRetry := fs.Duration("dial-retry", 30*time.Second, "keep retrying the scheduler (and a missing scheduler file) with backoff for this long, so workers may start before the scheduler (0 = one attempt)")
+	var o workerOptions
+	o.register(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
-	if (*connect == "") == (*schedFile == "") {
-		return fmt.Errorf("worker needs exactly one of -connect or -scheduler-file")
+	if err := o.conn.validate("worker"); err != nil {
+		return err
 	}
 	experiments.RegisterCampaignKernels()
-	w := flow.NewWorker(*id, flow.SpecHandler())
-	w.HeartbeatInterval = *heartbeat
-	w.DialBudget = *dialRetry
-	var err error
-	if *connect != "" {
-		err = w.Connect(*connect)
-	} else {
-		err = w.ConnectFile(*schedFile)
-	}
-	if err != nil {
+	w := flow.NewWorker(o.id, flow.SpecHandler())
+	w.HeartbeatInterval = o.heartbeat
+	if err := w.Dial(o.conn.dialOptions()); err != nil {
 		return err
 	}
 	defer w.Close()
-	fmt.Fprintf(stdout, "worker %s serving kernels %v\n", *id, flow.DefaultRegistry().Names())
+	fmt.Fprintf(stdout, "worker %s serving kernels %v\n", o.id, flow.DefaultRegistry().Names())
 
 	// Exit on a signal or when the scheduler connection drops.
 	done := make(chan struct{})
@@ -488,78 +563,100 @@ func workerCmd(args []string, stdout io.Writer) error {
 // submitCmd runs the campaign against a remote cluster — terminal 3, the
 // driving script. Every stage ships named-job specs to the workers; the
 // printed report is byte-identical to `run -executor=pool`.
+// submitOptions is the `submit` flag block: the shared connection flags,
+// the campaign definition, and the submit-only result handling knobs.
+type submitOptions struct {
+	conn          connFlags
+	cf            campaignFlags
+	resultTimeout time.Duration
+	summary       bool
+	resume        string
+	resumeStats   string
+}
+
+func (o *submitOptions) register(fs *flag.FlagSet) {
+	o.cf.register(fs)
+	o.conn.register(fs, 10*time.Second)
+	fs.DurationVar(&o.resultTimeout, "result-timeout", flow.DefaultResultTimeout,
+		"fail when no result arrives for this long (0 disables); raise it when individual tasks run long")
+	fs.BoolVar(&o.summary, "summary", false,
+		"summary-only results: feature kernels return a digest instead of full per-protein features, cutting wire bytes; the printed report is byte-identical")
+	fs.StringVar(&o.resume, "resume", "", "resume an interrupted campaign from a scheduler event log (sched -event-log): tasks recorded done are recomputed locally instead of re-dispatched; the report is byte-identical to an uninterrupted run")
+	fs.StringVar(&o.resumeStats, "resume-stats", "", "like -resume, from a processing-times CSV of the interrupted run (-stats); combinable with -resume")
+}
+
+// completedSet merges the -resume / -resume-stats sources into one set of
+// already-finished task IDs, or returns nil when neither flag was given.
+func (o *submitOptions) completedSet() (*events.CompletedSet, error) {
+	if o.resume == "" && o.resumeStats == "" {
+		return nil, nil
+	}
+	set := events.NewCompletedSet()
+	if o.resume != "" {
+		f, err := os.Open(o.resume)
+		if err != nil {
+			return nil, err
+		}
+		logSet, err := events.CompletedFromLog(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		set.Merge(logSet)
+	}
+	if o.resumeStats != "" {
+		f, err := os.Open(o.resumeStats)
+		if err != nil {
+			return nil, err
+		}
+		ids, err := exec.CompletedFromStatsCSV(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		set.AddAll(ids)
+	}
+	return set, nil
+}
+
 func submitCmd(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
-	var cf campaignFlags
-	cf.register(fs)
-	connect := fs.String("connect", "", "scheduler address (host:port)")
-	schedFile := fs.String("scheduler-file", "", "scheduler file to read the address from")
-	resultTimeout := fs.Duration("result-timeout", flow.DefaultResultTimeout,
-		"fail when no result arrives for this long (0 disables); raise it when individual tasks run long")
-	summary := fs.Bool("summary", false,
-		"summary-only results: feature kernels return a digest instead of full per-protein features, cutting wire bytes; the printed report is byte-identical")
-	resume := fs.String("resume", "", "resume an interrupted campaign from a scheduler event log (sched -event-log): tasks recorded done are recomputed locally instead of re-dispatched; the report is byte-identical to an uninterrupted run")
-	resumeStats := fs.String("resume-stats", "", "like -resume, from a processing-times CSV of the interrupted run (-stats); combinable with -resume")
-	dialRetry := fs.Duration("dial-retry", 10*time.Second, "keep retrying the scheduler (and a missing scheduler file) with backoff for this long (0 = one attempt)")
+	var o submitOptions
+	o.register(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
-	if (*connect == "") == (*schedFile == "") {
-		return fmt.Errorf("submit needs exactly one of -connect or -scheduler-file")
+	if err := o.conn.validate("submit"); err != nil {
+		return err
 	}
+	cf := &o.cf
 	cr, err := cf.campaign()
 	if err != nil {
 		return err
 	}
-	if *resume != "" || *resumeStats != "" {
-		set := events.NewCompletedSet()
-		if *resume != "" {
-			f, err := os.Open(*resume)
-			if err != nil {
-				return err
-			}
-			logSet, err := events.CompletedFromLog(f)
-			f.Close()
-			if err != nil {
-				return err
-			}
-			set.Merge(logSet)
-		}
-		if *resumeStats != "" {
-			f, err := os.Open(*resumeStats)
-			if err != nil {
-				return err
-			}
-			ids, err := exec.CompletedFromStatsCSV(f)
-			f.Close()
-			if err != nil {
-				return err
-			}
-			set.AddAll(ids)
-		}
+	set, err := o.completedSet()
+	if err != nil {
+		return err
+	}
+	if set != nil {
 		// Stderr, so the stdout report stays byte-identical to an
 		// uninterrupted run.
 		fmt.Fprintf(os.Stderr, "resume: %d tasks already completed; dispatching only the remainder\n", set.Len())
 		cr.cfg.Resume = set.Done
 	}
-	var fl *exec.Flow
-	if *connect != "" {
-		fl, err = exec.ConnectFlowRetry(*connect, *dialRetry)
-	} else {
-		fl, err = exec.ConnectFlowFileRetry(*schedFile, *dialRetry)
-	}
+	fl, err := exec.Connect(o.conn.dialOptions())
 	if err != nil {
 		return err
 	}
 	defer fl.Close()
-	fl.SetResultTimeout(*resultTimeout)
+	fl.SetResultTimeout(o.resultTimeout)
 	trace := &exec.Trace{}
 	if cf.wantTrace() {
 		fl.SetTrace(trace)
 	}
 	cr.cfg.Executor = fl
 	cr.cfg.Remote = &core.RemoteCampaign{Seed: cf.seed, Species: cr.sp.Code}
-	cr.cfg.SummaryOnly = *summary
+	cr.cfg.SummaryOnly = o.summary
 
 	rep, err := core.RunCampaign(cr.env.Engine, cr.env.FeatureGen(), cr.proteins, cr.env.FS, core.ReducedDatabase(), cr.cfg)
 	if err != nil {
@@ -578,22 +675,16 @@ func submitCmd(args []string, stdout io.Writer) error {
 // with or without a monitor connected).
 func monitorCmd(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("monitor", flag.ContinueOnError)
-	connect := fs.String("connect", "", "scheduler address (host:port)")
-	schedFile := fs.String("scheduler-file", "", "scheduler file to read the address from")
+	var conn connFlags
+	conn.register(fs, 0)
 	jsonOut := fs.Bool("json", false, "print raw event records as JSONL (the sched -event-log format) instead of live summary lines")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
-	if (*connect == "") == (*schedFile == "") {
-		return fmt.Errorf("monitor needs exactly one of -connect or -scheduler-file")
+	if err := conn.validate("monitor"); err != nil {
+		return err
 	}
-	var m *flow.Monitor
-	var err error
-	if *connect != "" {
-		m, err = flow.ConnectMonitor(*connect)
-	} else {
-		m, err = flow.ConnectMonitorFile(*schedFile)
-	}
+	m, err := flow.DialMonitor(conn.dialOptions())
 	if err != nil {
 		return err
 	}

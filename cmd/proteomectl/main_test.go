@@ -242,6 +242,16 @@ func TestWorkerSubmitFlagValidation(t *testing.T) {
 	if err := submitCmd([]string{"-connect", "a", "-scheduler-file", "b"}, &buf); err == nil {
 		t.Error("submit with both addresses succeeded")
 	}
+	// The wire codec is validated before any dialing happens.
+	if err := workerCmd([]string{"-connect", "a", "-wire", "msgpack"}, &buf); err == nil {
+		t.Error("worker with unknown -wire succeeded")
+	}
+	if err := submitCmd([]string{"-connect", "a", "-wire", "msgpack"}, &buf); err == nil {
+		t.Error("submit with unknown -wire succeeded")
+	}
+	if err := monitorCmd([]string{"-connect", "a", "-wire", "msgpack"}, &buf); err == nil {
+		t.Error("monitor with unknown -wire succeeded")
+	}
 }
 
 func readFASTAFile(path string) ([]seq.Sequence, error) {

@@ -24,7 +24,7 @@
 // serializes every batch through the dataflow engine of internal/flow —
 // the same scheduler/worker/client protocol the paper deploys Dask in —
 // over loopback TCP, one flow task per work item, pulled by workers in
-// dataflow fashion. The remote flow executor (exec.ConnectFlow) is a
+// dataflow fashion. The remote flow executor (exec.Connect) is a
 // client dialed into a standalone scheduler whose workers run in other OS
 // processes, possibly on other hosts: closures cannot cross process
 // boundaries, so the three workflow stages ship serializable named-job
@@ -106,7 +106,7 @@
 // client — instead of cycling forever; a JobSpec's escalation payload is
 // swapped in on the first redelivery (the high-memory retry wave,
 // scheduler-side). Initial dials retry with backoff under a budget
-// (flow.DialRetry, `-dial-retry`) so process start order is free, and
+// (flow.DialOptions.Retry, `-dial-retry`) so process start order is free, and
 // the in-memory event backlog can be bounded (`sched -event-backlog`)
 // with an explicit truncated marker for late subscribers. A killed
 // scheduler resumes from its own log (`sched -resume-log` restores the
@@ -119,14 +119,32 @@
 // byte-identical to an uninterrupted run and the resumed stats CSV
 // records strictly fewer dispatched tasks (TestResumeAfterSchedulerKill).
 //
+// The wire format itself is pluggable (flow.Codec): the default JSON
+// codec keeps the legacy newline-delimited wire byte-identical, and a
+// length-prefixed binary codec with pooled buffers cuts per-task
+// overhead for dispatch-bound campaigns. Codecs are negotiated per
+// connection by a one-line hello — JSON peers send nothing, so old and
+// new processes interoperate and mixed fleets (some workers `-wire
+// binary`, some `-wire json`) produce byte-identical reports
+// (TestCampaignCrossCodec). The scheduler can also hand out up to
+// `sched -batch` tasks per frame, with workers acking in kind, so
+// frame count stops scaling 1:1 with task count.
+// BenchmarkDispatchThroughput drives hundreds of in-process workers
+// through both codecs and reports tasks/sec and allocs/op; the binary
+// codec must stay at least 2x JSON's throughput with strictly fewer
+// allocations.
+//
 // CI enforces the perf + determinism contract: a bench-regression job
-// gates the kernel microbenchmarks against BENCH_BASELINE.json through
-// cmd/benchguard (allocs/op exactly, ns/op with generous tolerance), the
-// execution-layer packages (internal/flow, internal/parallel,
+// gates the kernel microbenchmarks and the dispatch-throughput rows
+// against BENCH_BASELINE.json through cmd/benchguard (allocs/op exactly
+// where deterministic, within an explicit band for the
+// scheduling-dependent dispatch rows, ns/op with generous tolerance),
+// the execution-layer packages (internal/flow, internal/parallel,
 // internal/exec) carry an 80% coverage floor that includes the
 // remote-dispatch path, the multi-process e2e suite runs under -race, and
-// the wire-protocol and FASTA decoders are continuously fuzzed (short
-// budget per push; seed corpora under testdata/fuzz).
+// the wire-protocol and FASTA decoders — including the binary framing —
+// are continuously fuzzed (short budget per push; seed corpora under
+// testdata/fuzz).
 //
 // Start with README.md, run experiments with cmd/afbench, and see
 // EXPERIMENTS.md for the paper-versus-measured record. The benchmarks in

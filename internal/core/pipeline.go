@@ -57,7 +57,7 @@ type Config struct {
 	Executor exec.Executor
 	// Remote identifies the campaign world to remote workers when Executor
 	// dispatches registered job specs across process boundaries
-	// (exec.ConnectFlow). Required in that case — closures cannot cross
+	// (exec.Connect). Required in that case — closures cannot cross
 	// processes, so the stages ship (Seed, Species)-keyed specs instead —
 	// and ignored for in-process executors.
 	Remote *RemoteCampaign

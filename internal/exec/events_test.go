@@ -77,7 +77,7 @@ func TestFlowDispatchSpecsFeedsEventLabels(t *testing.T) {
 		}
 		t.Cleanup(w.Close)
 	}
-	f, err := ConnectFlow(addr)
+	f, err := Connect(flow.DialOptions{Addr: addr})
 	if err != nil {
 		t.Fatal(err)
 	}

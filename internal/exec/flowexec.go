@@ -107,50 +107,51 @@ func NewFlow(workers int) (*Flow, error) {
 	return f, nil
 }
 
-// ConnectFlow returns a remote flow executor: a client dialed into a
+// Connect returns a remote flow executor: a client dialed into a
 // standalone scheduler (started with `proteomectl sched`) whose workers
-// run in other processes, possibly on other hosts. The returned executor
-// dispatches registered named-job specs only (see MapSpec); running a
-// closure batch fails, because closures cannot cross process boundaries.
-// The executor must be closed.
+// run in other processes, possibly on other hosts. The options carry the
+// whole connection story — address or scheduler file, retry budget, and
+// wire codec — so every deployment shape goes through this one door. The
+// returned executor dispatches registered named-job specs only (see
+// MapSpec); running a closure batch fails, because closures cannot cross
+// process boundaries. The executor must be closed.
+func Connect(opts flow.DialOptions) (*Flow, error) {
+	c, err := flow.DialClient(opts)
+	if err != nil {
+		return nil, fmt.Errorf("exec: flow connect: %w", err)
+	}
+	return &Flow{client: c, remote: true, specNonce: specBatchNonce()}, nil
+}
+
+// ConnectFlow dials a standalone scheduler by address.
+//
+// Deprecated: use Connect with flow.DialOptions{Addr: addr}.
 func ConnectFlow(addr string) (*Flow, error) {
-	c, err := flow.ConnectClient(addr)
-	if err != nil {
-		return nil, fmt.Errorf("exec: flow connect: %w", err)
-	}
-	return &Flow{client: c, remote: true, specNonce: specBatchNonce()}, nil
+	return Connect(flow.DialOptions{Addr: addr})
 }
 
-// ConnectFlowFile is ConnectFlow via a scheduler file written by
-// Scheduler.WriteSchedulerFile.
+// ConnectFlowFile dials via a scheduler file.
+//
+// Deprecated: use Connect with flow.DialOptions{SchedulerFile: path}.
 func ConnectFlowFile(path string) (*Flow, error) {
-	c, err := flow.ConnectClientFile(path)
-	if err != nil {
-		return nil, fmt.Errorf("exec: flow connect: %w", err)
-	}
-	return &Flow{client: c, remote: true, specNonce: specBatchNonce()}, nil
+	return Connect(flow.DialOptions{SchedulerFile: path})
 }
 
-// ConnectFlowRetry is ConnectFlow with a dial retry budget: the client
-// keeps retrying with backoff (flow.DialRetry) until the scheduler
-// accepts or the budget elapses, so a submit racing a starting scheduler
-// converges instead of failing.
+// ConnectFlowRetry dials by address with a retry budget.
+//
+// Deprecated: use Connect with flow.DialOptions{Addr: addr, Retry:
+// budget}.
 func ConnectFlowRetry(addr string, budget time.Duration) (*Flow, error) {
-	c, err := flow.ConnectClientRetry(addr, budget)
-	if err != nil {
-		return nil, fmt.Errorf("exec: flow connect: %w", err)
-	}
-	return &Flow{client: c, remote: true, specNonce: specBatchNonce()}, nil
+	return Connect(flow.DialOptions{Addr: addr, Retry: budget})
 }
 
-// ConnectFlowFileRetry is ConnectFlowFile with a shared retry budget
-// covering both the scheduler file appearing and the dial.
+// ConnectFlowFileRetry dials via a scheduler file with one shared budget
+// covering both the file appearing and the dial.
+//
+// Deprecated: use Connect with flow.DialOptions{SchedulerFile: path,
+// Retry: budget}.
 func ConnectFlowFileRetry(path string, budget time.Duration) (*Flow, error) {
-	c, err := flow.ConnectClientFileRetry(path, budget)
-	if err != nil {
-		return nil, fmt.Errorf("exec: flow connect: %w", err)
-	}
-	return &Flow{client: c, remote: true, specNonce: specBatchNonce()}, nil
+	return Connect(flow.DialOptions{SchedulerFile: path, Retry: budget})
 }
 
 // SetResultTimeout adjusts the client's per-result progress deadline: the

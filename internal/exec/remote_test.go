@@ -63,7 +63,7 @@ func remoteCluster(t *testing.T, workers int) *Flow {
 		}
 		t.Cleanup(w.Close)
 	}
-	f, err := ConnectFlow(addr)
+	f, err := Connect(flow.DialOptions{Addr: addr})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +221,7 @@ func TestConcurrentClientsSharedScheduler(t *testing.T) {
 	for c := 0; c < clients; c++ {
 		c := c
 		go func() {
-			f, err := ConnectFlow(addr)
+			f, err := Connect(flow.DialOptions{Addr: addr})
 			if err != nil {
 				errs <- err
 				return

@@ -31,7 +31,7 @@ func remoteExecutor(t *testing.T, workers int) *exec.Flow {
 		}
 		t.Cleanup(w.Close)
 	}
-	f, err := exec.ConnectFlow(addr)
+	f, err := exec.Connect(flow.DialOptions{Addr: addr})
 	if err != nil {
 		t.Fatal(err)
 	}

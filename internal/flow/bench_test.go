@@ -1,0 +1,78 @@
+package flow
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkDispatchThroughput drives a fleet of in-process workers
+// through the scheduler dispatch hot path — submit, batched handout,
+// execute (no-op handler), batched ack, result forwarding — once per
+// codec. The handler does no work, so the numbers isolate the framing
+// and scheduling cost the paper's 6,000-worker deployments pay per task;
+// tasks/s and allocs/op for both codecs are gated in CI by
+// cmd/benchguard against BENCH_BASELINE.json.
+func BenchmarkDispatchThroughput(b *testing.B) {
+	for _, wire := range []string{WireJSON, WireBinary} {
+		b.Run(wire, func(b *testing.B) {
+			benchDispatch(b, wire)
+		})
+	}
+}
+
+func benchDispatch(b *testing.B, wire string) {
+	const (
+		numWorkers = 256
+		tasksPerOp = 2048
+	)
+	s := NewScheduler()
+	s.Batch = 16
+	// Bound the event hub's in-memory history: the benchmark measures the
+	// dispatch path, not unbounded backlog growth across iterations.
+	s.Events().SetLimit(1024)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+
+	noop := func(task Task) (json.RawMessage, error) { return nil, nil }
+	for i := 0; i < numWorkers; i++ {
+		w := NewWorker(fmt.Sprintf("w%03d", i), noop)
+		w.HeartbeatInterval = 0
+		if err := w.Dial(DialOptions{Addr: addr, Codec: wire}); err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+	}
+	c, err := DialClient(DialOptions{Addr: addr, Codec: wire})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	// A payload in the size range of a summary-mode campaign task, built
+	// once: the benchmark measures framing, not payload construction.
+	payload := json.RawMessage(`{"job":"fold","species":"DVU","protein":"DVU_0001","preset":"reduced","seed":42}`)
+	tasks := make([]Task, tasksPerOp)
+	for i := range tasks {
+		tasks[i] = Task{ID: fmt.Sprintf("t%04d", i), Weight: float64(i % 97), Payload: payload}
+	}
+
+	// One untimed wave warms every connection's buffers and the
+	// scheduler's maps, so b.N=1 runs measure steady state.
+	if _, err := c.Map(tasks, nil); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Map(tasks, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(tasksPerOp)*float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+}

@@ -1,0 +1,358 @@
+package flow
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/events"
+)
+
+// maxBinaryFrame bounds the length prefix of a binary frame. A submit
+// frame carries an entire campaign batch (every task payload in one
+// frame), so the bound is generous — but it must exist, because the
+// 4-byte prefix arrives from the network and a hostile or corrupt value
+// must not drive a multi-gigabyte allocation.
+const maxBinaryFrame = 64 << 20
+
+// binaryCodec is the length-prefixed binary wire: each frame is a 4-byte
+// big-endian body length followed by a positional encoding of the message
+// envelope (varints for integers, length-prefixed strings and payloads,
+// raw IEEE-754 for floats, Unix seconds + nanoseconds for times). Both
+// directions reuse per-connection scratch buffers, so steady-state encode
+// and decode allocate only what must outlive the call (strings and
+// payload copies handed to the engine).
+type binaryCodec struct {
+	r *bufio.Reader
+	w *bufio.Writer
+
+	// encBuf accumulates one frame body per Encode; decBuf holds one
+	// frame body per Decode. Reused across calls — decoded strings and
+	// byte payloads are copied out, never aliased into decBuf.
+	encBuf []byte
+	decBuf []byte
+	hdr    [4]byte
+}
+
+func newBinaryCodec(r *bufio.Reader, w *bufio.Writer) *binaryCodec {
+	return &binaryCodec{r: r, w: w}
+}
+
+func (c *binaryCodec) Name() string { return WireBinary }
+
+func (c *binaryCodec) Encode(m *message) error {
+	b := appendMessage(c.encBuf[:0], m)
+	c.encBuf = b
+	if len(b) > maxBinaryFrame {
+		return fmt.Errorf("flow: binary frame of %d bytes exceeds the %d-byte limit", len(b), maxBinaryFrame)
+	}
+	binary.BigEndian.PutUint32(c.hdr[:], uint32(len(b)))
+	if _, err := c.w.Write(c.hdr[:]); err != nil {
+		return err
+	}
+	_, err := c.w.Write(b)
+	return err
+}
+
+func (c *binaryCodec) Decode(m *message) error {
+	if _, err := io.ReadFull(c.r, c.hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(c.hdr[:])
+	if n > maxBinaryFrame {
+		return fmt.Errorf("flow: binary frame length %d exceeds the %d-byte limit", n, maxBinaryFrame)
+	}
+	if cap(c.decBuf) < int(n) {
+		c.decBuf = make([]byte, n)
+	}
+	body := c.decBuf[:n]
+	if _, err := io.ReadFull(c.r, body); err != nil {
+		return err
+	}
+	*m = message{}
+	r := binReader{b: body}
+	readMessage(&r, m)
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("flow: binary frame has %d trailing bytes", len(r.b))
+	}
+	return nil
+}
+
+func (c *binaryCodec) Flush() error { return c.w.Flush() }
+
+// --- frame body encoding ---
+//
+// The layout is positional and versionless: every field of the envelope
+// is written in a fixed order, present or not. Optional pointers are a
+// presence byte; slices are a count. That keeps the decoder branch-free
+// enough to stay cheap and makes "same message ⇒ same bytes" hold, which
+// the fuzz round-trip exploits.
+
+func appendMessage(b []byte, m *message) []byte {
+	b = appendString(b, m.Type)
+	b = appendString(b, m.WorkerID)
+	b = binary.AppendVarint(b, int64(m.Slots))
+	if m.Task != nil {
+		b = append(b, 1)
+		b = appendTask(b, m.Task)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.AppendUvarint(b, uint64(len(m.Tasks)))
+	for i := range m.Tasks {
+		b = appendTask(b, &m.Tasks[i])
+	}
+	if m.Result != nil {
+		b = append(b, 1)
+		b = appendResult(b, m.Result)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.AppendUvarint(b, uint64(len(m.Results)))
+	for i := range m.Results {
+		b = appendResult(b, &m.Results[i])
+	}
+	if m.Event != nil {
+		b = append(b, 1)
+		b = appendEvent(b, m.Event)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.AppendVarint(b, int64(m.Count))
+	return b
+}
+
+func appendTask(b []byte, t *Task) []byte {
+	b = appendString(b, t.ID)
+	b = appendString(b, t.Label)
+	b = binary.AppendUvarint(b, math.Float64bits(t.Weight))
+	b = appendBytes(b, t.Payload)
+	b = binary.AppendVarint(b, t.EnqueuedNS)
+	b = binary.AppendVarint(b, int64(t.Attempt))
+	b = appendBytes(b, t.EscalatePayload)
+	return b
+}
+
+func appendResult(b []byte, r *Result) []byte {
+	b = appendString(b, r.TaskID)
+	b = appendString(b, r.WorkerID)
+	b = binary.AppendVarint(b, r.EnqueuedNS)
+	b = appendTime(b, r.Start)
+	b = appendTime(b, r.End)
+	b = appendBytes(b, r.Payload)
+	b = appendString(b, r.Err)
+	return b
+}
+
+func appendEvent(b []byte, e *events.Event) []byte {
+	b = binary.AppendUvarint(b, e.Seq)
+	b = binary.AppendVarint(b, e.TimeNS)
+	b = appendString(b, string(e.Type))
+	b = appendString(b, e.Task)
+	b = appendString(b, e.Worker)
+	b = appendString(b, e.Err)
+	b = binary.AppendVarint(b, int64(e.Attempt))
+	return b
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBytes(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+// appendTime writes Unix seconds (varint) plus nanoseconds (uvarint).
+// This form is lossless for every time the engine stamps — including the
+// zero time, whose Unix seconds round-trip exactly where UnixNano would
+// overflow — and drops only the monotonic reading, as JSON does.
+func appendTime(b []byte, t time.Time) []byte {
+	b = binary.AppendVarint(b, t.Unix())
+	return binary.AppendUvarint(b, uint64(t.Nanosecond()))
+}
+
+// --- frame body decoding ---
+
+// binReader consumes a frame body, latching the first error: after a
+// failure every read returns zero values and the caller checks err once.
+type binReader struct {
+	b   []byte
+	err error
+}
+
+func (r *binReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("flow: binary frame: truncated or invalid %s", what)
+	}
+}
+
+func (r *binReader) uvarint(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.fail(what)
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *binReader) varint(what string) int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		r.fail(what)
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *binReader) str(what string) string {
+	n := r.uvarint(what)
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.b)) {
+		r.fail(what)
+		return ""
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s
+}
+
+// bytes returns a copy of a length-prefixed payload (nil when empty), so
+// the engine may hold it past the next Decode reusing the scratch buffer.
+func (r *binReader) bytes(what string) []byte {
+	n := r.uvarint(what)
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.b)) {
+		r.fail(what)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	p := make([]byte, n)
+	copy(p, r.b[:n])
+	r.b = r.b[n:]
+	return p
+}
+
+func (r *binReader) presence(what string) bool {
+	if r.err != nil {
+		return false
+	}
+	if len(r.b) == 0 {
+		r.fail(what)
+		return false
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	if v > 1 {
+		r.fail(what)
+		return false
+	}
+	return v == 1
+}
+
+// count reads a slice length, bounded by the bytes remaining — every
+// element consumes at least one byte, so a count beyond that is corrupt
+// and must not size an allocation.
+func (r *binReader) count(what string) int {
+	n := r.uvarint(what)
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(len(r.b)) {
+		r.fail(what)
+		return 0
+	}
+	return int(n)
+}
+
+func (r *binReader) time(what string) time.Time {
+	sec := r.varint(what)
+	nsec := r.uvarint(what)
+	if r.err != nil {
+		return time.Time{}
+	}
+	return time.Unix(sec, int64(nsec))
+}
+
+func readMessage(r *binReader, m *message) {
+	m.Type = r.str("type")
+	m.WorkerID = r.str("worker_id")
+	m.Slots = int(r.varint("slots"))
+	if r.presence("task") {
+		m.Task = new(Task)
+		readTask(r, m.Task)
+	}
+	if n := r.count("tasks"); n > 0 {
+		m.Tasks = make([]Task, n)
+		for i := range m.Tasks {
+			readTask(r, &m.Tasks[i])
+		}
+	}
+	if r.presence("result") {
+		m.Result = new(Result)
+		readResult(r, m.Result)
+	}
+	if n := r.count("results"); n > 0 {
+		m.Results = make([]Result, n)
+		for i := range m.Results {
+			readResult(r, &m.Results[i])
+		}
+	}
+	if r.presence("event") {
+		m.Event = new(events.Event)
+		readEvent(r, m.Event)
+	}
+	m.Count = int(r.varint("count"))
+}
+
+func readTask(r *binReader, t *Task) {
+	t.ID = r.str("task id")
+	t.Label = r.str("task label")
+	t.Weight = math.Float64frombits(r.uvarint("task weight"))
+	t.Payload = r.bytes("task payload")
+	t.EnqueuedNS = r.varint("task enqueued_ns")
+	t.Attempt = int(r.varint("task attempt"))
+	t.EscalatePayload = r.bytes("task escalate_payload")
+}
+
+func readResult(r *binReader, res *Result) {
+	res.TaskID = r.str("result task_id")
+	res.WorkerID = r.str("result worker_id")
+	res.EnqueuedNS = r.varint("result enqueued_ns")
+	res.Start = r.time("result start")
+	res.End = r.time("result end")
+	res.Payload = r.bytes("result payload")
+	res.Err = r.str("result error")
+}
+
+func readEvent(r *binReader, e *events.Event) {
+	e.Seq = r.uvarint("event seq")
+	e.TimeNS = r.varint("event t_ns")
+	e.Type = events.Type(r.str("event type"))
+	e.Task = r.str("event task")
+	e.Worker = r.str("event worker")
+	e.Err = r.str("event error")
+	e.Attempt = int(r.varint("event attempt"))
+}

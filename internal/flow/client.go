@@ -1,11 +1,8 @@
 package flow
 
 import (
-	"bufio"
-	"encoding/json"
 	"fmt"
 	"net"
-	"os"
 	"sort"
 	"sync"
 	"time"
@@ -29,9 +26,8 @@ const resultWriteTimeout = 30 * time.Second
 // submits the full batch of tasks with a single Map call and streams back
 // completion records, optionally appending per-task statistics to a CSV.
 type Client struct {
-	conn net.Conn
-	enc  *json.Encoder
-	dec  *json.Decoder
+	conn  net.Conn
+	codec Codec
 
 	// ResultTimeout is the progress deadline of Map: the longest Map waits
 	// between consecutive scheduler messages before failing. Zero disables
@@ -42,32 +38,31 @@ type Client struct {
 	closed bool
 }
 
-// ConnectClient dials the scheduler (bounded by dialTimeout). The returned
-// client must be closed.
-func ConnectClient(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+// DialClient connects a submitting client to the scheduler: the one dial
+// path, covering plain addresses, scheduler files, retry budgets, and
+// wire-codec selection. The returned client must be closed.
+func DialClient(opts DialOptions) (*Client, error) {
+	conn, err := Dial(opts)
 	if err != nil {
 		return nil, fmt.Errorf("flow: client dial: %w", err)
 	}
-	return &Client{
-		conn:          conn,
-		enc:           json.NewEncoder(conn),
-		dec:           json.NewDecoder(bufio.NewReader(conn)),
-		ResultTimeout: DefaultResultTimeout,
-	}, nil
+	codec, err := dialCodec(conn, opts.Codec)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &Client{conn: conn, codec: codec, ResultTimeout: DefaultResultTimeout}, nil
+}
+
+// ConnectClient dials the scheduler at addr (bounded by dialTimeout, JSON
+// wire). The returned client must be closed.
+func ConnectClient(addr string) (*Client, error) {
+	return DialClient(DialOptions{Addr: addr})
 }
 
 // ConnectClientFile dials via a scheduler file.
 func ConnectClientFile(path string) (*Client, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, fmt.Errorf("flow: reading scheduler file: %w", err)
-	}
-	sf, err := ParseSchedulerFile(data)
-	if err != nil {
-		return nil, err
-	}
-	return ConnectClient(sf.Address)
+	return DialClient(DialOptions{SchedulerFile: path})
 }
 
 // Map submits all tasks in one batch and blocks until every result has
@@ -94,7 +89,11 @@ func (c *Client) Map(tasks []Task, observe func(*Result)) ([]Result, error) {
 	if c.ResultTimeout > 0 {
 		_ = c.conn.SetWriteDeadline(time.Now().Add(c.ResultTimeout))
 	}
-	if err := c.enc.Encode(message{Type: msgSubmit, Tasks: tasks}); err != nil {
+	err := c.codec.Encode(&message{Type: msgSubmit, Tasks: tasks})
+	if err == nil {
+		err = c.codec.Flush()
+	}
+	if err != nil {
 		return nil, fmt.Errorf("flow: submit: %w", err)
 	}
 	_ = c.conn.SetWriteDeadline(time.Time{})
@@ -109,7 +108,7 @@ func (c *Client) Map(tasks []Task, observe func(*Result)) ([]Result, error) {
 			_ = c.conn.SetReadDeadline(time.Now().Add(c.ResultTimeout))
 		}
 		var m message
-		if err := c.dec.Decode(&m); err != nil {
+		if err := c.codec.Decode(&m); err != nil {
 			return results, fmt.Errorf("flow: awaiting results (%d/%d done): %w",
 				len(results), len(tasks), err)
 		}
@@ -117,18 +116,32 @@ func (c *Client) Map(tasks []Task, observe func(*Result)) ([]Result, error) {
 		case msgAccepted:
 			accepted = true
 		case msgResult:
-			if m.Result == nil {
-				continue
-			}
-			results = append(results, *m.Result)
-			if observe != nil {
-				observe(&results[len(results)-1])
+			// The scheduler forwards one singular frame per result today;
+			// accepting the batched form too keeps the client compatible
+			// with a future scheduler that coalesces harder.
+			for _, r := range resultsOf(&m) {
+				results = append(results, r)
+				if observe != nil {
+					observe(&results[len(results)-1])
+				}
 			}
 		}
 	}
 	_ = accepted
 	_ = c.conn.SetReadDeadline(time.Time{})
 	return results, nil
+}
+
+// resultsOf normalizes a result frame: the singular field and the batched
+// field carry the same records, and a frame may use either.
+func resultsOf(m *message) []Result {
+	if m.Result != nil {
+		if len(m.Results) == 0 {
+			return []Result{*m.Result}
+		}
+		return append([]Result{*m.Result}, m.Results...)
+	}
+	return m.Results
 }
 
 // Close disconnects the client.

@@ -1,0 +1,478 @@
+package flow
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/events"
+)
+
+// fullMessage builds an envelope with every field populated, so a
+// round-trip exercises every branch of the binary layout. Times are
+// constructed with time.Unix so the encoded and decoded representations
+// compare equal with reflect.DeepEqual.
+func fullMessage() *message {
+	start := time.Unix(1700000000, 123456789)
+	return &message{
+		Type:     msgResult,
+		WorkerID: "w1",
+		Slots:    3,
+		Task: &Task{
+			ID: "t1", Label: "fold", Weight: 2.5,
+			Payload: json.RawMessage(`{"a":1}`), EnqueuedNS: 42, Attempt: 1,
+			EscalatePayload: json.RawMessage(`{"full":true}`),
+		},
+		Tasks: []Task{
+			{ID: "t2", Weight: -0.25},
+			{ID: "t3", Label: "relax", Payload: json.RawMessage(`"x"`)},
+		},
+		Result: &Result{
+			TaskID: "t1", WorkerID: "w1", EnqueuedNS: 42,
+			Start: start, End: start.Add(time.Second),
+			Payload: json.RawMessage(`"ok"`), Err: "boom",
+		},
+		Results: []Result{
+			{TaskID: "t2", WorkerID: "w1", Start: start, End: start},
+		},
+		Event: &events.Event{
+			Seq: 7, TimeNS: 99, Type: events.TaskDone,
+			Task: "t1", Worker: "w1", Err: "e", Attempt: 2,
+		},
+		Count: -5,
+	}
+}
+
+func TestBinaryMessageRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	c := newBinaryCodec(bufio.NewReader(&buf), w)
+
+	want := fullMessage()
+	if err := c.Encode(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var got message
+	if err := c.Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&got, want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", &got, want)
+	}
+
+	// Decoded payloads must be copies, not views into the codec's scratch
+	// buffer: a second Decode must not corrupt the first frame's payloads.
+	if err := c.Encode(&message{Type: msgTask, Task: &Task{ID: "t9", Payload: json.RawMessage(`{"overwrite":9}`)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var second message
+	if err := c.Decode(&second); err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Task.Payload) != `{"a":1}` {
+		t.Errorf("first frame's payload corrupted by second Decode: %s", got.Task.Payload)
+	}
+}
+
+func TestBinaryZeroTimeRoundTrip(t *testing.T) {
+	// The engine stamps zero times on results from pre-telemetry peers;
+	// IsZero must survive the wire (UnixNano would overflow here).
+	var buf bytes.Buffer
+	c := newBinaryCodec(bufio.NewReader(&buf), bufio.NewWriter(&buf))
+	if err := c.Encode(&message{Type: msgResult, Result: &Result{TaskID: "t"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var got message
+	if err := c.Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Result.Start.IsZero() || !got.Result.End.IsZero() {
+		t.Errorf("zero times did not round trip: start=%v end=%v", got.Result.Start, got.Result.End)
+	}
+}
+
+func TestBinaryEncodeDeterministic(t *testing.T) {
+	// Same message ⇒ same bytes — the invariant the decoder fuzz target
+	// leans on to prove decode(encode(x)) loses nothing.
+	m := fullMessage()
+	a := appendMessage(nil, m)
+	b := appendMessage(nil, m)
+	if !bytes.Equal(a, b) {
+		t.Error("two encodings of the same message differ")
+	}
+}
+
+func TestBinaryDecodeRejectsCorruptFrames(t *testing.T) {
+	valid := appendMessage(nil, fullMessage())
+	frame := func(body []byte) []byte {
+		var hdr [4]byte
+		hdr[0] = byte(len(body) >> 24)
+		hdr[1] = byte(len(body) >> 16)
+		hdr[2] = byte(len(body) >> 8)
+		hdr[3] = byte(len(body))
+		return append(hdr[:], body...)
+	}
+	cases := map[string][]byte{
+		"truncated body":   frame(valid)[:4+len(valid)/2],
+		"trailing bytes":   frame(append(append([]byte{}, valid...), 0xFF)),
+		"oversized length": {0xFF, 0xFF, 0xFF, 0xFF},
+		"empty body":       frame(nil),
+	}
+	for name, data := range cases {
+		c := newBinaryCodec(bufio.NewReader(bytes.NewReader(data)), bufio.NewWriter(io.Discard))
+		var m message
+		if err := c.Decode(&m); err == nil {
+			t.Errorf("%s: decode succeeded", name)
+		}
+	}
+}
+
+func TestAcceptCodecNegotiation(t *testing.T) {
+	discard := bufio.NewWriter(io.Discard)
+
+	// A JSON peer sends no hello: the first byte on the wire is the '{' of
+	// a real frame, which acceptCodec must leave in place for the decoder.
+	r := bufio.NewReader(strings.NewReader(`{"type":"heartbeat","worker_id":"w"}` + "\n"))
+	c, err := acceptCodec(r, discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != WireJSON {
+		t.Fatalf("JSON peer negotiated %q", c.Name())
+	}
+	var m message
+	if err := c.Decode(&m); err != nil || m.Type != msgHeartbeat || m.WorkerID != "w" {
+		t.Fatalf("first JSON frame lost in negotiation: %+v, %v", m, err)
+	}
+
+	// A binary peer announces itself with the hello line, then frames.
+	var wire bytes.Buffer
+	wire.WriteString(helloPrefix + WireBinary + "\n")
+	enc := newBinaryCodec(nil, bufio.NewWriter(&wire))
+	if err := enc.Encode(&message{Type: msgHeartbeat, WorkerID: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	c, err = acceptCodec(bufio.NewReader(&wire), discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != WireBinary {
+		t.Fatalf("binary peer negotiated %q", c.Name())
+	}
+	if err := c.Decode(&m); err != nil || m.Type != msgHeartbeat || m.WorkerID != "b" {
+		t.Fatalf("first binary frame lost in negotiation: %+v, %v", m, err)
+	}
+
+	// Unknown codecs and malformed hellos are rejected before any frame is
+	// decoded.
+	for _, bad := range []string{
+		helloPrefix + "msgpack\n",
+		"GET / HTTP/1.1\n",
+	} {
+		if _, err := acceptCodec(bufio.NewReader(strings.NewReader(bad)), discard); err == nil {
+			t.Errorf("acceptCodec(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestDialCodecStagesHello(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	if _, err := dialCodec(client, "msgpack"); err == nil {
+		t.Error("dialCodec accepted an unknown codec")
+	}
+
+	c, err := dialCodec(client, WireBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hello is staged, not flushed: it must travel with the first
+	// frame, so negotiation costs no extra packet.
+	go func() {
+		_ = c.Encode(&message{Type: msgHeartbeat, WorkerID: "w"})
+		_ = c.Flush()
+	}()
+	buf := make([]byte, len(helloPrefix+WireBinary)+1)
+	if _, err := io.ReadFull(server, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != helloPrefix+WireBinary+"\n" {
+		t.Fatalf("hello on the wire = %q", buf)
+	}
+}
+
+// TestCrossCodecCluster is the interop core of the wire redesign: binary
+// and JSON workers, a JSON submitting client, and a binary monitor all
+// share one scheduler, and the campaign behaves identically to a
+// single-codec fleet.
+func TestCrossCodecCluster(t *testing.T) {
+	s := NewScheduler()
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	slow := func(task Task) (json.RawMessage, error) {
+		time.Sleep(2 * time.Millisecond)
+		return task.Payload, nil
+	}
+	workers := make([]*Worker, 0, 3)
+	for i, wire := range []string{WireBinary, WireBinary, WireJSON} {
+		w := NewWorker(fmt.Sprintf("%s-%d", wire, i), slow)
+		if err := w.Dial(DialOptions{Addr: addr, Codec: wire}); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(w.Close)
+		workers = append(workers, w)
+	}
+
+	mon, err := DialMonitor(DialOptions{Addr: addr, Codec: WireBinary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mon.Close)
+	mon.ReadTimeout = 10 * time.Second
+
+	c, err := DialClient(DialOptions{Addr: addr, Codec: WireJSON})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	tasks := makeTasks(30)
+	results, err := c.Map(tasks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 30 {
+		t.Fatalf("got %d results, want 30", len(results))
+	}
+	for _, r := range results {
+		if r.Failed() {
+			t.Errorf("task %s failed: %s", r.TaskID, r.Err)
+		}
+	}
+	for _, w := range workers {
+		if w.Processed() == 0 {
+			t.Errorf("worker %s processed nothing; codec fleet not interoperating", w.ID)
+		}
+	}
+
+	// The binary monitor observes the same event stream a JSON monitor
+	// would: every task reaches done.
+	done := map[string]bool{}
+	for len(done) < 30 {
+		e, err := mon.Next()
+		if err != nil {
+			t.Fatalf("monitor stream ended early (%d/30 done): %v", len(done), err)
+		}
+		if e.Type == events.TaskDone {
+			done[e.Task] = true
+		}
+	}
+}
+
+// batchWorker is a hand-rolled JSON worker that records the size of every
+// handout frame, proving batched dispatch actually batches.
+type batchWorker struct {
+	rw *rawWorker
+}
+
+func (bw *batchWorker) serve(t *testing.T, n int) (frameSizes []int) {
+	t.Helper()
+	_ = bw.rw.conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	served := 0
+	for served < n {
+		var m message
+		if err := bw.rw.dec.Decode(&m); err != nil {
+			t.Fatalf("batch worker decode: %v", err)
+		}
+		if m.Type != msgTask {
+			continue
+		}
+		tasks := m.Tasks
+		if m.Task != nil {
+			tasks = append([]Task{*m.Task}, tasks...)
+		}
+		if len(tasks) == 0 {
+			t.Fatal("task frame with no tasks")
+		}
+		frameSizes = append(frameSizes, len(tasks))
+		results := make([]Result, len(tasks))
+		for i, task := range tasks {
+			results[i] = Result{TaskID: task.ID, WorkerID: "batcher", Start: time.Now(), End: time.Now()}
+		}
+		ack := message{Type: msgResult, Results: results}
+		if len(results) == 1 {
+			ack = message{Type: msgResult, Result: &results[0]}
+		}
+		if err := bw.rw.enc.Encode(ack); err != nil {
+			t.Fatalf("batch worker ack: %v", err)
+		}
+		served += len(tasks)
+	}
+	return frameSizes
+}
+
+func TestBatchedHandout(t *testing.T) {
+	s := NewScheduler()
+	s.Batch = 8
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	c, err := ConnectClient(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	done := make(chan error, 1)
+	var results []Result
+	go func() {
+		var err error
+		results, err = c.Map(makeTasks(20), nil)
+		done <- err
+	}()
+	// Dial the worker after submission so the full queue is waiting and
+	// the first handout can fill a whole batch.
+	time.Sleep(20 * time.Millisecond)
+	bw := &batchWorker{rw: dialRawWorker(t, addr, "batcher")}
+	sizes := bw.serve(t, 20)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 20 {
+		t.Fatalf("got %d results, want 20", len(results))
+	}
+	total, maxSize := 0, 0
+	for _, n := range sizes {
+		total += n
+		if n > maxSize {
+			maxSize = n
+		}
+	}
+	if total != 20 {
+		t.Errorf("frames carried %d tasks, want 20", total)
+	}
+	if maxSize < 2 {
+		t.Errorf("no frame carried more than one task (sizes %v); batching inert", sizes)
+	}
+	if maxSize > 8 {
+		t.Errorf("a frame carried %d tasks, above the batch limit 8", maxSize)
+	}
+}
+
+func TestBatchRequeueOnWorkerDeath(t *testing.T) {
+	// A worker dies holding a batch with two of four tasks acked: the two
+	// unacked tasks — and only those — must be requeued onto a survivor.
+	s := NewScheduler()
+	s.Batch = 4
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	c, err := ConnectClient(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	done := make(chan error, 1)
+	var results []Result
+	go func() {
+		var err error
+		results, err = c.Map(makeTasks(4), nil)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+
+	rw := dialRawWorker(t, addr, "doomed")
+	_ = rw.conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	var m message
+	for {
+		if err := rw.dec.Decode(&m); err != nil {
+			t.Fatalf("doomed worker decode: %v", err)
+		}
+		if m.Type == msgTask {
+			break
+		}
+	}
+	got := m.Tasks
+	if m.Task != nil {
+		got = append([]Task{*m.Task}, got...)
+	}
+	if len(got) != 4 {
+		t.Fatalf("batch of %d tasks, want all 4", len(got))
+	}
+	// Ack the first two, then crash without releasing the rest.
+	acked := []Result{
+		{TaskID: got[0].ID, WorkerID: "doomed", Start: time.Now(), End: time.Now()},
+		{TaskID: got[1].ID, WorkerID: "doomed", Start: time.Now(), End: time.Now()},
+	}
+	if err := rw.enc.Encode(message{Type: msgResult, Results: acked}); err != nil {
+		t.Fatal(err)
+	}
+	// Give the scheduler a moment to settle the partial ack before the
+	// crash, so the test exercises requeue of a half-finished batch.
+	time.Sleep(20 * time.Millisecond)
+	rw.conn.Close()
+
+	survivor := NewWorker("survivor", echoHandler)
+	if err := survivor.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(survivor.Close)
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("map did not complete after batch-holding worker died")
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	byWorker := map[string]string{}
+	for _, r := range results {
+		byWorker[r.TaskID] = r.WorkerID
+	}
+	for _, id := range []string{got[0].ID, got[1].ID} {
+		if byWorker[id] != "doomed" {
+			t.Errorf("acked task %s recorded from %q, want doomed", id, byWorker[id])
+		}
+	}
+	for _, id := range []string{got[2].ID, got[3].ID} {
+		if byWorker[id] != "survivor" {
+			t.Errorf("unacked task %s recorded from %q, want requeue to survivor", id, byWorker[id])
+		}
+	}
+}

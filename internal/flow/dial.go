@@ -1,8 +1,6 @@
 package flow
 
 import (
-	"bufio"
-	"encoding/json"
 	"fmt"
 	"net"
 	"os"
@@ -16,17 +14,82 @@ const (
 	dialBackoffMax = 2 * time.Second
 )
 
-// DialRetry dials addr, retrying with exponential backoff (50ms doubling,
-// capped at 2s) until the connection succeeds or the budget elapses. It
-// removes the start-order footgun of the multi-terminal recipe: a worker
-// or client started before the scheduler converges once the scheduler
-// comes up instead of exiting. The first attempt is always made; a zero
-// or negative budget means exactly one attempt (plain dial).
-func DialRetry(addr string, budget time.Duration) (net.Conn, error) {
+// DialOptions is the one way to reach a scheduler. It replaces the
+// accreted helper sprawl (DialRetry, ConnectClientRetry,
+// ConnectClientFileRetry, exec.ConnectFlow*) with a single options
+// struct consumed by Dial, DialClient, DialMonitor, Worker.Dial, and
+// exec.Connect.
+type DialOptions struct {
+	// Addr is the scheduler address (host:port). Exactly one of Addr and
+	// SchedulerFile must be set.
+	Addr string
+
+	// SchedulerFile resolves the address from a scheduler file written by
+	// Scheduler.WriteSchedulerFile. With a Retry budget, a missing or
+	// mid-write file is retried inside the same budget as the dial, so
+	// the peer may start before the scheduler exists at all.
+	SchedulerFile string
+
+	// Retry keeps retrying the dial (and the scheduler file appearing)
+	// with exponential backoff for this long. Zero or negative means
+	// exactly one attempt.
+	Retry time.Duration
+
+	// Codec names the wire codec this connection will speak: "" or
+	// WireJSON (the default, wire-identical to pre-codec releases), or
+	// WireBinary. Dial itself only validates it; the connection-owning
+	// dialers (DialClient, Worker.Dial, DialMonitor) send the negotiation
+	// hello and frame accordingly.
+	Codec string
+
+	// Timeout bounds each individual dial attempt. Zero selects the
+	// package default (10s).
+	Timeout time.Duration
+}
+
+// attemptTimeout resolves the per-attempt dial timeout.
+func (o DialOptions) attemptTimeout() time.Duration {
+	if o.Timeout > 0 {
+		return o.Timeout
+	}
+	return dialTimeout
+}
+
+// Dial resolves the scheduler address (waiting on the scheduler file when
+// asked) and dials it, retrying both within one shared budget. It is the
+// single transport entry point every higher-level dialer goes through.
+func Dial(opts DialOptions) (net.Conn, error) {
+	if !ValidWire(opts.Codec) {
+		return nil, fmt.Errorf("flow: unknown wire codec %q", opts.Codec)
+	}
+	if (opts.Addr == "") == (opts.SchedulerFile == "") {
+		return nil, fmt.Errorf("flow: dial needs exactly one of Addr or SchedulerFile")
+	}
+	addr := opts.Addr
+	budget := opts.Retry
+	if opts.SchedulerFile != "" {
+		deadline := time.Now().Add(budget)
+		sf, err := waitSchedulerFile(opts.SchedulerFile, budget)
+		if err != nil {
+			return nil, err
+		}
+		addr = sf.Address
+		if budget > 0 {
+			budget = time.Until(deadline)
+		}
+	}
+	return dialRetry(addr, budget, opts.attemptTimeout())
+}
+
+// dialRetry dials addr, retrying with exponential backoff (50ms doubling,
+// capped at 2s) until the connection succeeds or the budget elapses. The
+// first attempt is always made; a zero or negative budget means exactly
+// one attempt (plain dial).
+func dialRetry(addr string, budget, attempt time.Duration) (net.Conn, error) {
 	deadline := time.Now().Add(budget)
 	backoff := dialBackoffMin
 	for {
-		timeout := dialTimeout
+		timeout := attempt
 		if budget > 0 {
 			if rem := time.Until(deadline); rem > 0 && rem < timeout {
 				timeout = rem
@@ -50,8 +113,15 @@ func DialRetry(addr string, budget time.Duration) (net.Conn, error) {
 	}
 }
 
+// DialRetry dials addr with a retry budget.
+//
+// Deprecated: use Dial with DialOptions{Addr: addr, Retry: budget}.
+func DialRetry(addr string, budget time.Duration) (net.Conn, error) {
+	return dialRetry(addr, budget, dialTimeout)
+}
+
 // waitSchedulerFile reads and parses a scheduler file, retrying a missing
-// or unparseable (mid-write) file with the same backoff as DialRetry
+// or unparseable (mid-write) file with the same backoff as dialRetry
 // until the deadline. A zero or negative budget means one attempt.
 func waitSchedulerFile(path string, budget time.Duration) (SchedulerFile, error) {
 	deadline := time.Now().Add(budget)
@@ -83,33 +153,19 @@ func readSchedulerFile(path string) (SchedulerFile, error) {
 	return ParseSchedulerFile(data)
 }
 
-// ConnectClientRetry dials the scheduler like ConnectClient, but keeps
-// retrying with backoff within the budget — for clients racing a
-// scheduler that is still starting.
+// ConnectClientRetry dials the scheduler like ConnectClient with a retry
+// budget.
+//
+// Deprecated: use DialClient with DialOptions{Addr: addr, Retry: budget}.
 func ConnectClientRetry(addr string, budget time.Duration) (*Client, error) {
-	conn, err := DialRetry(addr, budget)
-	if err != nil {
-		return nil, fmt.Errorf("flow: client dial: %w", err)
-	}
-	return &Client{
-		conn:          conn,
-		enc:           json.NewEncoder(conn),
-		dec:           json.NewDecoder(bufio.NewReader(conn)),
-		ResultTimeout: DefaultResultTimeout,
-	}, nil
+	return DialClient(DialOptions{Addr: addr, Retry: budget})
 }
 
 // ConnectClientFileRetry connects via a scheduler file, waiting for the
 // file to appear and the scheduler to accept within one shared budget.
+//
+// Deprecated: use DialClient with DialOptions{SchedulerFile: path,
+// Retry: budget}.
 func ConnectClientFileRetry(path string, budget time.Duration) (*Client, error) {
-	deadline := time.Now().Add(budget)
-	sf, err := waitSchedulerFile(path, budget)
-	if err != nil {
-		return nil, err
-	}
-	rem := time.Duration(0)
-	if budget > 0 {
-		rem = time.Until(deadline)
-	}
-	return ConnectClientRetry(sf.Address, rem)
+	return DialClient(DialOptions{SchedulerFile: path, Retry: budget})
 }

@@ -1,10 +1,21 @@
 package flow
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"testing"
 )
+
+// -update regenerates the checked-in fuzz corpora for the binary frame
+// decoder; review the diff before committing.
+var updateCorpus = flag.Bool("update", false, "rewrite the checked-in binary-frame fuzz corpora")
 
 // FuzzDecodeSpec hardens the job-spec decoder: arbitrary payloads must
 // yield either a valid spec (non-empty kernel) or an error — never a
@@ -143,6 +154,103 @@ func FuzzDecodeMessage(f *testing.F) {
 				m.Task.EscalatePayload, again.Task.EscalatePayload)
 		}
 	})
+}
+
+// binFrame wraps a frame body in the binary wire's 4-byte big-endian
+// length prefix.
+func binFrame(body []byte) []byte {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	return append(hdr[:], body...)
+}
+
+// binaryCorpus names the hostile shapes the binary decoder must survive;
+// the entries are also checked in under testdata/fuzz so the CI
+// fuzz-smoke job replays them without regenerating.
+func binaryCorpus() map[string][]byte {
+	full := appendMessage(nil, fullMessage())
+	batch := appendMessage(nil, &message{Type: msgTask, Tasks: []Task{
+		{ID: "t1", Payload: json.RawMessage(`{"kernel":"k"}`)},
+		{ID: "t2", Payload: json.RawMessage(`{"kernel":"k"}`)},
+		{ID: "t3", Payload: json.RawMessage(`{"kernel":"k"}`)},
+	}})
+	return map[string][]byte{
+		// A frame whose header promises more body than arrives.
+		"truncated_frame": binFrame(full)[:4+len(full)/2],
+		// A length prefix far past maxBinaryFrame: must be rejected before
+		// it sizes an allocation.
+		"oversized_length_prefix": {0xFF, 0xFF, 0xFF, 0xFF},
+		// A batched handout torn mid-task: the count field promises three
+		// tasks but the body ends inside the third.
+		"torn_batch": binFrame(batch[:len(batch)-12]),
+	}
+}
+
+// FuzzDecodeBinaryFrame hardens the binary wire decoder the same way
+// FuzzDecodeMessage hardens the JSON one: the scheduler decodes frames
+// from attacker-controllable TCP bytes, so any input must produce either
+// an error or a message whose canonical encoding is a fixed point —
+// encode(decode(data)) must decode again and re-encode to the same
+// bytes. (The input itself need not re-encode byte-identically: varints
+// have redundant non-minimal encodings the decoder accepts.)
+func FuzzDecodeBinaryFrame(f *testing.F) {
+	f.Add(binFrame(appendMessage(nil, fullMessage())))
+	f.Add(binFrame(appendMessage(nil, &message{Type: msgRegister, WorkerID: "w1", Slots: 1})))
+	f.Add(binFrame(appendMessage(nil, &message{Type: msgHeartbeat, WorkerID: "w1"})))
+	f.Add(binFrame(appendMessage(nil, &message{Type: msgSubmit, Tasks: makeTasks(3)})))
+	f.Add(binFrame(appendMessage(nil, &message{Type: msgAccepted, Count: 3})))
+	f.Add(binFrame(nil))
+	f.Add([]byte{0, 0, 0})
+	for _, body := range binaryCorpus() {
+		f.Add(body)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := newBinaryCodec(bufio.NewReader(bytes.NewReader(data)), bufio.NewWriter(io.Discard))
+		var m message
+		if err := c.Decode(&m); err != nil {
+			return
+		}
+		b1 := appendMessage(nil, &m)
+		var again message
+		r := binReader{b: b1}
+		readMessage(&r, &again)
+		if r.err != nil {
+			t.Fatalf("canonical re-encoding does not decode: %v", r.err)
+		}
+		if len(r.b) != 0 {
+			t.Fatalf("canonical re-encoding leaves %d trailing bytes", len(r.b))
+		}
+		if b2 := appendMessage(nil, &again); !bytes.Equal(b1, b2) {
+			t.Fatal("canonical encoding is not a fixed point")
+		}
+	})
+}
+
+// TestBinaryFuzzCorpusUpToDate pins the checked-in corpus files to the
+// shapes binaryCorpus describes, so editing the wire layout forces a
+// corpus refresh (`go test -update ./internal/flow`) instead of letting
+// the seeds silently drift from the format they are meant to tear.
+func TestBinaryFuzzCorpusUpToDate(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeBinaryFrame")
+	for name, data := range binaryCorpus() {
+		path := filepath.Join(dir, name)
+		entry := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", string(data))
+		if *updateCorpus {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(entry), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading corpus entry (run `go test -update ./internal/flow` to create it): %v", err)
+		}
+		if string(got) != entry {
+			t.Errorf("corpus entry %s is stale; run `go test -update ./internal/flow` and review", name)
+		}
+	}
 }
 
 // compactJSON normalises a raw payload for comparison: the encoder

@@ -1,13 +1,10 @@
 package flow
 
 import (
-	"bufio"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
-	"os"
 	"sync"
 	"time"
 
@@ -28,8 +25,8 @@ var ErrStreamEnd = errors.New("flow: monitor stream ended")
 // Monitoring is observation only; attaching or detaching never perturbs
 // scheduling or a campaign report.
 type Monitor struct {
-	conn net.Conn
-	dec  *json.Decoder
+	conn  net.Conn
+	codec Codec
 
 	// ReadTimeout, when set before the first Next, bounds how long Next
 	// waits for the next event. An idle campaign legitimately stays
@@ -41,35 +38,43 @@ type Monitor struct {
 	closed bool
 }
 
-// ConnectMonitor dials the scheduler and subscribes to its event stream.
-// The returned monitor must be closed.
-func ConnectMonitor(addr string) (*Monitor, error) {
-	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+// DialMonitor connects a monitor through the unified dial options —
+// address or scheduler file, retry budget, and wire codec — and
+// subscribes to the scheduler's event stream. The returned monitor must
+// be closed.
+func DialMonitor(opts DialOptions) (*Monitor, error) {
+	conn, err := Dial(opts)
 	if err != nil {
 		return nil, fmt.Errorf("flow: monitor dial: %w", err)
 	}
-	enc := json.NewEncoder(conn)
+	codec, err := dialCodec(conn, opts.Codec)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
 	_ = conn.SetWriteDeadline(time.Now().Add(dialTimeout))
-	if err := enc.Encode(message{Type: msgSubscribe}); err != nil {
+	err = codec.Encode(&message{Type: msgSubscribe})
+	if err == nil {
+		err = codec.Flush()
+	}
+	if err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("flow: monitor subscribe: %w", err)
 	}
 	_ = conn.SetWriteDeadline(time.Time{})
-	return &Monitor{conn: conn, dec: json.NewDecoder(bufio.NewReader(conn))}, nil
+	return &Monitor{conn: conn, codec: codec}, nil
+}
+
+// ConnectMonitor dials the scheduler at addr (JSON wire) and subscribes
+// to its event stream. The returned monitor must be closed.
+func ConnectMonitor(addr string) (*Monitor, error) {
+	return DialMonitor(DialOptions{Addr: addr})
 }
 
 // ConnectMonitorFile is ConnectMonitor via a scheduler file written by
 // Scheduler.WriteSchedulerFile.
 func ConnectMonitorFile(path string) (*Monitor, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, fmt.Errorf("flow: reading scheduler file: %w", err)
-	}
-	sf, err := ParseSchedulerFile(data)
-	if err != nil {
-		return nil, err
-	}
-	return ConnectMonitor(sf.Address)
+	return DialMonitor(DialOptions{SchedulerFile: path})
 }
 
 // Next blocks until the next event arrives and returns it. A clean end
@@ -84,7 +89,7 @@ func (m *Monitor) Next() (events.Event, error) {
 			_ = m.conn.SetReadDeadline(time.Now().Add(m.ReadTimeout))
 		}
 		var msg message
-		if err := m.dec.Decode(&msg); err != nil {
+		if err := m.codec.Decode(&msg); err != nil {
 			m.mu.Lock()
 			closed := m.closed
 			m.mu.Unlock()

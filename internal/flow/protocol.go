@@ -20,8 +20,12 @@
 //     attaching mid-campaign reconstructs queue depth and per-worker
 //     in-flight work with no cooperation from the submitting client.
 //
-// The wire protocol is newline-delimited JSON over TCP, using only the
-// standard library.
+// The wire protocol is pluggable per connection (Codec): the default is
+// the original newline-delimited JSON over TCP, byte-identical to every
+// earlier release; a length-prefixed binary framing (WireBinary) is
+// negotiated by a one-line hello for dispatch-heavy fleets, and peers
+// speaking different codecs interoperate freely on one scheduler. Only
+// the standard library is used.
 package flow
 
 import (
@@ -112,8 +116,12 @@ type message struct {
 	// task assignment / submission
 	Task  *Task  `json:"task,omitempty"`
 	Tasks []Task `json:"tasks,omitempty"`
-	// result
-	Result *Result `json:"result,omitempty"`
+	// result: a single ack, or a batch when the worker received a batched
+	// assignment (Scheduler.Batch > 1). The scheduler accepts either form;
+	// results forwarded to clients always use the singular field, so a
+	// batched fleet never changes what a submitting client reads.
+	Result  *Result  `json:"result,omitempty"`
+	Results []Result `json:"results,omitempty"`
 	// event stream (scheduler → monitor)
 	Event *events.Event `json:"event,omitempty"`
 	// batch bookkeeping

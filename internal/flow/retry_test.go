@@ -324,19 +324,30 @@ func TestDialRetryExhaustsBudget(t *testing.T) {
 	ln.Close()
 
 	start := time.Now()
-	_, err = DialRetry(addr, 250*time.Millisecond)
+	_, err = Dial(DialOptions{Addr: addr, Retry: 250 * time.Millisecond})
 	if err == nil {
-		t.Fatal("DialRetry succeeded against a closed port")
+		t.Fatal("Dial succeeded against a closed port")
 	}
 	if !strings.Contains(err.Error(), "retry budget") {
 		t.Fatalf("error %q does not mention the retry budget", err)
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
-		t.Fatalf("DialRetry took %s for a 250ms budget", elapsed)
+		t.Fatalf("Dial took %s for a 250ms budget", elapsed)
 	}
 	// Zero budget: exactly one attempt, no budget language.
-	if _, err := DialRetry(addr, 0); err == nil || strings.Contains(err.Error(), "retry budget") {
+	if _, err := Dial(DialOptions{Addr: addr}); err == nil || strings.Contains(err.Error(), "retry budget") {
 		t.Fatalf("zero-budget error = %v, want plain dial failure", err)
+	}
+	// The options must name exactly one locator, and a codec typo fails
+	// up front instead of producing a half-negotiated connection.
+	if _, err := Dial(DialOptions{}); err == nil {
+		t.Fatal("Dial accepted empty options")
+	}
+	if _, err := Dial(DialOptions{Addr: addr, SchedulerFile: "x"}); err == nil {
+		t.Fatal("Dial accepted both Addr and SchedulerFile")
+	}
+	if _, err := Dial(DialOptions{Addr: addr, Codec: "msgpack"}); err == nil {
+		t.Fatal("Dial accepted an unknown codec")
 	}
 }
 
@@ -360,7 +371,7 @@ func TestWorkerStartsBeforeScheduler(t *testing.T) {
 	clientDone := make(chan error, 1)
 	var client *Client
 	go func() {
-		c, err := ConnectClientFileRetry(path, 10*time.Second)
+		c, err := DialClient(DialOptions{SchedulerFile: path, Retry: 10 * time.Second})
 		client = c
 		clientDone <- err
 	}()

@@ -57,6 +57,15 @@ type Scheduler struct {
 	// Zero disables the check.
 	HeartbeatTimeout time.Duration
 
+	// Batch, when > 1, hands a free worker up to this many queued tasks in
+	// one frame (`sched -batch`); the worker runs them in order and acks
+	// them all in one frame back. Amortizing the per-frame cost (encode,
+	// write syscall, event-loop round trip) this way is what keeps a
+	// 6,000-worker handout cheap. Workers from this release understand
+	// batched frames on either wire codec; leave it at 0/1 when legacy
+	// single-task peers must be able to join the fleet.
+	Batch int
+
 	hub *events.Hub
 
 	ln   net.Listener
@@ -74,15 +83,17 @@ type schedEvent struct {
 	kind string // "register", "result", "submit", "workerGone", "clientGone", "heartbeat"
 	wc   *workerConn
 	cc   *clientConn
-	res  *Result
+	ress []Result
 	tsk  []Task
 }
 
 type workerConn struct {
-	id      string
-	enc     *json.Encoder
-	conn    net.Conn
-	current *Task // task in flight, for requeue on disconnect
+	id    string
+	codec Codec
+	conn  net.Conn
+	// current holds the task IDs of the in-flight batch, for requeue on
+	// disconnect. Only the event loop touches it.
+	current []string
 	busy    bool
 	// lastBeat is the last time the worker proved liveness (register,
 	// result, or heartbeat frame). Only the event loop touches it.
@@ -90,9 +101,19 @@ type workerConn struct {
 }
 
 type clientConn struct {
-	enc     *json.Encoder
+	codec   Codec
 	conn    net.Conn
 	pending int // results still owed to this client
+}
+
+// send encodes one frame and flushes it immediately — for frames that
+// stand alone (accepted acks, quarantine results). The result fan-out
+// path encodes per result and flushes once per drained batch instead.
+func (c *clientConn) send(m *message) error {
+	if err := c.codec.Encode(m); err != nil {
+		return err
+	}
+	return c.codec.Flush()
 }
 
 // NewScheduler creates a scheduler (not yet listening).
@@ -245,9 +266,10 @@ func (s *Scheduler) acceptLoop() {
 	}
 }
 
-// serveConn reads the first message to classify the peer (worker, client,
-// or monitor), then pumps its messages into the event loop — or, for a
-// monitor, pumps the event stream out to it.
+// serveConn negotiates the connection's wire codec, reads the first frame
+// to classify the peer (worker, client, or monitor), then pumps its
+// messages into the event loop — or, for a monitor, pumps the event
+// stream out to it.
 func (s *Scheduler) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
@@ -255,36 +277,40 @@ func (s *Scheduler) serveConn(conn net.Conn) {
 		return
 	}
 	defer s.untrack(conn)
-	dec := json.NewDecoder(bufio.NewReader(conn))
-	enc := json.NewEncoder(conn)
+	codec, err := acceptCodec(bufio.NewReader(conn), bufio.NewWriter(conn))
+	if err != nil {
+		return
+	}
 
 	var first message
-	if err := dec.Decode(&first); err != nil {
+	if err := codec.Decode(&first); err != nil {
 		return
 	}
 	switch first.Type {
 	case msgRegister:
-		wc := &workerConn{id: first.WorkerID, enc: enc, conn: conn}
+		wc := &workerConn{id: first.WorkerID, codec: codec, conn: conn}
 		s.sendEvent(schedEvent{kind: "register", wc: wc})
 		for {
 			var m message
-			if err := dec.Decode(&m); err != nil {
+			if err := codec.Decode(&m); err != nil {
 				s.sendEvent(schedEvent{kind: "workerGone", wc: wc})
 				return
 			}
-			if m.Type == msgResult && m.Result != nil {
-				s.sendEvent(schedEvent{kind: "result", wc: wc, res: m.Result})
+			if m.Type == msgResult {
+				if ress := resultsOf(&m); len(ress) > 0 {
+					s.sendEvent(schedEvent{kind: "result", wc: wc, ress: ress})
+				}
 			} else if m.Type == msgHeartbeat {
 				s.sendEvent(schedEvent{kind: "heartbeat", wc: wc})
 			}
 		}
 	case msgSubmit:
-		cc := &clientConn{enc: enc, conn: conn}
+		cc := &clientConn{codec: codec, conn: conn}
 		s.sendEvent(schedEvent{kind: "submit", cc: cc, tsk: first.Tasks})
 		// Keep reading to detect disconnect and accept more submissions.
 		for {
 			var m message
-			if err := dec.Decode(&m); err != nil {
+			if err := codec.Decode(&m); err != nil {
 				s.sendEvent(schedEvent{kind: "clientGone", cc: cc})
 				return
 			}
@@ -308,7 +334,7 @@ func (s *Scheduler) serveConn(conn net.Conn) {
 		go func() {
 			defer s.wg.Done()
 			var m message
-			_ = dec.Decode(&m)
+			_ = codec.Decode(&m)
 			cur.Cancel()
 			conn.Close()
 		}()
@@ -318,7 +344,11 @@ func (s *Scheduler) serveConn(conn net.Conn) {
 				return // scheduler closed or monitor detached
 			}
 			_ = conn.SetWriteDeadline(time.Now().Add(resultWriteTimeout))
-			if err := enc.Encode(message{Type: msgEvent, Event: &e}); err != nil {
+			err := codec.Encode(&message{Type: msgEvent, Event: &e})
+			if err == nil {
+				err = codec.Flush()
+			}
+			if err != nil {
 				return // monitor went away
 			}
 			_ = conn.SetWriteDeadline(time.Time{})
@@ -378,7 +408,7 @@ func (s *Scheduler) eventLoop() {
 			s.hub.Emit(events.Event{Type: events.TaskFailed, Task: label, Err: errMsg, Attempt: q.attempts})
 			s.hub.Emit(events.Event{Type: events.TaskQuarantined, Task: label, Attempt: q.attempts})
 			if q.client != nil {
-				_ = q.client.enc.Encode(message{Type: msgResult, Result: &Result{TaskID: q.task.ID, Err: errMsg}})
+				_ = q.client.send(&message{Type: msgResult, Result: &Result{TaskID: q.task.ID, Err: errMsg}})
 				q.client.pending--
 			}
 			return
@@ -394,6 +424,18 @@ func (s *Scheduler) eventLoop() {
 		s.hub.Emit(events.Event{Type: events.TaskQueued, Task: label, Attempt: q.attempts})
 	}
 
+	// requeueCurrent returns a dead worker's whole in-flight batch to the
+	// queue, front first in original handout order.
+	requeueCurrent := func(wc *workerConn) {
+		for i := len(wc.current) - 1; i >= 0; i-- {
+			if q, ok := inFlight[wc.current[i]]; ok {
+				delete(inFlight, wc.current[i])
+				requeue(q)
+			}
+		}
+		wc.current = nil
+	}
+
 	// dropWorker removes a worker the event loop decided is gone (lost
 	// heartbeat) — as opposed to workerGone, which reacts to its read
 	// pump failing. Closing the conn makes the pump fail soon after; the
@@ -406,12 +448,7 @@ func (s *Scheduler) eventLoop() {
 				break
 			}
 		}
-		if wc.current != nil {
-			if q, ok := inFlight[wc.current.ID]; ok {
-				delete(inFlight, wc.current.ID)
-				requeue(q)
-			}
-		}
+		requeueCurrent(wc)
 		wc.conn.Close()
 	}
 
@@ -428,29 +465,65 @@ func (s *Scheduler) eventLoop() {
 		beatCheck = ticker.C
 	}
 
+	batchSize := s.Batch
+	if batchSize < 1 {
+		batchSize = 1
+	}
+
 	assign := func() {
 		for len(queue) > 0 && len(free) > 0 {
-			q := queue[0]
-			queue = queue[1:]
 			w := free[0]
 			free = free[1:]
+			n := batchSize
+			if n > len(queue) {
+				n = len(queue)
+			}
+			batch := make([]queued, n)
+			copy(batch, queue[:n])
+			queue = queue[n:]
 			w.busy = true
-			t := q.task
-			w.current = &t
-			inFlight[t.ID] = q
-			s.emit(events.TaskAssigned, taskLabel(&t), w.id, "")
-			if err := w.enc.Encode(message{Type: msgTask, Task: &t}); err != nil {
-				// Worker send failed: requeue and drop the worker.
-				delete(inFlight, t.ID)
-				queue = append([]queued{q}, queue...)
+			w.current = w.current[:0]
+			tasks := make([]Task, n)
+			for i, q := range batch {
+				tasks[i] = q.task
+				inFlight[q.task.ID] = q
+				w.current = append(w.current, q.task.ID)
+				s.emit(events.TaskAssigned, taskLabel(&q.task), w.id, "")
+			}
+			// One frame per handout: the singular legacy form for a lone
+			// task (wire-identical to pre-batch releases), the batched form
+			// otherwise — and exactly one flush either way.
+			var m message
+			if n == 1 {
+				m = message{Type: msgTask, Task: &tasks[0]}
+			} else {
+				m = message{Type: msgTask, Tasks: tasks}
+			}
+			err := w.codec.Encode(&m)
+			if err == nil {
+				err = w.codec.Flush()
+			}
+			if err != nil {
+				// Worker send failed: requeue the whole batch in order and
+				// drop the worker.
+				for _, q := range batch {
+					delete(inFlight, q.task.ID)
+				}
+				w.current = w.current[:0]
+				queue = append(batch, queue...)
 				delete(workers, w)
 				w.conn.Close()
 				s.emit(events.WorkerLeave, "", w.id, "")
-				s.emit(events.TaskQueued, taskLabel(&t), "", "")
+				for i := range batch {
+					s.emit(events.TaskQueued, taskLabel(&batch[i].task), "", "")
+				}
 				continue
 			}
-			// Delivered: single-slot workers start the handler on receipt.
-			s.emit(events.TaskRunning, taskLabel(&t), w.id, "")
+			// Delivered: single-slot workers start the first handler on
+			// receipt and run the batch in order.
+			for i := range tasks {
+				s.emit(events.TaskRunning, taskLabel(&tasks[i]), w.id, "")
+			}
 		}
 	}
 
@@ -491,14 +564,9 @@ func (s *Scheduler) eventLoop() {
 				}
 				delete(workers, e.wc)
 				s.emit(events.WorkerLeave, "", e.wc.id, "")
-				// Requeue the in-flight task so no work is lost (subject to
-				// the retry budget).
-				if e.wc.current != nil {
-					if q, ok := inFlight[e.wc.current.ID]; ok {
-						delete(inFlight, e.wc.current.ID)
-						requeue(q)
-					}
-				}
+				// Requeue the in-flight batch so no work is lost (subject
+				// to the retry budget).
+				requeueCurrent(e.wc)
 				// Remove from the free list if present.
 				for i, w := range free {
 					if w == e.wc {
@@ -509,32 +577,61 @@ func (s *Scheduler) eventLoop() {
 				assign()
 			case "result":
 				e.wc.lastBeat = time.Now()
-				q, ok := inFlight[e.res.TaskID]
-				if ok {
-					delete(inFlight, e.res.TaskID)
-					if e.res.Err != "" {
-						s.emit(events.TaskFailed, taskLabel(&q.task), e.wc.id, e.res.Err)
+				// One frame may ack a whole batch. Each record is settled
+				// individually; client forwards coalesce into one flush per
+				// touched client, per frame.
+				var flushed []*clientConn
+				for i := range e.ress {
+					res := &e.ress[i]
+					for j, id := range e.wc.current {
+						if id == res.TaskID {
+							e.wc.current = append(e.wc.current[:j], e.wc.current[j+1:]...)
+							break
+						}
+					}
+					q, ok := inFlight[res.TaskID]
+					if !ok {
+						continue
+					}
+					delete(inFlight, res.TaskID)
+					if res.Err != "" {
+						s.emit(events.TaskFailed, taskLabel(&q.task), e.wc.id, res.Err)
 					} else {
 						s.emit(events.TaskDone, taskLabel(&q.task), e.wc.id, "")
 					}
 					if q.client != nil {
-						_ = q.client.enc.Encode(message{Type: msgResult, Result: e.res})
+						_ = q.client.codec.Encode(&message{Type: msgResult, Result: res})
 						q.client.pending--
+						already := false
+						for _, cc := range flushed {
+							if cc == q.client {
+								already = true
+								break
+							}
+						}
+						if !already {
+							flushed = append(flushed, q.client)
+						}
 					}
 				}
-				// Only a worker that was actually busy returns to the free
-				// list: a stray result (unknown task, duplicate reply) must
-				// not enlist the worker twice.
-				wasBusy := e.wc.busy
-				e.wc.current = nil
-				e.wc.busy = false
-				if workers[e.wc] && wasBusy {
-					free = append(free, e.wc)
+				for _, cc := range flushed {
+					_ = cc.codec.Flush()
+				}
+				// Only a worker that was actually busy — and whose batch is
+				// fully acked — returns to the free list: a stray result
+				// (unknown task, duplicate reply) must not enlist the worker
+				// twice, and a partial ack leaves it busy on the remainder.
+				if len(e.wc.current) == 0 {
+					wasBusy := e.wc.busy
+					e.wc.busy = false
+					if workers[e.wc] && wasBusy {
+						free = append(free, e.wc)
+					}
 				}
 				assign()
 			case "submit":
 				e.cc.pending += len(e.tsk)
-				_ = e.cc.enc.Encode(message{Type: msgAccepted, Count: len(e.tsk)})
+				_ = e.cc.send(&message{Type: msgAccepted, Count: len(e.tsk)})
 				// The scheduler owns the enqueue stamp: it marks when the
 				// task entered the queue, and travels with the assignment
 				// so the worker can echo it back in the Result.

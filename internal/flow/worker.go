@@ -1,7 +1,6 @@
 package flow
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -30,7 +29,8 @@ type Worker struct {
 	// DialBudget, when set before Connect/ConnectFile, keeps retrying the
 	// scheduler (and, for ConnectFile, a missing scheduler file) with
 	// backoff for this long — so a worker started before its scheduler
-	// converges instead of exiting. Zero means one attempt.
+	// converges instead of exiting. Zero means one attempt. Worker.Dial
+	// takes the budget from its DialOptions instead.
 	DialBudget time.Duration
 
 	// HeartbeatInterval, when set before Connect, sends a heartbeat frame
@@ -40,12 +40,13 @@ type Worker struct {
 	// heartbeat deadline. Zero disables heartbeats.
 	HeartbeatInterval time.Duration
 
-	conn net.Conn
-	wg   sync.WaitGroup
+	conn  net.Conn
+	codec Codec
+	wg    sync.WaitGroup
 
 	// writeMu serializes frames on the connection: the task loop's result
-	// sends and the heartbeat goroutine share one json.Encoder, which is
-	// not safe for concurrent use.
+	// sends and the heartbeat goroutine share one codec, whose encode half
+	// is not safe for concurrent use.
 	writeMu sync.Mutex
 
 	stop     chan struct{}
@@ -63,63 +64,70 @@ func NewWorker(id string, h Handler) *Worker {
 	return &Worker{ID: id, handler: h}
 }
 
-// ConnectFile reads a scheduler file (written by
-// Scheduler.WriteSchedulerFile) and connects to the advertised address —
-// the registration mechanism of Section 3.3 step 2. With a DialBudget
-// set, a missing or mid-write file and an unreachable scheduler are both
-// retried with backoff inside one shared budget, so the worker may be
-// started before the scheduler exists at all.
-func (w *Worker) ConnectFile(path string) error {
-	deadline := time.Now().Add(w.DialBudget)
-	sf, err := waitSchedulerFile(path, w.DialBudget)
-	if err != nil {
-		return err
-	}
-	rem := time.Duration(0)
-	if w.DialBudget > 0 {
-		rem = time.Until(deadline)
-	}
-	return w.connect(sf.Address, rem)
-}
-
-// Connect registers with the scheduler (dial bounded by dialTimeout,
-// retried within DialBudget when set) and starts the task loop in the
-// background.
-func (w *Worker) Connect(addr string) error {
-	return w.connect(addr, w.DialBudget)
-}
-
-func (w *Worker) connect(addr string, budget time.Duration) error {
-	conn, err := DialRetry(addr, budget)
+// Dial registers with the scheduler through the unified dial options —
+// address or scheduler file, retry budget, and wire codec — and starts
+// the task loop in the background.
+func (w *Worker) Dial(opts DialOptions) error {
+	conn, err := Dial(opts)
 	if err != nil {
 		return fmt.Errorf("flow: worker dial: %w", err)
 	}
+	codec, err := dialCodec(conn, opts.Codec)
+	if err != nil {
+		conn.Close()
+		return err
+	}
 	w.conn = conn
+	w.codec = codec
 	w.stop = make(chan struct{})
-	enc := json.NewEncoder(conn)
+	// The codec hello (if any) and the registration travel in one flush.
 	_ = conn.SetWriteDeadline(time.Now().Add(dialTimeout))
-	if err := enc.Encode(message{Type: msgRegister, WorkerID: w.ID, Slots: 1}); err != nil {
+	err = codec.Encode(&message{Type: msgRegister, WorkerID: w.ID, Slots: 1})
+	if err == nil {
+		err = codec.Flush()
+	}
+	if err != nil {
 		conn.Close()
 		return fmt.Errorf("flow: worker register: %w", err)
 	}
 	_ = conn.SetWriteDeadline(time.Time{})
 	if w.HeartbeatInterval > 0 {
 		w.wg.Add(1)
-		go w.heartbeatLoop(enc)
+		go w.heartbeatLoop()
 	}
 	w.wg.Add(1)
-	go w.loop(enc)
+	go w.loop()
 	return nil
+}
+
+// ConnectFile reads a scheduler file (written by
+// Scheduler.WriteSchedulerFile) and connects to the advertised address —
+// the registration mechanism of Section 3.3 step 2, on the default JSON
+// wire. With a DialBudget set, a missing or mid-write file and an
+// unreachable scheduler are both retried with backoff inside one shared
+// budget, so the worker may be started before the scheduler exists at all.
+func (w *Worker) ConnectFile(path string) error {
+	return w.Dial(DialOptions{SchedulerFile: path, Retry: w.DialBudget})
+}
+
+// Connect registers with the scheduler (dial bounded by dialTimeout,
+// retried within DialBudget when set) on the default JSON wire and starts
+// the task loop in the background.
+func (w *Worker) Connect(addr string) error {
+	return w.Dial(DialOptions{Addr: addr, Retry: w.DialBudget})
 }
 
 // send writes one frame under the connection write lock with a bounded
 // deadline, so heartbeats and results never interleave bytes and a
 // scheduler that stopped reading cannot wedge the sender forever.
-func (w *Worker) send(enc *json.Encoder, m message) error {
+func (w *Worker) send(m *message) error {
 	w.writeMu.Lock()
 	defer w.writeMu.Unlock()
 	_ = w.conn.SetWriteDeadline(time.Now().Add(resultWriteTimeout))
-	err := enc.Encode(m)
+	err := w.codec.Encode(m)
+	if err == nil {
+		err = w.codec.Flush()
+	}
 	_ = w.conn.SetWriteDeadline(time.Time{})
 	return err
 }
@@ -128,7 +136,7 @@ func (w *Worker) send(enc *json.Encoder, m message) error {
 // runs on its own goroutine deliberately: a handler busy on a long task
 // keeps beating (long tasks are healthy), while a frozen process or dead
 // network path stops the beacons and trips the scheduler's deadline.
-func (w *Worker) heartbeatLoop(enc *json.Encoder) {
+func (w *Worker) heartbeatLoop() {
 	defer w.wg.Done()
 	tick := time.NewTicker(w.HeartbeatInterval)
 	defer tick.Stop()
@@ -137,7 +145,7 @@ func (w *Worker) heartbeatLoop(enc *json.Encoder) {
 		case <-w.stop:
 			return
 		case <-tick.C:
-			if err := w.send(enc, message{Type: msgHeartbeat, WorkerID: w.ID}); err != nil {
+			if err := w.send(&message{Type: msgHeartbeat, WorkerID: w.ID}); err != nil {
 				return
 			}
 		}
@@ -151,42 +159,65 @@ func (w *Worker) stopHeartbeat() {
 	}
 }
 
-func (w *Worker) loop(enc *json.Encoder) {
+func (w *Worker) loop() {
 	defer w.wg.Done()
 	// The loop can now exit on a healthy connection (read/write deadline
 	// fired); close it so the scheduler observes workerGone and requeues
 	// any in-flight task instead of assigning into a dead worker.
 	defer w.conn.Close()
 	defer w.stopHeartbeat()
-	dec := json.NewDecoder(bufio.NewReader(w.conn))
 	for {
 		if w.ReadTimeout > 0 {
 			_ = w.conn.SetReadDeadline(time.Now().Add(w.ReadTimeout))
 		}
 		var m message
-		if err := dec.Decode(&m); err != nil {
+		if err := w.codec.Decode(&m); err != nil {
 			return
 		}
-		if m.Type != msgTask || m.Task == nil {
+		if m.Type != msgTask {
 			continue
 		}
-		start := time.Now()
-		payload, err := w.handler(*m.Task)
-		res := Result{
-			TaskID:     m.Task.ID,
-			WorkerID:   w.ID,
-			EnqueuedNS: m.Task.EnqueuedNS,
-			Start:      start,
-			End:        time.Now(),
-			Payload:    payload,
+		// A frame carries either one task (the singular legacy form) or a
+		// batch (Scheduler.Batch > 1). The whole frame is acked the same
+		// way it arrived: one Result, or one Results frame — so a batched
+		// handout costs one write syscall per frame on both directions.
+		single := m.Task != nil && len(m.Tasks) == 0
+		var tasks []Task
+		if single {
+			tasks = []Task{*m.Task}
+		} else {
+			tasks = m.Tasks
 		}
-		if err != nil {
-			res.Err = err.Error()
+		if len(tasks) == 0 {
+			continue
+		}
+		results := make([]Result, 0, len(tasks))
+		for _, t := range tasks {
+			start := time.Now()
+			payload, err := w.handler(t)
+			res := Result{
+				TaskID:     t.ID,
+				WorkerID:   w.ID,
+				EnqueuedNS: t.EnqueuedNS,
+				Start:      start,
+				End:        time.Now(),
+				Payload:    payload,
+			}
+			if err != nil {
+				res.Err = err.Error()
+			}
+			results = append(results, res)
 		}
 		w.mu.Lock()
-		w.processed++
+		w.processed += len(results)
 		w.mu.Unlock()
-		if err := w.send(enc, message{Type: msgResult, Result: &res}); err != nil {
+		var out message
+		if single {
+			out = message{Type: msgResult, Result: &results[0]}
+		} else {
+			out = message{Type: msgResult, Results: results}
+		}
+		if err := w.send(&out); err != nil {
 			return
 		}
 	}

@@ -62,7 +62,22 @@ type Timeline struct {
 	// MeasuredLabel and SimulatedLabel name the legend entries; empty
 	// selects "measured" and "simulated".
 	MeasuredLabel, SimulatedLabel string
+	// LODThreshold bounds how many individual task blocks an interval set
+	// may draw before the renderer switches that set to level-of-detail
+	// binning: per worker row, blocks are merged into one rectangle per
+	// contiguous run of covered pixel columns, so a 6,000-worker campaign
+	// figure stays a few thousand elements instead of one per task.
+	// Binned runs keep a tooltip with the number of tasks they cover;
+	// per-task labels are below pixel resolution at that density anyway.
+	// Zero selects the default (4096); negative disables binning.
+	LODThreshold int
 }
+
+// defaultLODThreshold is the interval count past which Render bins a set
+// when the caller leaves LODThreshold at zero. Small figures — everything
+// the golden tests and the per-run campaign timelines draw — stay on the
+// exact per-task path and render byte-identically to earlier releases.
+const defaultLODThreshold = 4096
 
 // Fixed layout and the brand-neutral palette. Colors pair a colorblind-
 // safe blue (measured fill) with a high-contrast orange (simulated
@@ -140,6 +155,73 @@ func (f *Timeline) validate() error {
 		}
 	}
 	return nil
+}
+
+// colRun is one contiguous run of covered pixel columns on one worker
+// row — the unit the level-of-detail path draws instead of task blocks.
+type colRun struct {
+	row        int
+	start, end int // pixel columns within the plot, inclusive
+	tasks      int // intervals whose block begins inside this run
+}
+
+// binColumns quantizes an interval set to the plot's pixel columns and
+// merges each row's coverage into contiguous runs. A task narrower than
+// a column still covers its starting column, matching the minimum-width
+// tick the exact path draws. Runs come out in row-major, left-to-right
+// order, so the output — and the SVG built from it — is deterministic.
+func binColumns(ivs []Interval, span float64, rows int) []colRun {
+	type rowBins struct {
+		cov    []bool
+		starts []int32
+	}
+	bins := make([]*rowBins, rows)
+	clamp := func(c int) int {
+		if c < 0 {
+			return 0
+		}
+		if c > plotWidth-1 {
+			return plotWidth - 1
+		}
+		return c
+	}
+	for i := range ivs {
+		iv := &ivs[i]
+		c0 := clamp(int(iv.Start / span * float64(plotWidth)))
+		c1 := clamp(int(math.Ceil(iv.End/span*float64(plotWidth))) - 1)
+		if c1 < c0 {
+			c1 = c0
+		}
+		b := bins[iv.Row]
+		if b == nil {
+			b = &rowBins{cov: make([]bool, plotWidth), starts: make([]int32, plotWidth)}
+			bins[iv.Row] = b
+		}
+		b.starts[c0]++
+		for c := c0; c <= c1; c++ {
+			b.cov[c] = true
+		}
+	}
+	var runs []colRun
+	for row, b := range bins {
+		if b == nil {
+			continue
+		}
+		for c := 0; c < plotWidth; {
+			if !b.cov[c] {
+				c++
+				continue
+			}
+			run := colRun{row: row, start: c}
+			for c < plotWidth && b.cov[c] {
+				run.tasks += int(b.starts[c])
+				c++
+			}
+			run.end = c - 1
+			runs = append(runs, run)
+		}
+	}
+	return runs
 }
 
 // span returns the extent of the time axis (always > 0).
@@ -247,14 +329,26 @@ func (f *Timeline) Render(w io.Writer) error {
 		}
 		printf("</rect>\n")
 	}
-	measuredStyle := fmt.Sprintf(`fill="%s" fill-opacity="0.85"`, colorMeasured)
-	for i := range f.Measured {
-		block(&f.Measured[i], measuredStyle)
+	threshold := f.LODThreshold
+	if threshold == 0 {
+		threshold = defaultLODThreshold
 	}
-	simulatedStyle := fmt.Sprintf(`fill="none" stroke="%s" stroke-width="1.5"`, colorSimulated)
-	for i := range f.Simulated {
-		block(&f.Simulated[i], simulatedStyle)
+	drawSet := func(ivs []Interval, style string) {
+		if threshold > 0 && len(ivs) > threshold {
+			for _, run := range binColumns(ivs, span, len(f.Rows)) {
+				printf(`<rect x="%d" y="%d" width="%d" height="%d" %s>`,
+					leftMargin+run.start, rowY(run.row)+1, run.end-run.start+1, rowHeight-2, style)
+				printf(`<title>%d tasks (binned)</title>`, run.tasks)
+				printf("</rect>\n")
+			}
+			return
+		}
+		for i := range ivs {
+			block(&ivs[i], style)
+		}
 	}
+	drawSet(f.Measured, fmt.Sprintf(`fill="%s" fill-opacity="0.85"`, colorMeasured))
+	drawSet(f.Simulated, fmt.Sprintf(`fill="none" stroke="%s" stroke-width="1.5"`, colorSimulated))
 
 	// Queue-depth strip: a step polyline on the shared time axis.
 	if len(f.Depth) > 0 {

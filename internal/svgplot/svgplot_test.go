@@ -165,6 +165,92 @@ func TestRenderEmptySpan(t *testing.T) {
 	}
 }
 
+// lodFigure is a deterministic dense timeline: 8 workers each packed
+// with back-to-back short tasks, enough to trip a forced LOD threshold.
+func lodFigure() *Timeline {
+	f := &Timeline{
+		Title:        "dense campaign (level-of-detail)",
+		LODThreshold: 16,
+	}
+	for row := 0; row < 8; row++ {
+		f.Rows = append(f.Rows, "worker-"+string(rune('a'+row)))
+		// 400 tasks of 25ms with 5ms gaps: at ~50 px/s the gaps are far
+		// below one pixel column, so the whole stretch bins into one run.
+		for i := 0; i < 400; i++ {
+			start := float64(i)*0.03 + float64(row)*0.001
+			f.Measured = append(f.Measured, Interval{
+				Row: row, Start: start, End: start + 0.025, Label: "ignored at this density",
+			})
+		}
+		// A two-second gap and an isolated block, so binning produces a
+		// second run per row.
+		f.Measured = append(f.Measured, Interval{Row: row, Start: 14, End: 14.4})
+	}
+	return f
+}
+
+// TestRenderLODGolden gates the binned rendering path byte for byte,
+// like the exact path's golden.
+func TestRenderLODGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := lodFigure().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "timeline_lod_golden.svg")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run `go test -update ./internal/svgplot` to create it): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("rendered SVG differs from %s (run with -update after reviewing)\ngot %d bytes, want %d",
+			golden, buf.Len(), len(want))
+	}
+}
+
+func TestLODBinsDenseTimelines(t *testing.T) {
+	var binned bytes.Buffer
+	if err := lodFigure().Render(&binned); err != nil {
+		t.Fatal(err)
+	}
+	out := binned.String()
+	if !strings.Contains(out, "(binned)") {
+		t.Fatal("dense figure did not take the LOD path")
+	}
+	if strings.Contains(out, "ignored at this density") {
+		t.Error("per-task labels leaked into binned output")
+	}
+	// The whole point: element count collapses. 3,208 tasks over 8 rows
+	// with one gap each must bin to at most two runs per row (plus the
+	// background and legend rects).
+	if n := strings.Count(out, "<rect"); n > 2+2*len(lodFigure().Rows) {
+		t.Errorf("binned output has %d rects for %d rows", n, len(lodFigure().Rows))
+	}
+	// Binned runs carry task counts: 400 contiguous + 1 isolated per row.
+	if !strings.Contains(out, "<title>400 tasks (binned)</title>") ||
+		!strings.Contains(out, "<title>1 tasks (binned)</title>") {
+		t.Errorf("run tooltips missing expected task counts")
+	}
+
+	// Below the threshold the exact per-task path still runs.
+	exact := lodFigure()
+	exact.LODThreshold = -1
+	var full bytes.Buffer
+	if err := exact.Render(&full); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(full.String(), "(binned)") {
+		t.Error("negative threshold did not disable binning")
+	}
+	if !strings.Contains(full.String(), "ignored at this density") {
+		t.Error("exact path lost task labels")
+	}
+}
+
 func TestFtoa(t *testing.T) {
 	tests := map[float64]string{
 		0:       "0",
