@@ -430,7 +430,7 @@ func (o *schedOptions) register(fs *flag.FlagSet) {
 	fs.IntVar(&o.maxRetries, "max-retries", 3, "requeue a task whose worker died at most this many times, then quarantine it with a terminal failed event (0 = requeue forever)")
 	fs.DurationVar(&o.heartbeatTimeout, "heartbeat-timeout", 0, "declare a worker dead after this long without a heartbeat or result and requeue its task (0 disables; workers must send -heartbeat at a few multiples below this)")
 	fs.IntVar(&o.eventBacklog, "event-backlog", 0, "retain at most this many events in memory for late-attaching monitors, evicting oldest-first with an explicit truncated marker (0 = unbounded; the -event-log file always keeps everything)")
-	fs.IntVar(&o.batch, "batch", 1, "hand a free worker up to this many tasks per frame (acked in one frame back), amortizing per-message cost at scale; requires current workers when > 1")
+	fs.IntVar(&o.batch, "batch", 1, "hand a free worker up to this many tasks per frame (acked in one frame back), amortizing per-message cost at scale; negotiated per worker, so peers that predate batching get one task per frame")
 }
 
 // scheduler builds the configured scheduler (not yet started).

@@ -128,7 +128,10 @@
 // binary`, some `-wire json`) produce byte-identical reports
 // (TestCampaignCrossCodec). The scheduler can also hand out up to
 // `sched -batch` tasks per frame, with workers acking in kind, so
-// frame count stops scaling 1:1 with task count.
+// frame count stops scaling 1:1 with task count; the batch size is
+// negotiated per worker at registration, and a legacy peer that
+// advertises no batching capability keeps receiving the single-task
+// form.
 // BenchmarkDispatchThroughput drives hundreds of in-process workers
 // through both codecs and reports tasks/sec and allocs/op; the binary
 // codec must stay at least 2x JSON's throughput with strictly fewer

@@ -31,10 +31,17 @@ type binaryCodec struct {
 
 	// encBuf accumulates one frame body per Encode; decBuf holds one
 	// frame body per Decode. Reused across calls — decoded strings and
-	// byte payloads are copied out, never aliased into decBuf.
+	// byte payloads are copied out, never aliased into decBuf. The two
+	// halves share no state at all — including the header scratch, which
+	// is split into encHdr/decHdr — because the Codec contract lets one
+	// reader and one writer goroutine use Encode and Decode concurrently
+	// (worker heartbeats race the task loop's Decode). The headers live
+	// on the codec rather than the stack so the interface-taking I/O
+	// calls below do not force a per-frame heap allocation.
 	encBuf []byte
 	decBuf []byte
-	hdr    [4]byte
+	encHdr [4]byte
+	decHdr [4]byte
 }
 
 func newBinaryCodec(r *bufio.Reader, w *bufio.Writer) *binaryCodec {
@@ -49,8 +56,8 @@ func (c *binaryCodec) Encode(m *message) error {
 	if len(b) > maxBinaryFrame {
 		return fmt.Errorf("flow: binary frame of %d bytes exceeds the %d-byte limit", len(b), maxBinaryFrame)
 	}
-	binary.BigEndian.PutUint32(c.hdr[:], uint32(len(b)))
-	if _, err := c.w.Write(c.hdr[:]); err != nil {
+	binary.BigEndian.PutUint32(c.encHdr[:], uint32(len(b)))
+	if _, err := c.w.Write(c.encHdr[:]); err != nil {
 		return err
 	}
 	_, err := c.w.Write(b)
@@ -58,10 +65,10 @@ func (c *binaryCodec) Encode(m *message) error {
 }
 
 func (c *binaryCodec) Decode(m *message) error {
-	if _, err := io.ReadFull(c.r, c.hdr[:]); err != nil {
+	if _, err := io.ReadFull(c.r, c.decHdr[:]); err != nil {
 		return err
 	}
-	n := binary.BigEndian.Uint32(c.hdr[:])
+	n := binary.BigEndian.Uint32(c.decHdr[:])
 	if n > maxBinaryFrame {
 		return fmt.Errorf("flow: binary frame length %d exceeds the %d-byte limit", n, maxBinaryFrame)
 	}
@@ -98,6 +105,7 @@ func appendMessage(b []byte, m *message) []byte {
 	b = appendString(b, m.Type)
 	b = appendString(b, m.WorkerID)
 	b = binary.AppendVarint(b, int64(m.Slots))
+	b = binary.AppendVarint(b, int64(m.MaxBatch))
 	if m.Task != nil {
 		b = append(b, 1)
 		b = appendTask(b, m.Task)
@@ -272,15 +280,31 @@ func (r *binReader) presence(what string) bool {
 	return v == 1
 }
 
-// count reads a slice length, bounded by the bytes remaining — every
-// element consumes at least one byte, so a count beyond that is corrupt
-// and must not size an allocation.
-func (r *binReader) count(what string) int {
+// Smallest possible wire footprint of one slice element: every field
+// costs at least its one-byte length prefix or varint, times cost two
+// bytes. A claimed count whose elements cannot fit in the remaining
+// body is corrupt and must be rejected before it sizes an allocation.
+const (
+	minTaskWire   = 7 // id, label, weight, payload, enqueued_ns, attempt, escalate_payload
+	minResultWire = 9 // task_id, worker_id, enqueued_ns, 2×time (2 bytes each), payload, error
+)
+
+// maxSlicePrealloc caps the capacity a decoded slice reserves up front.
+// The element count alone must never drive a large allocation — in-memory
+// elements are ~15× their minimum wire size, so even a count that passes
+// the minElem bound could demand hundreds of bytes per body byte. Larger
+// (legitimate) batches grow by append as each element proves itself
+// against the remaining bytes.
+const maxSlicePrealloc = 4096
+
+// count reads a slice length, bounded by the bytes remaining divided by
+// the smallest encoding of one element.
+func (r *binReader) count(what string, minElem int) int {
 	n := r.uvarint(what)
 	if r.err != nil {
 		return 0
 	}
-	if n > uint64(len(r.b)) {
+	if n > uint64(len(r.b))/uint64(minElem) {
 		r.fail(what)
 		return 0
 	}
@@ -300,24 +324,29 @@ func readMessage(r *binReader, m *message) {
 	m.Type = r.str("type")
 	m.WorkerID = r.str("worker_id")
 	m.Slots = int(r.varint("slots"))
+	m.MaxBatch = int(r.varint("max_batch"))
 	if r.presence("task") {
 		m.Task = new(Task)
 		readTask(r, m.Task)
 	}
-	if n := r.count("tasks"); n > 0 {
-		m.Tasks = make([]Task, n)
-		for i := range m.Tasks {
-			readTask(r, &m.Tasks[i])
+	if n := r.count("tasks", minTaskWire); n > 0 {
+		m.Tasks = make([]Task, 0, min(n, maxSlicePrealloc))
+		for i := 0; i < n && r.err == nil; i++ {
+			var t Task
+			readTask(r, &t)
+			m.Tasks = append(m.Tasks, t)
 		}
 	}
 	if r.presence("result") {
 		m.Result = new(Result)
 		readResult(r, m.Result)
 	}
-	if n := r.count("results"); n > 0 {
-		m.Results = make([]Result, n)
-		for i := range m.Results {
-			readResult(r, &m.Results[i])
+	if n := r.count("results", minResultWire); n > 0 {
+		m.Results = make([]Result, 0, min(n, maxSlicePrealloc))
+		for i := 0; i < n && r.err == nil; i++ {
+			var res Result
+			readResult(r, &res)
+			m.Results = append(m.Results, res)
 		}
 	}
 	if r.presence("event") {

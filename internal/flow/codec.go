@@ -13,8 +13,10 @@ import (
 // -wire flag.
 const (
 	// WireJSON is the legacy newline-delimited JSON wire — the default.
-	// JSON peers send no hello, so a fleet that never asks for another
-	// codec produces byte-identical traffic to every earlier release.
+	// JSON peers send no hello, so the framing a fleet that never asks
+	// for another codec puts on the wire is unchanged from every earlier
+	// release (registration now carries the max_batch capability field,
+	// which legacy schedulers parse and ignore).
 	WireJSON = "json"
 	// WireBinary is the length-prefixed binary wire: 4-byte big-endian
 	// frame length followed by a positional encoding of the envelope, with

@@ -3,12 +3,14 @@ package flow
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -25,6 +27,7 @@ func fullMessage() *message {
 		Type:     msgResult,
 		WorkerID: "w1",
 		Slots:    3,
+		MaxBatch: 16,
 		Task: &Task{
 			ID: "t1", Label: "fold", Weight: 2.5,
 			Payload: json.RawMessage(`{"a":1}`), EnqueuedNS: 42, Attempt: 1,
@@ -128,11 +131,20 @@ func TestBinaryDecodeRejectsCorruptFrames(t *testing.T) {
 		hdr[3] = byte(len(body))
 		return append(hdr[:], body...)
 	}
+	// A frame whose task count claims ~2^30 elements in a near-empty body:
+	// the count bound must reject it before it sizes an allocation.
+	bloated := appendString(nil, msgSubmit)        // type
+	bloated = appendString(bloated, "")            // worker_id
+	bloated = binary.AppendVarint(bloated, 0)      // slots
+	bloated = binary.AppendVarint(bloated, 0)      // max_batch
+	bloated = append(bloated, 0)                   // no single task
+	bloated = binary.AppendUvarint(bloated, 1<<30) // tasks count
 	cases := map[string][]byte{
-		"truncated body":   frame(valid)[:4+len(valid)/2],
-		"trailing bytes":   frame(append(append([]byte{}, valid...), 0xFF)),
-		"oversized length": {0xFF, 0xFF, 0xFF, 0xFF},
-		"empty body":       frame(nil),
+		"truncated body":      frame(valid)[:4+len(valid)/2],
+		"trailing bytes":      frame(append(append([]byte{}, valid...), 0xFF)),
+		"oversized length":    {0xFF, 0xFF, 0xFF, 0xFF},
+		"empty body":          frame(nil),
+		"count amplification": frame(bloated),
 	}
 	for name, data := range cases {
 		c := newBinaryCodec(bufio.NewReader(bytes.NewReader(data)), bufio.NewWriter(io.Discard))
@@ -140,6 +152,80 @@ func TestBinaryDecodeRejectsCorruptFrames(t *testing.T) {
 		if err := c.Decode(&m); err == nil {
 			t.Errorf("%s: decode succeeded", name)
 		}
+	}
+}
+
+// TestBinaryCodecConcurrentHalves pins the Codec contract under -race:
+// one writer and one reader goroutine may share a codec (a worker's
+// heartbeat sends race its task loop's Decode; a monitor's event Encode
+// races its disconnect-detect Decode), so the encode and decode halves
+// must share no state.
+func TestBinaryCodecConcurrentHalves(t *testing.T) {
+	left, right := net.Pipe()
+	defer left.Close()
+	defer right.Close()
+	cl := newBinaryCodec(bufio.NewReader(left), bufio.NewWriter(left))
+	cr := newBinaryCodec(bufio.NewReader(right), bufio.NewWriter(right))
+
+	const frames = 200
+	var wg sync.WaitGroup
+	send := func(c Codec, id string) {
+		defer wg.Done()
+		for i := 0; i < frames; i++ {
+			if err := c.Encode(&message{Type: msgHeartbeat, WorkerID: id}); err != nil {
+				t.Errorf("%s encode: %v", id, err)
+				return
+			}
+			if err := c.Flush(); err != nil {
+				t.Errorf("%s flush: %v", id, err)
+				return
+			}
+		}
+	}
+	recv := func(c Codec, want string) {
+		defer wg.Done()
+		for i := 0; i < frames; i++ {
+			var m message
+			if err := c.Decode(&m); err != nil {
+				t.Errorf("decoding frame %d from %s: %v", i, want, err)
+				return
+			}
+			if m.Type != msgHeartbeat || m.WorkerID != want {
+				t.Errorf("frame %d from %s decoded as %+v", i, want, m)
+				return
+			}
+		}
+	}
+	wg.Add(4)
+	go send(cl, "left")
+	go recv(cl, "right")
+	go send(cr, "right")
+	go recv(cr, "left")
+	wg.Wait()
+}
+
+// TestBinaryLargeBatchRoundTrip drives the decoder past its preallocation
+// cap: a batch larger than maxSlicePrealloc must round-trip intact
+// through the append-grow path.
+func TestBinaryLargeBatchRoundTrip(t *testing.T) {
+	tasks := make([]Task, maxSlicePrealloc+37)
+	for i := range tasks {
+		tasks[i] = Task{ID: fmt.Sprintf("t%05d", i)}
+	}
+	var buf bytes.Buffer
+	c := newBinaryCodec(bufio.NewReader(&buf), bufio.NewWriter(&buf))
+	if err := c.Encode(&message{Type: msgSubmit, Tasks: tasks}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var got message
+	if err := c.Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Tasks, tasks) {
+		t.Fatalf("large batch did not round trip: %d tasks decoded, want %d", len(got.Tasks), len(tasks))
 	}
 }
 
@@ -385,6 +471,84 @@ func TestBatchedHandout(t *testing.T) {
 	if maxSize > 8 {
 		t.Errorf("a frame carried %d tasks, above the batch limit 8", maxSize)
 	}
+	// Only the head of each handout frame is running on delivery — the
+	// rest of a batch waits inside the worker, and this worker acks whole
+	// frames, so the stream must carry exactly one running event per frame.
+	running := 0
+	for _, e := range s.Events().Snapshot() {
+		if e.Type == events.TaskRunning {
+			running++
+		}
+	}
+	if running != len(sizes) {
+		t.Errorf("running events = %d, want one per handout frame (%d)", running, len(sizes))
+	}
+}
+
+// TestBatchLegacyWorkerFallback: a worker that never advertised the
+// batching capability (a pre-batching release) must receive the singular
+// one-task form even from a batching scheduler — and the campaign must
+// drain through it rather than stranding a batch the worker would ignore.
+func TestBatchLegacyWorkerFallback(t *testing.T) {
+	s := NewScheduler()
+	s.Batch = 8
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	c, err := ConnectClient(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	done := make(chan error, 1)
+	var results []Result
+	go func() {
+		var err error
+		results, err = c.Map(makeTasks(6), nil)
+		done <- err
+	}()
+	// Submit first so a full queue is waiting and a batch-capable worker
+	// would be handed 6 tasks in one frame.
+	time.Sleep(20 * time.Millisecond)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	rw := &rawWorker{conn: conn, enc: json.NewEncoder(conn), dec: json.NewDecoder(bufio.NewReader(conn))}
+	// The legacy register frame: no max_batch field.
+	if err := rw.enc.Encode(message{Type: msgRegister, WorkerID: "legacy", Slots: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	for served := 0; served < 6; {
+		var m message
+		if err := rw.dec.Decode(&m); err != nil {
+			t.Fatalf("legacy worker decode: %v", err)
+		}
+		if m.Type != msgTask {
+			continue
+		}
+		if m.Task == nil || len(m.Tasks) != 0 {
+			t.Fatalf("legacy worker handed a batched frame: %+v", m)
+		}
+		res := Result{TaskID: m.Task.ID, WorkerID: "legacy", Start: time.Now(), End: time.Now()}
+		if err := rw.enc.Encode(message{Type: msgResult, Result: &res}); err != nil {
+			t.Fatal(err)
+		}
+		served++
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("got %d results, want 6", len(results))
+	}
 }
 
 func TestBatchRequeueOnWorkerDeath(t *testing.T) {
@@ -474,5 +638,17 @@ func TestBatchRequeueOnWorkerDeath(t *testing.T) {
 		if byWorker[id] != "survivor" {
 			t.Errorf("unacked task %s recorded from %q, want requeue to survivor", id, byWorker[id])
 		}
+	}
+	// The partial ack revealed the doomed worker had moved on to the third
+	// task, so it was marked running there before the crash — and again on
+	// the survivor after requeue.
+	var runningOn []string
+	for _, e := range s.Events().Snapshot() {
+		if e.Type == events.TaskRunning && e.Task == got[2].ID {
+			runningOn = append(runningOn, e.Worker)
+		}
+	}
+	if !reflect.DeepEqual(runningOn, []string{"doomed", "survivor"}) {
+		t.Errorf("task %s marked running on %v, want [doomed survivor]", got[2].ID, runningOn)
 	}
 }

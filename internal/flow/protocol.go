@@ -113,6 +113,13 @@ type message struct {
 	// register
 	WorkerID string `json:"worker_id,omitempty"`
 	Slots    int    `json:"slots,omitempty"`
+	// MaxBatch, on a register frame, advertises the largest batched
+	// handout (a msgTask frame carrying Tasks) the worker accepts. A
+	// legacy peer omits it, and the scheduler falls back to the singular
+	// single-task form for that worker regardless of its own -batch
+	// setting — so an old worker in a batched fleet keeps draining tasks
+	// instead of silently ignoring frames it cannot parse.
+	MaxBatch int `json:"max_batch,omitempty"`
 	// task assignment / submission
 	Task  *Task  `json:"task,omitempty"`
 	Tasks []Task `json:"tasks,omitempty"`
@@ -147,6 +154,12 @@ const (
 	// and its in-flight task requeued.
 	msgHeartbeat = "heartbeat"
 )
+
+// workerMaxBatch is the batched-handout capability this release's workers
+// advertise at registration (message.MaxBatch). The task loop handles any
+// frame size, so the value only has to exceed every plausible -batch
+// setting; it is not a promise of per-frame memory.
+const workerMaxBatch = 1 << 16
 
 // SchedulerFile is the JSON document the scheduler writes so workers and
 // clients can find it, mirroring Dask's scheduler-file mechanism on Summit.

@@ -29,7 +29,7 @@ func dialRawWorker(t *testing.T, addr, id string) *rawWorker {
 		t.Fatalf("raw worker dial: %v", err)
 	}
 	rw := &rawWorker{conn: conn, enc: json.NewEncoder(conn), dec: json.NewDecoder(bufio.NewReader(conn))}
-	if err := rw.enc.Encode(message{Type: msgRegister, WorkerID: id, Slots: 1}); err != nil {
+	if err := rw.enc.Encode(message{Type: msgRegister, WorkerID: id, Slots: 1, MaxBatch: workerMaxBatch}); err != nil {
 		t.Fatalf("raw worker register: %v", err)
 	}
 	return rw

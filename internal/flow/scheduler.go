@@ -61,9 +61,11 @@ type Scheduler struct {
 	// one frame (`sched -batch`); the worker runs them in order and acks
 	// them all in one frame back. Amortizing the per-frame cost (encode,
 	// write syscall, event-loop round trip) this way is what keeps a
-	// 6,000-worker handout cheap. Workers from this release understand
-	// batched frames on either wire codec; leave it at 0/1 when legacy
-	// single-task peers must be able to join the fleet.
+	// 6,000-worker handout cheap. Batching is negotiated per worker: a
+	// register frame advertises the largest handout the worker accepts
+	// (message.MaxBatch), and a legacy peer that advertises nothing gets
+	// the singular single-task form regardless of this setting — so mixed
+	// fleets of old and new workers drain one queue safely.
 	Batch int
 
 	hub *events.Hub
@@ -91,6 +93,9 @@ type workerConn struct {
 	id    string
 	codec Codec
 	conn  net.Conn
+	// maxBatch is the batched-handout capability the worker advertised at
+	// registration; 0 marks a legacy single-task peer.
+	maxBatch int
 	// current holds the task IDs of the in-flight batch, for requeue on
 	// disconnect. Only the event loop touches it.
 	current []string
@@ -288,7 +293,7 @@ func (s *Scheduler) serveConn(conn net.Conn) {
 	}
 	switch first.Type {
 	case msgRegister:
-		wc := &workerConn{id: first.WorkerID, codec: codec, conn: conn}
+		wc := &workerConn{id: first.WorkerID, codec: codec, conn: conn, maxBatch: first.MaxBatch}
 		s.sendEvent(schedEvent{kind: "register", wc: wc})
 		for {
 			var m message
@@ -388,6 +393,10 @@ func (s *Scheduler) eventLoop() {
 		task     Task
 		client   *clientConn
 		attempts int // deliveries that ended with the worker dying
+		// running records that a TaskRunning event was emitted for the
+		// current delivery: only the head of a batch runs at handout, the
+		// rest wait in the worker and are marked running on a partial ack.
+		running bool
 	}
 	var queue []queued
 	var free []*workerConn
@@ -474,7 +483,16 @@ func (s *Scheduler) eventLoop() {
 		for len(queue) > 0 && len(free) > 0 {
 			w := free[0]
 			free = free[1:]
+			// Clamp to what the worker advertised at registration; a
+			// legacy peer (no max_batch on its register frame) only
+			// understands the singular form, so it gets one task per frame.
 			n := batchSize
+			if n > w.maxBatch {
+				n = w.maxBatch
+				if n < 1 {
+					n = 1
+				}
+			}
 			if n > len(queue) {
 				n = len(queue)
 			}
@@ -486,6 +504,7 @@ func (s *Scheduler) eventLoop() {
 			tasks := make([]Task, n)
 			for i, q := range batch {
 				tasks[i] = q.task
+				q.running = i == 0
 				inFlight[q.task.ID] = q
 				w.current = append(w.current, q.task.ID)
 				s.emit(events.TaskAssigned, taskLabel(&q.task), w.id, "")
@@ -519,11 +538,13 @@ func (s *Scheduler) eventLoop() {
 				}
 				continue
 			}
-			// Delivered: single-slot workers start the first handler on
-			// receipt and run the batch in order.
-			for i := range tasks {
-				s.emit(events.TaskRunning, taskLabel(&tasks[i]), w.id, "")
-			}
+			// Delivered: the worker starts the batch head on receipt and
+			// runs the rest in order, so only the head is running now. The
+			// others stay assigned until a partial ack reveals the worker
+			// moved on; the exact per-task execution bracket is always the
+			// Result's Start/End stamps, the event stream records when the
+			// scheduler learned of each transition.
+			s.emit(events.TaskRunning, taskLabel(&tasks[0]), w.id, "")
 		}
 	}
 
@@ -616,6 +637,17 @@ func (s *Scheduler) eventLoop() {
 				}
 				for _, cc := range flushed {
 					_ = cc.codec.Flush()
+				}
+				// A partial ack reveals the worker moved on: the head of the
+				// remaining batch is the task running now. Tasks deeper in
+				// the batch stay assigned until their turn is observable.
+				if len(e.wc.current) > 0 {
+					head := e.wc.current[0]
+					if q, ok := inFlight[head]; ok && !q.running {
+						q.running = true
+						inFlight[head] = q
+						s.emit(events.TaskRunning, taskLabel(&q.task), e.wc.id, "")
+					}
 				}
 				// Only a worker that was actually busy — and whose batch is
 				// fully acked — returns to the free list: a stray result

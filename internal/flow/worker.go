@@ -82,7 +82,7 @@ func (w *Worker) Dial(opts DialOptions) error {
 	w.stop = make(chan struct{})
 	// The codec hello (if any) and the registration travel in one flush.
 	_ = conn.SetWriteDeadline(time.Now().Add(dialTimeout))
-	err = codec.Encode(&message{Type: msgRegister, WorkerID: w.ID, Slots: 1})
+	err = codec.Encode(&message{Type: msgRegister, WorkerID: w.ID, Slots: 1, MaxBatch: workerMaxBatch})
 	if err == nil {
 		err = codec.Flush()
 	}
