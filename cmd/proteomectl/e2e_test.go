@@ -841,3 +841,136 @@ func TestSubmitSurvivesWorkerChurn(t *testing.T) {
 		t.Errorf("report after worker churn differs from pool executor:\n--- multi-process ---\n%s--- pool ---\n%s", remote, pool)
 	}
 }
+
+// TestTwoCampaignsFairShare is the multi-tenancy acceptance test: two
+// campaigns submitted concurrently to one fair-share scheduler (`sched
+// -policy fair`, `submit -campaign`) must each print a report
+// byte-identical to its solo run on the same cluster, the event log must
+// attribute every task transition to its campaign, and the two campaigns'
+// completion windows must overlap — the second tenant starts finishing
+// tasks while the first still has backlog, so neither starves.
+func TestTwoCampaignsFairShare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	dir := t.TempDir()
+	eventLog := filepath.Join(dir, "events.jsonl")
+	schedFile := e2eClusterArgs(t, 2, "-policy", "fair", "-event-log", eventLog)
+	statsFile := filepath.Join(dir, "dvu.csv")
+
+	dvu := []string{"-species", "DVU", "-preset", "genome", "-limit", "150", "-seed", "20220125", "-campaign", "dvu-full"}
+	rru := []string{"-species", "RRU", "-preset", "genome", "-limit", "150", "-seed", "20220125", "-campaign", "rru-pilot"}
+
+	// Solo references: each campaign alone on the same cluster. Sharing
+	// the fleet may change timings, but never a reported number.
+	soloDVU := runBin(t, append([]string{"submit", "-scheduler-file", schedFile}, dvu...)...)
+	soloRRU := runBin(t, append([]string{"submit", "-scheduler-file", schedFile}, rru...)...)
+
+	baseData, err := os.ReadFile(eventLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseEvents, err := events.ReadLog(bytes.NewReader(baseData))
+	if err != nil {
+		t.Fatalf("decoding baseline event log: %v", err)
+	}
+	if len(baseEvents) == 0 {
+		t.Fatal("solo runs left no events in the log")
+	}
+	baseSeq := baseEvents[len(baseEvents)-1].Seq
+
+	// The contested run: both campaigns in flight on the shared fleet at
+	// once.
+	launch := func(args []string) (*osexec.Cmd, *bytes.Buffer) {
+		t.Helper()
+		cmd := osexec.Command(binPath, args...)
+		var out bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting %v: %v", args, err)
+		}
+		t.Cleanup(func() {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		})
+		return cmd, &out
+	}
+	subDVU, outDVU := launch(append([]string{"submit", "-scheduler-file", schedFile, "-stats", statsFile}, dvu...))
+	subRRU, outRRU := launch(append([]string{"submit", "-scheduler-file", schedFile}, rru...))
+	if err := subDVU.Wait(); err != nil {
+		t.Fatalf("DVU submit: %v", err)
+	}
+	if err := subRRU.Wait(); err != nil {
+		t.Fatalf("RRU submit: %v", err)
+	}
+
+	// Contention is invisible in the reports: byte-identical to the solo
+	// runs.
+	if outDVU.String() != string(soloDVU) {
+		t.Errorf("contested DVU report differs from its solo run:\n--- contested ---\n%s--- solo ---\n%s",
+			outDVU.String(), soloDVU)
+	}
+	if outRRU.String() != string(soloRRU) {
+		t.Errorf("contested RRU report differs from its solo run:\n--- contested ---\n%s--- solo ---\n%s",
+			outRRU.String(), soloRRU)
+	}
+
+	// The event log attributes the contested run's transitions per
+	// campaign, and the two completion windows overlap: each campaign
+	// finishes its first task before the other finishes its last — the
+	// no-starvation evidence a FIFO queue cannot produce when one backlog
+	// monopolizes the fleet.
+	logData, err := os.ReadFile(eventLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logged, err := events.ReadLog(bytes.NewReader(logData))
+	if err != nil {
+		t.Fatalf("decoding event log: %v", err)
+	}
+	type window struct {
+		firstDone, lastDone uint64
+		done                int
+	}
+	windows := map[string]*window{}
+	for _, e := range logged {
+		if e.Seq <= baseSeq || e.Type != events.TaskDone {
+			continue
+		}
+		w := windows[e.Campaign]
+		if w == nil {
+			w = &window{firstDone: e.Seq}
+			windows[e.Campaign] = w
+		}
+		w.lastDone = e.Seq
+		w.done++
+	}
+	dvuWin, rruWin := windows["dvu-full"], windows["rru-pilot"]
+	if dvuWin == nil || rruWin == nil {
+		t.Fatalf("event log lacks campaign attribution: windows = %v", windows)
+	}
+	if unattributed := windows[""]; unattributed != nil {
+		t.Errorf("%d contested-run completions carry no campaign", unattributed.done)
+	}
+	if dvuWin.done != rruWin.done {
+		t.Logf("completions: dvu-full %d, rru-pilot %d", dvuWin.done, rruWin.done)
+	}
+	if dvuWin.firstDone > rruWin.lastDone || rruWin.firstDone > dvuWin.lastDone {
+		t.Errorf("campaign completion windows do not overlap (dvu [%d,%d], rru [%d,%d]): one tenant starved",
+			dvuWin.firstDone, dvuWin.lastDone, rruWin.firstDone, rruWin.lastDone)
+	}
+
+	// The client-side trace carries the campaign too: every stats CSV row
+	// of the DVU submit is stamped dvu-full.
+	header, rows := readStatsCSV(t, statsFile)
+	campCol := statsColumn(t, header, "campaign")
+	for _, row := range rows {
+		if row[campCol] != "dvu-full" {
+			t.Fatalf("stats row %v: campaign = %q, want dvu-full", row, row[campCol])
+		}
+	}
+}

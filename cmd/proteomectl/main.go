@@ -120,7 +120,7 @@ commands:
                                 predict + relax one protein, write PDB
   sched -listen A [-scheduler-file F] [-log-placement] [-event-log F]
       [-resume-log] [-max-retries N] [-heartbeat-timeout D] [-event-backlog N]
-      [-batch N]
+      [-batch N] [-policy fifo|fair] [-quota N]
                                 start a standalone dataflow scheduler;
                                 -event-log persists the structured task
                                 transition stream as JSONL, -resume-log
@@ -129,7 +129,10 @@ commands:
                                 -heartbeat-timeout declares silent workers
                                 dead, -event-backlog bounds in-memory history,
                                 -batch hands a free worker up to N tasks per
-                                frame (amortizes per-message cost at scale)
+                                frame (amortizes per-message cost at scale),
+                                -policy fair round-robins handout across
+                                campaigns sharing the fleet, -quota defers
+                                admission beyond N in-flight tasks per campaign
   worker (-connect A | -scheduler-file F) [-id ID] [-heartbeat D] [-dial-retry D]
       [-wire json|binary]
                                 start a worker serving the campaign kernels;
@@ -139,6 +142,7 @@ commands:
   submit (-connect A | -scheduler-file F) -species C [-preset P] [-nodes N]
       [-seed S] [-limit K] [-stats F] [-timeline F] [-summary]
       [-resume F] [-resume-stats F] [-dial-retry D] [-wire json|binary]
+      [-campaign NAME]
                                 run the campaign on the remote cluster;
                                 -stats writes the per-task processing-times
                                 CSV, -timeline the measured-vs-simulated
@@ -146,11 +150,15 @@ commands:
                                 and prediction payloads off the wire,
                                 -resume/-resume-stats skip tasks an
                                 interrupted run already completed (the
-                                report stays byte-identical)
+                                report stays byte-identical), -campaign
+                                names the fair-share/quota namespace on a
+                                shared scheduler
   monitor (-connect A | -scheduler-file F) [-json] [-wire json|binary]
+      [-campaign NAME]
                                 tail a running campaign live (queue depth,
                                 per-worker in-flight, throughput) from the
-                                scheduler's event stream; read-only`)
+                                scheduler's event stream; read-only;
+                                -campaign filters to one campaign's tasks`)
 }
 
 func findSpecies(code string) (proteome.Species, error) {
@@ -419,6 +427,8 @@ type schedOptions struct {
 	heartbeatTimeout time.Duration
 	eventBacklog     int
 	batch            int
+	policy           string
+	quota            int
 }
 
 func (o *schedOptions) register(fs *flag.FlagSet) {
@@ -431,6 +441,8 @@ func (o *schedOptions) register(fs *flag.FlagSet) {
 	fs.DurationVar(&o.heartbeatTimeout, "heartbeat-timeout", 0, "declare a worker dead after this long without a heartbeat or result and requeue its task (0 disables; workers must send -heartbeat at a few multiples below this)")
 	fs.IntVar(&o.eventBacklog, "event-backlog", 0, "retain at most this many events in memory for late-attaching monitors, evicting oldest-first with an explicit truncated marker (0 = unbounded; the -event-log file always keeps everything)")
 	fs.IntVar(&o.batch, "batch", 1, "hand a free worker up to this many tasks per frame (acked in one frame back), amortizing per-message cost at scale; negotiated per worker, so peers that predate batching get one task per frame")
+	fs.StringVar(&o.policy, "policy", flow.PolicyFIFO, "queue policy: fifo (strict arrival order) or fair (round-robin handout across campaigns sharing the fleet; tasks name their campaign via submit -campaign)")
+	fs.IntVar(&o.quota, "quota", 0, "admit at most this many unfinished tasks per campaign, deferring the rest (and their submit ack) until earlier tasks settle; 0 = unlimited")
 }
 
 // scheduler builds the configured scheduler (not yet started).
@@ -439,6 +451,8 @@ func (o *schedOptions) scheduler() *flow.Scheduler {
 	s.MaxRetries = o.maxRetries
 	s.HeartbeatTimeout = o.heartbeatTimeout
 	s.Batch = o.batch
+	s.Policy = o.policy
+	s.Quota = o.quota
 	if o.eventBacklog > 0 {
 		s.Events().SetLimit(o.eventBacklog)
 	}
@@ -572,6 +586,7 @@ type submitOptions struct {
 	summary       bool
 	resume        string
 	resumeStats   string
+	campaign      string
 }
 
 func (o *submitOptions) register(fs *flag.FlagSet) {
@@ -583,6 +598,7 @@ func (o *submitOptions) register(fs *flag.FlagSet) {
 		"summary-only results: feature kernels return a digest instead of full per-protein features, cutting wire bytes; the printed report is byte-identical")
 	fs.StringVar(&o.resume, "resume", "", "resume an interrupted campaign from a scheduler event log (sched -event-log): tasks recorded done are recomputed locally instead of re-dispatched; the report is byte-identical to an uninterrupted run")
 	fs.StringVar(&o.resumeStats, "resume-stats", "", "like -resume, from a processing-times CSV of the interrupted run (-stats); combinable with -resume")
+	fs.StringVar(&o.campaign, "campaign", "", "campaign name stamped on every submitted task: the fair-share lane and admission-quota namespace on a shared scheduler (sched -policy fair / -quota), and the monitor -campaign filter key; empty keeps single-tenant behavior")
 }
 
 // completedSet merges the -resume / -resume-stats sources into one set of
@@ -650,6 +666,9 @@ func submitCmd(args []string, stdout io.Writer) error {
 	}
 	defer fl.Close()
 	fl.SetResultTimeout(o.resultTimeout)
+	if o.campaign != "" {
+		fl.SetCampaign(o.campaign)
+	}
 	trace := &exec.Trace{}
 	if cf.wantTrace() {
 		fl.SetTrace(trace)
@@ -678,6 +697,7 @@ func monitorCmd(args []string, stdout io.Writer) error {
 	var conn connFlags
 	conn.register(fs, 0)
 	jsonOut := fs.Bool("json", false, "print raw event records as JSONL (the sched -event-log format) instead of live summary lines")
+	campaign := fs.String("campaign", "", "only show task events for this campaign (submit -campaign); fleet-wide events (worker join/leave, truncation) always pass")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -688,6 +708,7 @@ func monitorCmd(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	m.Campaign = *campaign
 	defer m.Close()
 	// Detach on a signal: closing the monitor fails the blocking Next, so
 	// the loop ends cleanly and prints its summary.

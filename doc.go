@@ -119,6 +119,22 @@
 // byte-identical to an uninterrupted run and the resumed stats CSV
 // records strictly fewer dispatched tasks (TestResumeAfterSchedulerKill).
 //
+// One scheduler can also serve several campaigns at once — the paper's
+// fleet is a shared resource, not one submitter's. Each client may name
+// its campaign (`submit -campaign`, flow.Client.Campaign); the name rides
+// every task, event, stats row, and report section, so `monitor
+// -campaign` and the analysis layer attribute work per tenant. The
+// handout queue is a pluggable policy (`sched -policy`): the default
+// fifo keeps the wire and every report byte-identical to a
+// single-tenant scheduler, while fair round-robins handout across
+// campaigns (unnamed submitters get one lane per connection) so a small
+// campaign is not starved behind a proteome-scale backlog, and `sched
+// -quota N` caps each campaign's unfinished tasks, deferring admission
+// — and the submit ack, for backpressure — until earlier tasks settle.
+// Fairness is scheduling only: TestTwoCampaignsFairShare runs two
+// contending campaigns on one fleet and requires each report
+// byte-identical to its solo run, with overlapping completion windows.
+//
 // The wire format itself is pluggable (flow.Codec): the default JSON
 // codec keeps the legacy newline-delimited wire byte-identical, and a
 // length-prefixed binary codec with pooled buffers cuts per-task

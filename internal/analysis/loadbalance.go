@@ -22,6 +22,20 @@ type WorkerLoad struct {
 	BusyFrac float64
 }
 
+// CampaignLoad summarises one campaign's share of a multi-tenant trace.
+type CampaignLoad struct {
+	// Campaign is the namespace the tasks were submitted under; rows with
+	// no campaign aggregate under "(none)".
+	Campaign string
+	Tasks    int
+	Failed   int
+	// BusySec is the summed handler time of the campaign's tasks.
+	BusySec float64
+	// SpanSec is the campaign's own span: its earliest enqueue (falling
+	// back to start) to its latest finish.
+	SpanSec float64
+}
+
 // DurationBin is one bucket of the task-time histogram.
 type DurationBin struct {
 	// Lo and Hi bound the bucket in seconds: [Lo, Hi).
@@ -50,6 +64,10 @@ type LoadBalanceReport struct {
 	WireBytes int
 	// Hist is the task-duration histogram over [0, MaxRunSec].
 	Hist []DurationBin
+	// Campaigns breaks the trace down per campaign namespace (sorted by
+	// name, "(none)" last). Empty — and absent from Render — when every
+	// row is single-tenant, so existing reports are byte-identical.
+	Campaigns []CampaignLoad
 }
 
 // LoadBalance computes the load-balance summary of a trace with the given
@@ -66,6 +84,12 @@ func LoadBalance(rows []exec.TaskStats, bins int) *LoadBalanceReport {
 
 	var first, last time.Time
 	byWorker := make(map[string]*WorkerLoad)
+	type campaignSpan struct {
+		load        CampaignLoad
+		first, last time.Time
+	}
+	byCampaign := make(map[string]*campaignSpan)
+	multiTenant := false
 	var sumRun, sumQueue float64
 	for i := range rows {
 		row := &rows[i]
@@ -88,6 +112,25 @@ func LoadBalance(rows []exec.TaskStats, bins int) *LoadBalanceReport {
 		r.WireBytes += row.PayloadBytes
 		if row.Err != "" {
 			r.Failed++
+		}
+		if row.Campaign != "" {
+			multiTenant = true
+		}
+		c := byCampaign[row.Campaign]
+		if c == nil {
+			c = &campaignSpan{load: CampaignLoad{Campaign: row.Campaign}}
+			byCampaign[row.Campaign] = c
+		}
+		c.load.Tasks++
+		c.load.BusySec += run
+		if row.Err != "" {
+			c.load.Failed++
+		}
+		if c.first.IsZero() || begin.Before(c.first) {
+			c.first = begin
+		}
+		if row.Finish.After(c.last) {
+			c.last = row.Finish
 		}
 		if row.WorkerID == "" {
 			continue
@@ -114,6 +157,29 @@ func LoadBalance(rows []exec.TaskStats, bins int) *LoadBalanceReport {
 		r.Workers = append(r.Workers, *w)
 	}
 	sort.Slice(r.Workers, func(i, j int) bool { return r.Workers[i].WorkerID < r.Workers[j].WorkerID })
+
+	// The per-campaign breakdown only exists when the trace is actually
+	// multi-tenant: a trace with no campaign identity anywhere keeps its
+	// report byte-identical to pre-campaign releases.
+	if multiTenant {
+		r.Campaigns = make([]CampaignLoad, 0, len(byCampaign))
+		for _, c := range byCampaign {
+			if c.last.After(c.first) {
+				c.load.SpanSec = c.last.Sub(c.first).Seconds()
+			}
+			if c.load.Campaign == "" {
+				c.load.Campaign = "(none)"
+			}
+			r.Campaigns = append(r.Campaigns, c.load)
+		}
+		sort.Slice(r.Campaigns, func(i, j int) bool {
+			ci, cj := r.Campaigns[i].Campaign, r.Campaigns[j].Campaign
+			if (ci == "(none)") != (cj == "(none)") {
+				return cj == "(none)"
+			}
+			return ci < cj
+		})
+	}
 
 	// Task-time histogram over [0, MaxRunSec]; a degenerate max puts
 	// everything in the first bin.
@@ -151,6 +217,10 @@ func (r *LoadBalanceReport) Render(w io.Writer) error {
 		r.Tasks, r.Failed, r.SpanSec, r.WireBytes)
 	printf("task time: mean %.3f s, max %.3f s; queue mean %.3f s\n",
 		r.MeanRunSec, r.MaxRunSec, r.MeanQueueSec)
+	for _, cl := range r.Campaigns {
+		printf("  campaign %-14s %6d tasks (%d failed)  busy %8.3f s  span %8.3f s\n",
+			cl.Campaign, cl.Tasks, cl.Failed, cl.BusySec, cl.SpanSec)
+	}
 	for _, wl := range r.Workers {
 		printf("  worker %-16s %6d tasks  busy %8.3f s  (%.1f%%)\n",
 			wl.WorkerID, wl.Tasks, wl.BusySec, 100*wl.BusyFrac)

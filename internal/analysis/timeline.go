@@ -111,6 +111,24 @@ func TimelineFromStats(rows []exec.TaskStats, title string) (*svgplot.Timeline, 
 		MeasuredLabel:  "measured",
 		SimulatedLabel: "simulated",
 	}
+
+	// Multi-tenant traces get a campaign legend and per-campaign block
+	// colors; a trace with no campaign identity anywhere renders
+	// byte-identically to pre-campaign releases.
+	campaignOf := make(map[string]int)
+	for i := range sorted {
+		if c := sorted[i].Campaign; c != "" {
+			if _, ok := campaignOf[c]; !ok {
+				campaignOf[c] = 0
+				fig.CampaignLabels = append(fig.CampaignLabels, c)
+			}
+		}
+	}
+	sort.Strings(fig.CampaignLabels)
+	for i, c := range fig.CampaignLabels {
+		campaignOf[c] = i + 1
+	}
+
 	firstStart := -1.0
 	for i := range sorted {
 		r := &sorted[i]
@@ -124,6 +142,7 @@ func TimelineFromStats(rows []exec.TaskStats, title string) (*svgplot.Timeline, 
 		}
 		fig.Measured = append(fig.Measured, svgplot.Interval{
 			Row: rowOf[id], Start: start, End: secs(r.Finish), Label: r.TaskID,
+			Campaign: campaignOf[r.Campaign],
 		})
 	}
 

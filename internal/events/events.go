@@ -112,6 +112,11 @@ type Event struct {
 	// Attempt is the 1-based delivery attempt for requeue/failure events
 	// under a scheduler retry budget (0 = first attempt / not tracked).
 	Attempt int `json:"attempt,omitempty"`
+	// Campaign is the multi-tenant namespace of the task on task-scoped
+	// events — the submitting campaign (flow.Task.Campaign). Empty for
+	// single-tenant submissions and worker-membership events, keeping the
+	// JSONL log byte-identical to earlier releases in that case.
+	Campaign string `json:"campaign,omitempty"`
 }
 
 // Seconds returns the monotonic stamp in seconds since the hub started.

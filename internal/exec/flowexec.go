@@ -56,6 +56,11 @@ type Flow struct {
 	// the handler), and PayloadBytes measures the encoded result payload.
 	trace TraceSink
 
+	// campaign is the multi-tenant namespace every submission travels
+	// under (SetCampaign); it rides the submit frame and is echoed into
+	// each TaskStats row.
+	campaign string
+
 	closeOnce sync.Once
 }
 
@@ -168,6 +173,20 @@ func (f *Flow) SetResultTimeout(d time.Duration) {
 	}
 }
 
+// SetCampaign names the multi-tenant namespace every subsequent batch is
+// submitted under: it travels on the submit frame, the scheduler's
+// fair-share policy and admission quotas key on it, and each TaskStats
+// row records it. Empty (the default) keeps the wire byte-identical to a
+// single-tenant client. Set it before the batches it should cover.
+func (f *Flow) SetCampaign(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.campaign = name
+	if f.client != nil {
+		f.client.Campaign = name
+	}
+}
+
 // specBatchNonce returns the per-client random prefix of spec-task IDs.
 func specBatchNonce() string {
 	var b [8]byte
@@ -196,7 +215,7 @@ func (f *Flow) SetTrace(sink TraceSink) {
 // recordResult converts one flow completion record into a TaskStats row.
 // id is the stable trace identity of the item (the wire task ID is a
 // batch-internal index and never surfaces in the trace).
-func recordResult(sink TraceSink, kernel, id string, r *flow.Result) {
+func recordResult(sink TraceSink, kernel, id, campaign string, r *flow.Result) {
 	sink.Record(TaskStats{
 		TaskID:       id,
 		Kernel:       kernel,
@@ -206,6 +225,7 @@ func recordResult(sink TraceSink, kernel, id string, r *flow.Result) {
 		Finish:       r.End,
 		PayloadBytes: len(r.Payload),
 		Err:          r.Err,
+		Campaign:     campaign,
 	})
 }
 
@@ -263,10 +283,11 @@ func (f *Flow) DispatchSpecs(kernel string, args []json.RawMessage, ids []string
 	}
 	var observe func(*flow.Result)
 	if sink := f.trace; sink != nil {
+		campaign := f.campaign
 		observe = func(r *flow.Result) {
 			if suffix, ok := strings.CutPrefix(r.TaskID, prefix); ok {
 				if idx, err := strconv.Atoi(suffix); err == nil && idx >= 0 && idx < len(args) {
-					recordResult(sink, kernel, traceID(idx), r)
+					recordResult(sink, kernel, traceID(idx), campaign, r)
 				}
 			}
 		}
@@ -374,9 +395,10 @@ func (f *Flow) Run(batch Batch) error {
 	}
 	var observe func(*flow.Result)
 	if sink := f.trace; sink != nil {
+		campaign := f.campaign
 		observe = func(r *flow.Result) {
 			if i, err := strconv.Atoi(r.TaskID); err == nil && i >= 0 && i < n {
-				recordResult(sink, batch.Kernel, batch.taskID(i), r)
+				recordResult(sink, batch.Kernel, batch.taskID(i), campaign, r)
 			}
 		}
 	}

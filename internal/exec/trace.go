@@ -39,6 +39,10 @@ type TaskStats struct {
 	PayloadBytes int
 	// Err is the task's failure message ("" on success).
 	Err string
+	// Campaign is the multi-tenant namespace the task was submitted under
+	// (flow.Task.Campaign); empty for single-tenant runs. Per-campaign
+	// analysis rows and the timeline legend group by it.
+	Campaign string
 }
 
 // QueueSeconds is the time the task spent waiting for a worker.
@@ -120,7 +124,7 @@ func (t *Trace) WriteCSV(w io.Writer) error { return WriteStatsCSV(w, t.Rows()) 
 var StatsHeader = []string{
 	"task_id", "kernel", "worker_id",
 	"enqueued_unix_ns", "start_unix_ns", "finish_unix_ns",
-	"queue_s", "run_s", "payload_bytes", "error",
+	"queue_s", "run_s", "payload_bytes", "error", "campaign",
 }
 
 // WriteStatsCSV writes TaskStats rows as CSV in the StatsHeader schema —
@@ -150,6 +154,7 @@ func WriteStatsCSV(w io.Writer, rows []TaskStats) error {
 			strconv.FormatFloat(r.RunSeconds(), 'f', 6, 64),
 			strconv.Itoa(r.PayloadBytes),
 			r.Err,
+			r.Campaign,
 		}
 		if err := cw.Write(rec); err != nil {
 			return fmt.Errorf("exec: writing stats row %d: %w", i, err)
@@ -170,10 +175,22 @@ func CompletedFromStatsCSV(r io.Reader) ([]string, error) {
 	if err != nil {
 		return nil, fmt.Errorf("exec: reading stats header: %w", err)
 	}
-	if len(header) != len(StatsHeader) || header[0] != StatsHeader[0] {
+	// Accept both the current schema and the pre-campaign one (one column
+	// shorter), locating the error column by name — a resume must keep
+	// working against a stats file written by the previous release.
+	if header[0] != StatsHeader[0] || len(header) < len(StatsHeader)-1 || len(header) > len(StatsHeader) {
 		return nil, fmt.Errorf("exec: not a processing-times CSV (header %v)", header)
 	}
-	errCol := len(StatsHeader) - 1
+	errCol := -1
+	for i, name := range header {
+		if name == "error" {
+			errCol = i
+			break
+		}
+	}
+	if errCol < 0 {
+		return nil, fmt.Errorf("exec: not a processing-times CSV (header %v)", header)
+	}
 	var done []string
 	for {
 		rec, err := cr.Read()

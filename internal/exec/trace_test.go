@@ -24,15 +24,16 @@ func TestStatsCSVGoldenSchema(t *testing.T) {
 			TaskID: "DVU_00002/m3", Kernel: "campaign/infer", WorkerID: "w02",
 			Enqueue: base.Add(time.Second), Start: base.Add(1500 * time.Millisecond),
 			Finish: base.Add(2 * time.Second), PayloadBytes: 0, Err: "boom",
+			Campaign: "dvu-full",
 		},
 	}
 	var sb strings.Builder
 	if err := WriteStatsCSV(&sb, rows); err != nil {
 		t.Fatal(err)
 	}
-	golden := "task_id,kernel,worker_id,enqueued_unix_ns,start_unix_ns,finish_unix_ns,queue_s,run_s,payload_bytes,error\n" +
-		"DVU_00001,campaign/feature,w01,1643068800000000000,1643068800250000000,1643068801250000000,0.250000,1.000000,512,\n" +
-		"DVU_00002/m3,campaign/infer,w02,1643068801000000000,1643068801500000000,1643068802000000000,0.500000,0.500000,0,boom\n"
+	golden := "task_id,kernel,worker_id,enqueued_unix_ns,start_unix_ns,finish_unix_ns,queue_s,run_s,payload_bytes,error,campaign\n" +
+		"DVU_00001,campaign/feature,w01,1643068800000000000,1643068800250000000,1643068801250000000,0.250000,1.000000,512,,\n" +
+		"DVU_00002/m3,campaign/infer,w02,1643068801000000000,1643068801500000000,1643068802000000000,0.500000,0.500000,0,boom,dvu-full\n"
 	if sb.String() != golden {
 		t.Errorf("stats CSV schema changed:\n--- got ---\n%s--- want ---\n%s", sb.String(), golden)
 	}

@@ -133,6 +133,7 @@ func appendMessage(b []byte, m *message) []byte {
 		b = append(b, 0)
 	}
 	b = binary.AppendVarint(b, int64(m.Count))
+	b = appendString(b, m.Campaign)
 	return b
 }
 
@@ -144,6 +145,7 @@ func appendTask(b []byte, t *Task) []byte {
 	b = binary.AppendVarint(b, t.EnqueuedNS)
 	b = binary.AppendVarint(b, int64(t.Attempt))
 	b = appendBytes(b, t.EscalatePayload)
+	b = appendString(b, t.Campaign)
 	return b
 }
 
@@ -166,6 +168,7 @@ func appendEvent(b []byte, e *events.Event) []byte {
 	b = appendString(b, e.Worker)
 	b = appendString(b, e.Err)
 	b = binary.AppendVarint(b, int64(e.Attempt))
+	b = appendString(b, e.Campaign)
 	return b
 }
 
@@ -285,7 +288,7 @@ func (r *binReader) presence(what string) bool {
 // bytes. A claimed count whose elements cannot fit in the remaining
 // body is corrupt and must be rejected before it sizes an allocation.
 const (
-	minTaskWire   = 7 // id, label, weight, payload, enqueued_ns, attempt, escalate_payload
+	minTaskWire   = 8 // id, label, weight, payload, enqueued_ns, attempt, escalate_payload, campaign
 	minResultWire = 9 // task_id, worker_id, enqueued_ns, 2×time (2 bytes each), payload, error
 )
 
@@ -354,6 +357,7 @@ func readMessage(r *binReader, m *message) {
 		readEvent(r, m.Event)
 	}
 	m.Count = int(r.varint("count"))
+	m.Campaign = r.str("campaign")
 }
 
 func readTask(r *binReader, t *Task) {
@@ -364,6 +368,7 @@ func readTask(r *binReader, t *Task) {
 	t.EnqueuedNS = r.varint("task enqueued_ns")
 	t.Attempt = int(r.varint("task attempt"))
 	t.EscalatePayload = r.bytes("task escalate_payload")
+	t.Campaign = r.str("task campaign")
 }
 
 func readResult(r *binReader, res *Result) {
@@ -384,4 +389,5 @@ func readEvent(r *binReader, e *events.Event) {
 	e.Worker = r.str("event worker")
 	e.Err = r.str("event error")
 	e.Attempt = int(r.varint("event attempt"))
+	e.Campaign = r.str("event campaign")
 }

@@ -34,6 +34,13 @@ type Client struct {
 	// the deadline. Set it before calling Map.
 	ResultTimeout time.Duration
 
+	// Campaign, when set before Map, names the multi-tenant namespace the
+	// submission belongs to: it travels on the submit frame, the scheduler
+	// stamps it onto every task that does not carry its own, and the
+	// fair-share policy and admission quotas key on it. Empty (the
+	// default) keeps the submit frame byte-identical to earlier releases.
+	Campaign string
+
 	mu     sync.Mutex
 	closed bool
 }
@@ -89,7 +96,7 @@ func (c *Client) Map(tasks []Task, observe func(*Result)) ([]Result, error) {
 	if c.ResultTimeout > 0 {
 		_ = c.conn.SetWriteDeadline(time.Now().Add(c.ResultTimeout))
 	}
-	err := c.codec.Encode(&message{Type: msgSubmit, Tasks: tasks})
+	err := c.codec.Encode(&message{Type: msgSubmit, Tasks: tasks, Campaign: c.Campaign})
 	if err == nil {
 		err = c.codec.Flush()
 	}
@@ -99,8 +106,14 @@ func (c *Client) Map(tasks []Task, observe func(*Result)) ([]Result, error) {
 	_ = c.conn.SetWriteDeadline(time.Time{})
 
 	results := make([]Result, 0, len(tasks))
+	// settled dedupes by TaskID: a duplicate or stray result frame (a
+	// retried task whose first worker's ack raced its death, a buggy peer)
+	// must not count toward completion — without this, one duplicate lets
+	// Map return "complete" while another task's result never arrived. The
+	// first record per task wins and is the one observed and returned.
+	settled := make(map[string]bool, len(tasks))
 	accepted := false
-	for len(results) < len(tasks) {
+	for len(settled) < len(tasks) {
 		// Renew the progress deadline before every read: any message from
 		// the scheduler counts as progress, but a wedged scheduler (or a
 		// dead cluster) surfaces as a timeout error instead of a hang.
@@ -110,7 +123,7 @@ func (c *Client) Map(tasks []Task, observe func(*Result)) ([]Result, error) {
 		var m message
 		if err := c.codec.Decode(&m); err != nil {
 			return results, fmt.Errorf("flow: awaiting results (%d/%d done): %w",
-				len(results), len(tasks), err)
+				len(settled), len(tasks), err)
 		}
 		switch m.Type {
 		case msgAccepted:
@@ -120,6 +133,10 @@ func (c *Client) Map(tasks []Task, observe func(*Result)) ([]Result, error) {
 			// accepting the batched form too keeps the client compatible
 			// with a future scheduler that coalesces harder.
 			for _, r := range resultsOf(&m) {
+				if !ids[r.TaskID] || settled[r.TaskID] {
+					continue
+				}
+				settled[r.TaskID] = true
 				results = append(results, r)
 				if observe != nil {
 					observe(&results[len(results)-1])

@@ -32,9 +32,10 @@ func fullMessage() *message {
 			ID: "t1", Label: "fold", Weight: 2.5,
 			Payload: json.RawMessage(`{"a":1}`), EnqueuedNS: 42, Attempt: 1,
 			EscalatePayload: json.RawMessage(`{"full":true}`),
+			Campaign:        "dvu-full",
 		},
 		Tasks: []Task{
-			{ID: "t2", Weight: -0.25},
+			{ID: "t2", Weight: -0.25, Campaign: "rru-pilot"},
 			{ID: "t3", Label: "relax", Payload: json.RawMessage(`"x"`)},
 		},
 		Result: &Result{
@@ -48,8 +49,10 @@ func fullMessage() *message {
 		Event: &events.Event{
 			Seq: 7, TimeNS: 99, Type: events.TaskDone,
 			Task: "t1", Worker: "w1", Err: "e", Attempt: 2,
+			Campaign: "dvu-full",
 		},
-		Count: -5,
+		Count:    -5,
+		Campaign: "dvu-full",
 	}
 }
 

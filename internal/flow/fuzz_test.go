@@ -97,6 +97,9 @@ func FuzzDecodeMessage(f *testing.F) {
 	f.Add([]byte(`{"type":"event","event":{"seq":3,"t_ns":9,"type":"queued","task":"a","attempt":1}}`))
 	f.Add([]byte(`{"type":"event","event":{"seq":4,"t_ns":10,"type":"quarantined","task":"a","attempt":3}}`))
 	f.Add([]byte(`{"type":"event","event":{"seq":5,"t_ns":11,"type":"worker_lost","worker":"w1","error":"silent"}}`))
+	f.Add([]byte(`{"type":"submit","campaign":"dvu-full","tasks":[{"id":"a"},{"id":"b","campaign":"rru-pilot"}]}`))
+	f.Add([]byte(`{"type":"task","task":{"id":"t1","campaign":"dvu-full","payload":{"kernel":"k"}}}`))
+	f.Add([]byte(`{"type":"event","event":{"seq":9,"t_ns":12,"type":"done","task":"a","worker":"w1","campaign":"dvu-full"}}`))
 	f.Add([]byte(`{"type":"shutdown"}`))
 	f.Add([]byte(`{"type":1}`))
 	f.Add([]byte(`{}`))
@@ -152,6 +155,15 @@ func FuzzDecodeMessage(f *testing.F) {
 		if m.Task != nil && compactJSON(m.Task.EscalatePayload) != compactJSON(again.Task.EscalatePayload) {
 			t.Fatalf("escalate payload changed across round trip: %s != %s",
 				m.Task.EscalatePayload, again.Task.EscalatePayload)
+		}
+		// The multi-tenant identity rides the same frames: the submit
+		// frame's campaign namespace and each task's own campaign must
+		// survive every hop.
+		if again.Campaign != m.Campaign {
+			t.Fatalf("submit campaign changed across round trip: %q != %q", again.Campaign, m.Campaign)
+		}
+		if m.Task != nil && again.Task.Campaign != m.Task.Campaign {
+			t.Fatalf("task campaign changed across round trip: %q != %q", again.Task.Campaign, m.Task.Campaign)
 		}
 	})
 }

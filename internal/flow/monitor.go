@@ -34,6 +34,13 @@ type Monitor struct {
 	// supervised deployments.
 	ReadTimeout time.Duration
 
+	// Campaign, when set before the first Next, filters the stream to one
+	// campaign namespace (`monitor -campaign`): task-scoped events of
+	// other campaigns are skipped client-side. Fleet-wide events (worker
+	// membership, truncation markers) always pass, since they concern
+	// every campaign sharing the scheduler.
+	Campaign string
+
 	mu     sync.Mutex
 	closed bool
 }
@@ -103,6 +110,9 @@ func (m *Monitor) Next() (events.Event, error) {
 		}
 		if err := msg.Event.Validate(); err != nil {
 			return events.Event{}, fmt.Errorf("flow: monitor stream: %w", err)
+		}
+		if m.Campaign != "" && msg.Event.Type.TaskScoped() && msg.Event.Campaign != m.Campaign {
+			continue
 		}
 		return *msg.Event, nil
 	}

@@ -1,0 +1,198 @@
+package flow
+
+import "fmt"
+
+// Queue policy names accepted by Scheduler.Policy (`sched -policy`).
+const (
+	// PolicyFIFO is the default: one global first-in-first-out queue,
+	// byte-identical in handout order, wire frames, and event stream to
+	// every release before the policy interface existed.
+	PolicyFIFO = "fifo"
+	// PolicyFair round-robins handout across campaigns, so a second
+	// campaign submitted mid-run starts completing tasks immediately
+	// instead of starving behind the first — the shared-scheduler
+	// discipline of the paper's Summit deployment, where many submitters
+	// coexist on one worker fleet.
+	PolicyFair = "fair"
+)
+
+// queued is one task waiting in (or in flight from) the scheduler's
+// queue, together with its submitting client and retry history. Only the
+// event loop goroutine touches it.
+type queued struct {
+	task     Task
+	client   *clientConn
+	attempts int // deliveries that ended with the worker dying
+	// running records that a TaskRunning event was emitted for the
+	// current delivery: only the head of a batch runs at handout, the
+	// rest wait in the worker and are marked running on a partial ack.
+	running bool
+}
+
+// queuePolicy is the pluggable queue discipline of the scheduler: it owns
+// the order in which queued tasks are handed to free workers. Implementors
+// are called only from the event loop goroutine, so they need no locking.
+type queuePolicy interface {
+	// Push appends a newly admitted task.
+	Push(q queued)
+	// PushFront returns a requeued task (its worker died) to the head of
+	// its queue, ahead of every waiting task of the same origin.
+	PushFront(q queued)
+	// Pop removes and returns the next task to hand out.
+	Pop() (queued, bool)
+	// Len reports how many tasks are waiting.
+	Len() int
+	// DropClient removes every queued task submitted by cc, returning
+	// them in queue order (for drop events and admission release).
+	DropClient(cc *clientConn) []queued
+}
+
+// newQueuePolicy maps a policy name to an implementation. The empty name
+// selects the FIFO default.
+func newQueuePolicy(name string) (queuePolicy, error) {
+	switch name {
+	case "", PolicyFIFO:
+		return &fifoPolicy{}, nil
+	case PolicyFair:
+		return newFairPolicy(), nil
+	}
+	return nil, fmt.Errorf("flow: unknown queue policy %q (want %q or %q)", name, PolicyFIFO, PolicyFair)
+}
+
+// fifoPolicy is one global first-in-first-out queue — exactly the
+// pre-policy scheduler's []queued, so the default handout order is
+// unchanged task for task.
+type fifoPolicy struct {
+	q []queued
+}
+
+func (p *fifoPolicy) Push(q queued)      { p.q = append(p.q, q) }
+func (p *fifoPolicy) PushFront(q queued) { p.q = append([]queued{q}, p.q...) }
+
+func (p *fifoPolicy) Pop() (queued, bool) {
+	if len(p.q) == 0 {
+		return queued{}, false
+	}
+	q := p.q[0]
+	p.q = p.q[1:]
+	return q, true
+}
+
+func (p *fifoPolicy) Len() int { return len(p.q) }
+
+func (p *fifoPolicy) DropClient(cc *clientConn) []queued {
+	var dropped []queued
+	kept := p.q[:0]
+	for _, q := range p.q {
+		if q.client == cc {
+			dropped = append(dropped, q)
+		} else {
+			kept = append(kept, q)
+		}
+	}
+	p.q = kept
+	return dropped
+}
+
+// fairLaneKey is the fair-share lane identity of a task: its campaign
+// when named, else the submitting client connection — so unnamed
+// submitters are still isolated from each other, and tasks orphaned by a
+// client disconnect (nil client) share one leftover lane.
+func fairLaneKey(q *queued) any {
+	if q.task.Campaign != "" {
+		return q.task.Campaign
+	}
+	return q.client
+}
+
+// fairPolicy keeps one FIFO lane per campaign and round-robins Pop across
+// the lanes, so every campaign sharing the fleet drains at the same
+// per-handout rate regardless of how many tasks each has queued. Within a
+// lane, order is exactly the FIFO default.
+type fairPolicy struct {
+	lanes map[any]*fifoPolicy
+	// order lists live lanes in first-seen order; next is the round-robin
+	// cursor into it. Emptied lanes are removed so a finished campaign
+	// stops costing a turn, and re-join at the tail when it submits again.
+	order []any
+	next  int
+	n     int
+}
+
+func newFairPolicy() *fairPolicy {
+	return &fairPolicy{lanes: map[any]*fifoPolicy{}}
+}
+
+func (p *fairPolicy) lane(key any) *fifoPolicy {
+	l, ok := p.lanes[key]
+	if !ok {
+		l = &fifoPolicy{}
+		p.lanes[key] = l
+		p.order = append(p.order, key)
+	}
+	return l
+}
+
+func (p *fairPolicy) Push(q queued) {
+	p.lane(fairLaneKey(&q)).Push(q)
+	p.n++
+}
+
+func (p *fairPolicy) PushFront(q queued) {
+	p.lane(fairLaneKey(&q)).PushFront(q)
+	p.n++
+}
+
+// removeLane drops the lane at position i in the rotation. The lane that
+// shifts into i is the next to serve, so the cursor stays put (mod the
+// shrunken rotation).
+func (p *fairPolicy) removeLane(i int) {
+	delete(p.lanes, p.order[i])
+	p.order = append(p.order[:i], p.order[i+1:]...)
+	if i < p.next {
+		p.next--
+	}
+	if len(p.order) == 0 || p.next >= len(p.order) {
+		p.next = 0
+	}
+}
+
+func (p *fairPolicy) Pop() (queued, bool) {
+	for len(p.order) > 0 {
+		if p.next >= len(p.order) {
+			p.next = 0
+		}
+		l := p.lanes[p.order[p.next]]
+		q, ok := l.Pop()
+		if !ok {
+			p.removeLane(p.next)
+			continue
+		}
+		p.n--
+		if l.Len() == 0 {
+			p.removeLane(p.next)
+		} else {
+			p.next = (p.next + 1) % len(p.order)
+		}
+		return q, true
+	}
+	return queued{}, false
+}
+
+func (p *fairPolicy) Len() int { return p.n }
+
+func (p *fairPolicy) DropClient(cc *clientConn) []queued {
+	var dropped []queued
+	for i := 0; i < len(p.order); {
+		l := p.lanes[p.order[i]]
+		d := l.DropClient(cc)
+		dropped = append(dropped, d...)
+		p.n -= len(d)
+		if l.Len() == 0 {
+			p.removeLane(i)
+		} else {
+			i++
+		}
+	}
+	return dropped
+}

@@ -1,0 +1,160 @@
+package flow
+
+import (
+	"strings"
+	"testing"
+)
+
+func queuedTask(id, campaign string, cc *clientConn) queued {
+	return queued{task: Task{ID: id, Campaign: campaign}, client: cc}
+}
+
+func popIDs(t *testing.T, p queuePolicy, n int) []string {
+	t.Helper()
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		q, ok := p.Pop()
+		if !ok {
+			t.Fatalf("Pop %d/%d: queue ran dry", i+1, n)
+		}
+		ids = append(ids, q.task.ID)
+	}
+	return ids
+}
+
+func TestNewQueuePolicyNames(t *testing.T) {
+	for _, name := range []string{"", PolicyFIFO} {
+		p, err := newQueuePolicy(name)
+		if err != nil {
+			t.Fatalf("newQueuePolicy(%q): %v", name, err)
+		}
+		if _, ok := p.(*fifoPolicy); !ok {
+			t.Errorf("newQueuePolicy(%q) = %T, want *fifoPolicy", name, p)
+		}
+	}
+	p, err := newQueuePolicy(PolicyFair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.(*fairPolicy); !ok {
+		t.Errorf("newQueuePolicy(fair) = %T, want *fairPolicy", p)
+	}
+	if _, err := newQueuePolicy("priority"); err == nil || !strings.Contains(err.Error(), PolicyFair) {
+		t.Errorf("unknown policy error = %v, want mention of the valid names", err)
+	}
+}
+
+// TestFIFOPolicyArrivalOrder pins the default discipline to the exact
+// pre-policy slice semantics: strict arrival order, with PushFront
+// (requeue) jumping the whole line.
+func TestFIFOPolicyArrivalOrder(t *testing.T) {
+	p, _ := newQueuePolicy("")
+	for _, id := range []string{"t0", "t1", "t2"} {
+		p.Push(queuedTask(id, "", nil))
+	}
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", p.Len())
+	}
+	if got := popIDs(t, p, 1); got[0] != "t0" {
+		t.Fatalf("first pop = %s, want t0", got[0])
+	}
+	p.PushFront(queuedTask("t0r", "", nil))
+	if got := strings.Join(popIDs(t, p, 3), ","); got != "t0r,t1,t2" {
+		t.Errorf("pops = %s, want t0r,t1,t2 (requeue jumps the line)", got)
+	}
+	if _, ok := p.Pop(); ok || p.Len() != 0 {
+		t.Error("drained queue still pops")
+	}
+}
+
+func TestFIFOPolicyDropClient(t *testing.T) {
+	p, _ := newQueuePolicy(PolicyFIFO)
+	gone, stay := &clientConn{}, &clientConn{}
+	p.Push(queuedTask("g0", "", gone))
+	p.Push(queuedTask("s0", "", stay))
+	p.Push(queuedTask("g1", "", gone))
+	dropped := p.DropClient(gone)
+	if len(dropped) != 2 || dropped[0].task.ID != "g0" || dropped[1].task.ID != "g1" {
+		t.Fatalf("dropped = %+v, want g0,g1 in queue order", dropped)
+	}
+	if p.Len() != 1 {
+		t.Fatalf("Len after drop = %d, want 1", p.Len())
+	}
+	if got := popIDs(t, p, 1); got[0] != "s0" {
+		t.Errorf("survivor = %s, want s0", got[0])
+	}
+}
+
+// TestFairPolicyRoundRobin: handout alternates across campaign lanes, so
+// the second campaign's first task goes out ahead of the first campaign's
+// backlog; within a lane, order is the FIFO default.
+func TestFairPolicyRoundRobin(t *testing.T) {
+	p, _ := newQueuePolicy(PolicyFair)
+	for _, id := range []string{"a0", "a1", "a2"} {
+		p.Push(queuedTask(id, "A", nil))
+	}
+	for _, id := range []string{"b0", "b1"} {
+		p.Push(queuedTask(id, "B", nil))
+	}
+	if p.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", p.Len())
+	}
+	if got := strings.Join(popIDs(t, p, 5), ","); got != "a0,b0,a1,b1,a2" {
+		t.Errorf("pops = %s, want a0,b0,a1,b1,a2 (round-robin across lanes)", got)
+	}
+	if _, ok := p.Pop(); ok || p.Len() != 0 {
+		t.Error("drained queue still pops")
+	}
+}
+
+// TestFairPolicyPushFrontStaysInLane: a requeued task jumps its own lane's
+// line without disturbing the rotation across lanes.
+func TestFairPolicyPushFrontStaysInLane(t *testing.T) {
+	p, _ := newQueuePolicy(PolicyFair)
+	p.Push(queuedTask("a0", "A", nil))
+	p.Push(queuedTask("a1", "A", nil))
+	p.Push(queuedTask("b0", "B", nil))
+	if got := popIDs(t, p, 1); got[0] != "a0" {
+		t.Fatalf("first pop = %s, want a0", got[0])
+	}
+	p.PushFront(queuedTask("a0r", "A", nil))
+	if got := strings.Join(popIDs(t, p, 3), ","); got != "b0,a0r,a1" {
+		t.Errorf("pops = %s, want b0,a0r,a1 (requeue heads its own lane)", got)
+	}
+}
+
+// TestFairPolicyLanesUnnamedSubmittersByClient: tasks with no campaign
+// identity still get fair treatment — one lane per client connection.
+func TestFairPolicyLanesUnnamedSubmittersByClient(t *testing.T) {
+	p, _ := newQueuePolicy(PolicyFair)
+	c1, c2 := &clientConn{}, &clientConn{}
+	p.Push(queuedTask("x0", "", c1))
+	p.Push(queuedTask("x1", "", c1))
+	p.Push(queuedTask("y0", "", c2))
+	if got := strings.Join(popIDs(t, p, 3), ","); got != "x0,y0,x1" {
+		t.Errorf("pops = %s, want x0,y0,x1 (per-client lanes)", got)
+	}
+}
+
+// TestFairPolicyDropClientAcrossLanes: a disconnecting client's tasks
+// vanish from every lane it touched, lanes it emptied stop costing a
+// rotation turn, and other campaigns' tasks are untouched.
+func TestFairPolicyDropClientAcrossLanes(t *testing.T) {
+	p, _ := newQueuePolicy(PolicyFair)
+	gone, stay := &clientConn{}, &clientConn{}
+	p.Push(queuedTask("a0", "A", gone))
+	p.Push(queuedTask("a1", "A", stay))
+	p.Push(queuedTask("b0", "B", gone))
+	p.Push(queuedTask("c0", "C", stay))
+	dropped := p.DropClient(gone)
+	if len(dropped) != 2 || dropped[0].task.ID != "a0" || dropped[1].task.ID != "b0" {
+		t.Fatalf("dropped = %+v, want a0,b0", dropped)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("Len after drop = %d, want 2", p.Len())
+	}
+	// Lane B emptied and left the rotation: the survivors alternate A, C.
+	if got := strings.Join(popIDs(t, p, 2), ","); got != "a1,c0" {
+		t.Errorf("pops = %s, want a1,c0", got)
+	}
+}

@@ -67,6 +67,14 @@ type Task struct {
 	// high-memory retry wave moved scheduler-side, so a task that killed
 	// its worker is redelivered with escalated resources automatically.
 	EscalatePayload json.RawMessage `json:"escalate_payload,omitempty"`
+	// Campaign is the multi-tenant namespace of the task — the submitting
+	// campaign it belongs to, as on the paper's shared Summit scheduler
+	// where many submitters coexist on one worker fleet. The fair-share
+	// queue policy round-robins handout across campaigns, and admission
+	// quotas are charged per campaign. Usually inherited from the submit
+	// frame's Campaign; a task-level value wins. Empty (the default)
+	// keeps the wire byte-identical to earlier releases.
+	Campaign string `json:"campaign,omitempty"`
 }
 
 // Result is the completion record of one task, including the timing fields
@@ -133,6 +141,10 @@ type message struct {
 	Event *events.Event `json:"event,omitempty"`
 	// batch bookkeeping
 	Count int `json:"count,omitempty"`
+	// Campaign, on a submit frame, names the campaign every task in the
+	// frame belongs to (tasks carrying their own Campaign win). Absent for
+	// single-tenant submitters, keeping the classic wire byte-identical.
+	Campaign string `json:"campaign,omitempty"`
 }
 
 const (

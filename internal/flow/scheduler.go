@@ -68,6 +68,26 @@ type Scheduler struct {
 	// fleets of old and new workers drain one queue safely.
 	Batch int
 
+	// Policy selects the queue discipline (`sched -policy`): PolicyFIFO
+	// (or empty) keeps the classic global FIFO, byte-identical in handout
+	// order and wire traffic; PolicyFair round-robins handout across
+	// campaigns so concurrent campaigns share the fleet without
+	// starvation. Set before Start, which validates the name.
+	Policy string
+
+	// Quota, when positive, bounds how many tasks per campaign (per
+	// client connection for unnamed submissions) may be admitted —
+	// queued plus in flight — at once (`sched -quota`). Tasks submitted
+	// beyond the quota are deferred, and the submit's accepted ack is
+	// withheld until every task of the frame has been admitted: the
+	// backpressure signal for submitters that pace on the ack. Zero
+	// disables quotas.
+	Quota int
+
+	// policy is the queue built by Start from Policy; only the event
+	// loop touches it afterwards.
+	policy queuePolicy
+
 	hub *events.Hub
 
 	ln   net.Listener
@@ -87,6 +107,9 @@ type schedEvent struct {
 	cc   *clientConn
 	ress []Result
 	tsk  []Task
+	// campaign is the submit frame's campaign namespace; tasks carrying
+	// their own Campaign win over it.
+	campaign string
 }
 
 type workerConn struct {
@@ -154,6 +177,11 @@ func (s *Scheduler) RestoreEvents(evs []events.Event) error {
 // Start listens on addr (e.g. "127.0.0.1:0") and runs the scheduler loop in
 // the background. It returns the bound address.
 func (s *Scheduler) Start(addr string) (string, error) {
+	policy, err := newQueuePolicy(s.Policy)
+	if err != nil {
+		return "", err
+	}
+	s.policy = policy
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("flow: scheduler listen: %w", err)
@@ -311,7 +339,7 @@ func (s *Scheduler) serveConn(conn net.Conn) {
 		}
 	case msgSubmit:
 		cc := &clientConn{codec: codec, conn: conn}
-		s.sendEvent(schedEvent{kind: "submit", cc: cc, tsk: first.Tasks})
+		s.sendEvent(schedEvent{kind: "submit", cc: cc, tsk: first.Tasks, campaign: first.Campaign})
 		// Keep reading to detect disconnect and accept more submissions.
 		for {
 			var m message
@@ -320,7 +348,7 @@ func (s *Scheduler) serveConn(conn net.Conn) {
 				return
 			}
 			if m.Type == msgSubmit {
-				s.sendEvent(schedEvent{kind: "submit", cc: cc, tsk: m.Tasks})
+				s.sendEvent(schedEvent{kind: "submit", cc: cc, tsk: m.Tasks, campaign: m.Campaign})
 			}
 		}
 	case msgSubscribe:
@@ -384,24 +412,121 @@ func (s *Scheduler) emit(typ events.Type, task, worker, errMsg string) {
 	s.hub.Emit(events.Event{Type: typ, Task: task, Worker: worker, Err: errMsg})
 }
 
-// eventLoop is the single-threaded heart of the scheduler: a FIFO task
-// queue plus a free-worker list, draining in dataflow fashion.
+// emitTask records one task-scoped event, carrying the task's campaign
+// namespace so monitors and the event log can attribute the transition.
+func (s *Scheduler) emitTask(typ events.Type, t *Task, worker, errMsg string) {
+	s.hub.Emit(events.Event{Type: typ, Task: taskLabel(t), Worker: worker, Err: errMsg, Campaign: t.Campaign})
+}
+
+// eventLoop is the single-threaded heart of the scheduler: a policy-owned
+// task queue plus a free-worker list, draining in dataflow fashion.
 func (s *Scheduler) eventLoop() {
 	defer s.wg.Done()
 
-	type queued struct {
-		task     Task
-		client   *clientConn
-		attempts int // deliveries that ended with the worker dying
-		// running records that a TaskRunning event was emitted for the
-		// current delivery: only the head of a batch runs at handout, the
-		// rest wait in the worker and are marked running on a partial ack.
-		running bool
-	}
-	var queue []queued
+	queue := s.policy
 	var free []*workerConn
 	workers := map[*workerConn]bool{}
 	inFlight := map[string]queued{} // task ID -> origin, for requeue
+
+	// --- admission (quota) state ---
+	//
+	// A task is "admitted" from the moment it enters the queue until it
+	// settles (result forwarded, quarantined, or dropped). Admission is
+	// charged per campaign for named submissions (campAdmitted), and per
+	// client connection otherwise — clientConn.pending is that counter.
+	// Tasks submitted beyond the quota wait in deferred, in arrival
+	// order, and their submit frame's accepted ack is withheld until the
+	// whole frame has been admitted.
+
+	// submission tracks one submit frame's deferred-ack bookkeeping.
+	type submission struct {
+		cc      *clientConn
+		total   int
+		waiting int // tasks of this frame still deferred
+	}
+	type deferredTask struct {
+		q   queued
+		sub *submission
+	}
+	campAdmitted := map[string]int{}      // campaign -> admitted tasks
+	deferred := map[any][]*deferredTask{} // admission key -> waiting, FIFO
+
+	// admissionKey mirrors fairLaneKey: the campaign when named, else the
+	// submitting client connection.
+	admissionKey := func(q *queued) any {
+		if q.task.Campaign != "" {
+			return q.task.Campaign
+		}
+		return q.client
+	}
+
+	// quotaOK reports whether the namespace behind key may admit one more
+	// task.
+	quotaOK := func(key any) bool {
+		if s.Quota <= 0 {
+			return true
+		}
+		switch k := key.(type) {
+		case string:
+			return campAdmitted[k] < s.Quota
+		case *clientConn:
+			return k != nil && k.pending < s.Quota
+		}
+		return true
+	}
+
+	// admit charges the task against its namespace, stamps the enqueue
+	// time, and queues it.
+	admit := func(q queued, now int64) {
+		q.task.EnqueuedNS = now
+		if q.task.Campaign != "" {
+			campAdmitted[q.task.Campaign]++
+		}
+		if q.client != nil {
+			q.client.pending++
+		}
+		s.emitTask(events.TaskQueued, &q.task, "", "")
+		queue.Push(q)
+	}
+
+	// admitDeferred admits as many of key's deferred tasks as the quota
+	// now allows, releasing each submit's accepted ack once its last task
+	// is admitted.
+	admitDeferred := func(key any) {
+		list := deferred[key]
+		if len(list) == 0 {
+			return
+		}
+		for len(list) > 0 && quotaOK(key) {
+			d := list[0]
+			list = list[1:]
+			admit(d.q, time.Now().UnixNano())
+			d.sub.waiting--
+			if d.sub.waiting == 0 {
+				_ = d.sub.cc.send(&message{Type: msgAccepted, Count: d.sub.total})
+			}
+		}
+		if len(list) == 0 {
+			delete(deferred, key)
+		} else {
+			deferred[key] = list
+		}
+	}
+
+	// settle releases an admitted task's quota charge (its result was
+	// forwarded, or it was quarantined or dropped) and admits any work
+	// that was waiting on the freed slot.
+	settle := func(q *queued) {
+		if q.task.Campaign != "" {
+			if campAdmitted[q.task.Campaign]--; campAdmitted[q.task.Campaign] <= 0 {
+				delete(campAdmitted, q.task.Campaign)
+			}
+		}
+		if q.client != nil {
+			q.client.pending--
+		}
+		admitDeferred(admissionKey(q))
+	}
 
 	// requeue returns a task whose worker died to the front of the queue,
 	// charging one attempt against the retry budget. Over budget, the
@@ -414,12 +539,12 @@ func (s *Scheduler) eventLoop() {
 		if s.MaxRetries > 0 && q.attempts > s.MaxRetries {
 			errMsg := fmt.Sprintf("flow: task %s quarantined: worker died on all %d attempts (retry budget %d)",
 				label, q.attempts, s.MaxRetries)
-			s.hub.Emit(events.Event{Type: events.TaskFailed, Task: label, Err: errMsg, Attempt: q.attempts})
-			s.hub.Emit(events.Event{Type: events.TaskQuarantined, Task: label, Attempt: q.attempts})
+			s.hub.Emit(events.Event{Type: events.TaskFailed, Task: label, Err: errMsg, Attempt: q.attempts, Campaign: q.task.Campaign})
+			s.hub.Emit(events.Event{Type: events.TaskQuarantined, Task: label, Attempt: q.attempts, Campaign: q.task.Campaign})
 			if q.client != nil {
 				_ = q.client.send(&message{Type: msgResult, Result: &Result{TaskID: q.task.ID, Err: errMsg}})
-				q.client.pending--
 			}
+			settle(&q)
 			return
 		}
 		// Resource escalation on retry (the paper's high-memory wave,
@@ -429,8 +554,9 @@ func (s *Scheduler) eventLoop() {
 			q.task.Payload = q.task.EscalatePayload
 		}
 		q.task.Attempt = q.attempts
-		queue = append([]queued{q}, queue...)
-		s.hub.Emit(events.Event{Type: events.TaskQueued, Task: label, Attempt: q.attempts})
+		q.running = false
+		queue.PushFront(q)
+		s.hub.Emit(events.Event{Type: events.TaskQueued, Task: label, Attempt: q.attempts, Campaign: q.task.Campaign})
 	}
 
 	// requeueCurrent returns a dead worker's whole in-flight batch to the
@@ -480,7 +606,7 @@ func (s *Scheduler) eventLoop() {
 	}
 
 	assign := func() {
-		for len(queue) > 0 && len(free) > 0 {
+		for queue.Len() > 0 && len(free) > 0 {
 			w := free[0]
 			free = free[1:]
 			// Clamp to what the worker advertised at registration; a
@@ -493,12 +619,18 @@ func (s *Scheduler) eventLoop() {
 					n = 1
 				}
 			}
-			if n > len(queue) {
-				n = len(queue)
+			if n > queue.Len() {
+				n = queue.Len()
 			}
-			batch := make([]queued, n)
-			copy(batch, queue[:n])
-			queue = queue[n:]
+			batch := make([]queued, 0, n)
+			for len(batch) < n {
+				q, ok := queue.Pop()
+				if !ok {
+					break
+				}
+				batch = append(batch, q)
+			}
+			n = len(batch)
 			w.busy = true
 			w.current = w.current[:0]
 			tasks := make([]Task, n)
@@ -507,7 +639,7 @@ func (s *Scheduler) eventLoop() {
 				q.running = i == 0
 				inFlight[q.task.ID] = q
 				w.current = append(w.current, q.task.ID)
-				s.emit(events.TaskAssigned, taskLabel(&q.task), w.id, "")
+				s.emitTask(events.TaskAssigned, &q.task, w.id, "")
 			}
 			// One frame per handout: the singular legacy form for a lone
 			// task (wire-identical to pre-batch releases), the batched form
@@ -523,18 +655,22 @@ func (s *Scheduler) eventLoop() {
 				err = w.codec.Flush()
 			}
 			if err != nil {
-				// Worker send failed: requeue the whole batch in order and
-				// drop the worker.
+				// Worker send failed: drop the worker and requeue the whole
+				// batch, back to front so the queue head ends up in original
+				// handout order. Going through requeue charges these
+				// deliveries against the retry budget like any other worker
+				// death — a worker dying exactly at send time must not grant
+				// its batch a free attempt, or a poison task could cycle
+				// through send failures forever.
 				for _, q := range batch {
 					delete(inFlight, q.task.ID)
 				}
 				w.current = w.current[:0]
-				queue = append(batch, queue...)
 				delete(workers, w)
 				w.conn.Close()
 				s.emit(events.WorkerLeave, "", w.id, "")
-				for i := range batch {
-					s.emit(events.TaskQueued, taskLabel(&batch[i].task), "", "")
+				for i := len(batch) - 1; i >= 0; i-- {
+					requeue(batch[i])
 				}
 				continue
 			}
@@ -544,7 +680,7 @@ func (s *Scheduler) eventLoop() {
 			// moved on; the exact per-task execution bracket is always the
 			// Result's Start/End stamps, the event stream records when the
 			// scheduler learned of each transition.
-			s.emit(events.TaskRunning, taskLabel(&tasks[0]), w.id, "")
+			s.emitTask(events.TaskRunning, &tasks[0], w.id, "")
 		}
 	}
 
@@ -597,6 +733,15 @@ func (s *Scheduler) eventLoop() {
 				}
 				assign()
 			case "result":
+				// A result from a worker no longer in the fleet — its read
+				// pump failed, or the heartbeat sweep dropped it while this
+				// frame sat in the channel — must not be settled: its batch
+				// was already requeued (and possibly reassigned), so settling
+				// here would duplicate the client's result and misattribute
+				// a done event to a dead worker.
+				if !workers[e.wc] {
+					break
+				}
 				e.wc.lastBeat = time.Now()
 				// One frame may ack a whole batch. Each record is settled
 				// individually; client forwards coalesce into one flush per
@@ -604,11 +749,21 @@ func (s *Scheduler) eventLoop() {
 				var flushed []*clientConn
 				for i := range e.ress {
 					res := &e.ress[i]
+					// The record must ack a task this worker currently holds:
+					// a duplicate reply, or a reply to a delivery that was
+					// since requeued to another worker, is dropped. This is
+					// the per-attempt identity check — inFlight alone would
+					// settle the task against the wrong (live) delivery.
+					delivered := false
 					for j, id := range e.wc.current {
 						if id == res.TaskID {
 							e.wc.current = append(e.wc.current[:j], e.wc.current[j+1:]...)
+							delivered = true
 							break
 						}
+					}
+					if !delivered {
+						continue
 					}
 					q, ok := inFlight[res.TaskID]
 					if !ok {
@@ -616,13 +771,12 @@ func (s *Scheduler) eventLoop() {
 					}
 					delete(inFlight, res.TaskID)
 					if res.Err != "" {
-						s.emit(events.TaskFailed, taskLabel(&q.task), e.wc.id, res.Err)
+						s.emitTask(events.TaskFailed, &q.task, e.wc.id, res.Err)
 					} else {
-						s.emit(events.TaskDone, taskLabel(&q.task), e.wc.id, "")
+						s.emitTask(events.TaskDone, &q.task, e.wc.id, "")
 					}
 					if q.client != nil {
 						_ = q.client.codec.Encode(&message{Type: msgResult, Result: res})
-						q.client.pending--
 						already := false
 						for _, cc := range flushed {
 							if cc == q.client {
@@ -634,6 +788,7 @@ func (s *Scheduler) eventLoop() {
 							flushed = append(flushed, q.client)
 						}
 					}
+					settle(&q)
 				}
 				for _, cc := range flushed {
 					_ = cc.codec.Flush()
@@ -646,7 +801,7 @@ func (s *Scheduler) eventLoop() {
 					if q, ok := inFlight[head]; ok && !q.running {
 						q.running = true
 						inFlight[head] = q
-						s.emit(events.TaskRunning, taskLabel(&q.task), e.wc.id, "")
+						s.emitTask(events.TaskRunning, &q.task, e.wc.id, "")
 					}
 				}
 				// Only a worker that was actually busy — and whose batch is
@@ -662,36 +817,70 @@ func (s *Scheduler) eventLoop() {
 				}
 				assign()
 			case "submit":
-				e.cc.pending += len(e.tsk)
-				_ = e.cc.send(&message{Type: msgAccepted, Count: len(e.tsk)})
 				// The scheduler owns the enqueue stamp: it marks when the
 				// task entered the queue, and travels with the assignment
-				// so the worker can echo it back in the Result.
+				// so the worker can echo it back in the Result. Tasks beyond
+				// the campaign quota are deferred instead of admitted, and
+				// the accepted ack is withheld until the whole frame is in —
+				// the backpressure signal.
+				sub := &submission{cc: e.cc, total: len(e.tsk)}
 				now := time.Now().UnixNano()
 				for _, t := range e.tsk {
-					t.EnqueuedNS = now
-					s.emit(events.TaskReceived, taskLabel(&t), "", "")
-					s.emit(events.TaskQueued, taskLabel(&t), "", "")
-					queue = append(queue, queued{task: t, client: e.cc})
+					if t.Campaign == "" {
+						t.Campaign = e.campaign
+					}
+					s.emitTask(events.TaskReceived, &t, "", "")
+					q := queued{task: t, client: e.cc}
+					key := admissionKey(&q)
+					// Anything already deferred for this namespace keeps
+					// arrival order: later tasks queue behind it even if a
+					// slot happens to be free right now.
+					if s.Quota > 0 && (!quotaOK(key) || len(deferred[key]) > 0) {
+						sub.waiting++
+						deferred[key] = append(deferred[key], &deferredTask{q: q, sub: sub})
+						continue
+					}
+					admit(q, now)
+				}
+				if sub.waiting == 0 {
+					_ = e.cc.send(&message{Type: msgAccepted, Count: sub.total})
 				}
 				assign()
 			case "clientGone":
-				// Orphan this client's queued tasks: drop them.
-				kept := queue[:0]
-				for _, q := range queue {
-					if q.client != e.cc {
-						kept = append(kept, q)
+				// Purge this client's deferred submissions first: settling
+				// its dropped queued tasks below re-admits deferred work in
+				// the same namespace, and the gone client's own tasks must
+				// not be the ones admitted.
+				for key, list := range deferred {
+					kept := list[:0]
+					for _, d := range list {
+						if d.sub.cc == e.cc {
+							s.emitTask(events.TaskDropped, &d.q.task, "", "")
+						} else {
+							kept = append(kept, d)
+						}
+					}
+					if len(kept) == 0 {
+						delete(deferred, key)
 					} else {
-						s.emit(events.TaskDropped, taskLabel(&q.task), "", "")
+						deferred[key] = kept
 					}
 				}
-				queue = kept
+				// Orphan this client's queued tasks: drop them, releasing
+				// their admission slots to surviving campaign peers.
+				for _, q := range queue.DropClient(e.cc) {
+					s.emitTask(events.TaskDropped, &q.task, "", "")
+					settle(&q)
+				}
 				for id, q := range inFlight {
 					if q.client == e.cc {
 						q.client = nil
 						inFlight[id] = q
 					}
 				}
+				// Releasing the gone client's admission slots may have
+				// admitted deferred work from surviving clients.
+				assign()
 			}
 		}
 	}

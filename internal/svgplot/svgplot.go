@@ -34,6 +34,12 @@ type Interval struct {
 	// Label, when non-empty, becomes the block's hover tooltip (an SVG
 	// <title> child) — typically the task identity.
 	Label string
+	// Campaign, when positive, is the 1-based index into
+	// Timeline.CampaignLabels of the campaign this block belongs to: the
+	// block is filled with the campaign's palette color and the legend
+	// names it. Zero (the default) keeps the standard measured fill, so
+	// single-tenant figures render byte-identically.
+	Campaign int
 }
 
 // DepthPoint is one step of the queue-depth series.
@@ -62,6 +68,12 @@ type Timeline struct {
 	// MeasuredLabel and SimulatedLabel name the legend entries; empty
 	// selects "measured" and "simulated".
 	MeasuredLabel, SimulatedLabel string
+	// CampaignLabels, when non-empty, names the campaigns of a
+	// multi-tenant figure: a second legend row lists each label with its
+	// palette swatch, and intervals reference them 1-based through
+	// Interval.Campaign. Empty keeps the figure byte-identical to
+	// single-tenant releases.
+	CampaignLabels []string
 	// LODThreshold bounds how many individual task blocks an interval set
 	// may draw before the renderer switches that set to level-of-detail
 	// binning: per worker row, blocks are merged into one rectangle per
@@ -100,6 +112,12 @@ const (
 	colorText      = "#333333"
 )
 
+// campaignPalette colors multi-tenant campaign blocks (Tol bright scheme,
+// colorblind-safe); campaigns beyond the palette wrap around.
+var campaignPalette = []string{
+	"#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377",
+}
+
 // ftoa formats a coordinate or data value with fixed precision so the
 // output is deterministic and diff-friendly.
 func ftoa(v float64) string {
@@ -133,6 +151,9 @@ func (f *Timeline) validate() error {
 			}
 			if iv.End < iv.Start {
 				return fmt.Errorf("svgplot: %s interval %d ends (%g) before it starts (%g)", kind, i, iv.End, iv.Start)
+			}
+			if iv.Campaign < 0 || iv.Campaign > len(f.CampaignLabels) {
+				return fmt.Errorf("svgplot: %s interval %d campaign %d out of range [0,%d]", kind, i, iv.Campaign, len(f.CampaignLabels))
 			}
 		}
 		return nil
@@ -293,6 +314,15 @@ func (f *Timeline) Render(w io.Writer) error {
 		printf(`<rect x="%d" y="12" width="14" height="10" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n", legendX+120, colorSimulated)
 		printf(`<text x="%d" y="21" font-size="11" fill="%s">%s</text>`+"\n", legendX+140, colorText, escape(sLabel))
 	}
+	// Campaign legend row, below the title — only on multi-tenant figures,
+	// so single-tenant output is byte-identical to earlier releases.
+	for i, label := range f.CampaignLabels {
+		cx := leftMargin + i*150
+		printf(`<rect x="%d" y="30" width="14" height="10" fill="%s" fill-opacity="0.85"/>`+"\n",
+			cx, campaignPalette[i%len(campaignPalette)])
+		printf(`<text x="%d" y="39" font-size="11" fill="%s">%s</text>`+"\n",
+			cx+20, colorText, escape(label))
+	}
 
 	// Time gridlines + axis ticks, shared by both charts.
 	ticks := 6
@@ -316,7 +346,11 @@ func (f *Timeline) Render(w io.Writer) error {
 		printf(`<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="0.5"/>`+"\n",
 			leftMargin, y+rowHeight, leftMargin+plotWidth, y+rowHeight, colorGrid)
 	}
-	block := func(iv *Interval, style string) {
+	block := func(iv *Interval, style string, campaignFill bool) {
+		if campaignFill && iv.Campaign > 0 {
+			style = fmt.Sprintf(`fill="%s" fill-opacity="0.85"`,
+				campaignPalette[(iv.Campaign-1)%len(campaignPalette)])
+		}
 		bx := x(iv.Start)
 		wd := x(iv.End) - bx
 		if wd < 0.5 {
@@ -333,7 +367,7 @@ func (f *Timeline) Render(w io.Writer) error {
 	if threshold == 0 {
 		threshold = defaultLODThreshold
 	}
-	drawSet := func(ivs []Interval, style string) {
+	drawSet := func(ivs []Interval, style string, campaignFill bool) {
 		if threshold > 0 && len(ivs) > threshold {
 			for _, run := range binColumns(ivs, span, len(f.Rows)) {
 				printf(`<rect x="%d" y="%d" width="%d" height="%d" %s>`,
@@ -344,11 +378,11 @@ func (f *Timeline) Render(w io.Writer) error {
 			return
 		}
 		for i := range ivs {
-			block(&ivs[i], style)
+			block(&ivs[i], style, campaignFill)
 		}
 	}
-	drawSet(f.Measured, fmt.Sprintf(`fill="%s" fill-opacity="0.85"`, colorMeasured))
-	drawSet(f.Simulated, fmt.Sprintf(`fill="none" stroke="%s" stroke-width="1.5"`, colorSimulated))
+	drawSet(f.Measured, fmt.Sprintf(`fill="%s" fill-opacity="0.85"`, colorMeasured), true)
+	drawSet(f.Simulated, fmt.Sprintf(`fill="none" stroke="%s" stroke-width="1.5"`, colorSimulated), false)
 
 	// Queue-depth strip: a step polyline on the shared time axis.
 	if len(f.Depth) > 0 {
