@@ -5,6 +5,7 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	osexec "os/exec"
 	"path/filepath"
@@ -78,6 +79,14 @@ func e2eClusterArgs(t *testing.T, n int, schedArgs ...string) string {
 // JSON default).
 func e2eClusterWires(t *testing.T, wires []string, schedArgs ...string) string {
 	t.Helper()
+	return e2eClusterFull(t, wires, nil, schedArgs...)
+}
+
+// e2eClusterFull additionally passes extra flags to every worker — e.g.
+// a fast -heartbeat so a small scheduler -heartbeat-timeout doesn't
+// false-reap healthy workers in the fault-injection tests.
+func e2eClusterFull(t *testing.T, wires []string, workerArgs []string, schedArgs ...string) string {
+	t.Helper()
 	if buildErr != nil {
 		t.Fatal(buildErr)
 	}
@@ -120,6 +129,7 @@ func e2eClusterWires(t *testing.T, wires []string, schedArgs ...string) string {
 		if wire != "" {
 			args = append(args, "-wire", wire)
 		}
+		args = append(args, workerArgs...)
 		spawn("worker", args...)
 	}
 	return schedFile
@@ -839,6 +849,117 @@ func TestSubmitSurvivesWorkerChurn(t *testing.T) {
 	pool := runBin(t, append([]string{"run", "-executor", "pool"}, campaign...)...)
 	if string(remote) != string(pool) {
 		t.Errorf("report after worker churn differs from pool executor:\n--- multi-process ---\n%s--- pool ---\n%s", remote, pool)
+	}
+}
+
+// TestSlowPeerFaultInjection is the non-blocking-I/O acceptance test
+// across real processes: while a campaign is in flight, a raw "worker"
+// registers and then never reads its socket, and a raw monitor
+// subscribes and never drains its event stream. The scheduler must
+// declare the wedged worker dead (heartbeat silence and/or a blocked
+// write), requeue anything handed to it, keep the event stream flowing
+// past the wedged monitor, and finish the campaign with a report
+// byte-identical to the in-process pool executor. Before per-connection
+// outbound queues, a single such peer could park the dispatch loop on a
+// blocking send and stall the whole fleet.
+func TestSlowPeerFaultInjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	dir := t.TempDir()
+	eventLog := filepath.Join(dir, "events.jsonl")
+	// Healthy workers beat at a quarter of the reap deadline so only the
+	// silent wedge trips it; -write-timeout caps how long the scheduler
+	// tolerates the monitor's never-drained socket.
+	schedFile := e2eClusterFull(t, make([]string, 2), []string{"-heartbeat", "500ms"},
+		"-event-log", eventLog, "-heartbeat-timeout", "2s", "-write-timeout", "2s")
+	sfData, err := os.ReadFile(schedFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := flow.ParseSchedulerFile(sfData)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	campaign := []string{"-species", "DVU", "-preset", "reduced_dbs", "-limit", "150", "-seed", "7"}
+
+	submit := osexec.Command(binPath,
+		append([]string{"submit", "-scheduler-file", schedFile}, campaign...)...)
+	var submitOut bytes.Buffer
+	submit.Stdout = &submitOut
+	submit.Stderr = os.Stderr
+	if err := submit.Start(); err != nil {
+		t.Fatalf("starting submit: %v", err)
+	}
+	t.Cleanup(func() {
+		_ = submit.Process.Kill()
+		_, _ = submit.Process.Wait()
+	})
+
+	// Attach the wedges while the submit is still building its world, so
+	// they are live peers when dispatch starts: one JSON hello frame
+	// each, then radio silence with a shrunken receive buffer (anything
+	// the scheduler writes blocks quickly instead of vanishing into
+	// kernel buffering).
+	time.Sleep(100 * time.Millisecond)
+	wedge := func(hello string) {
+		t.Helper()
+		conn, err := net.Dial("tcp", sf.Address)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.SetReadBuffer(4 << 10)
+		}
+		t.Cleanup(func() { conn.Close() })
+		if _, err := conn.Write([]byte(hello + "\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wedge(`{"type":"register","worker_id":"e2e-wedged","slots":1,"max_batch":4096}`)
+	wedge(`{"type":"subscribe"}`)
+
+	if err := submit.Wait(); err != nil {
+		t.Fatalf("submit with wedged peers attached: %v", err)
+	}
+	pool := runBin(t, append([]string{"run", "-executor", "pool"}, campaign...)...)
+	if submitOut.String() != string(pool) {
+		t.Errorf("report with wedged peers differs from pool executor:\n--- wedged ---\n%s--- pool ---\n%s",
+			submitOut.String(), pool)
+	}
+
+	// The scheduler recorded the wedge's death — it joined, was declared
+	// lost or gone, and the healthy workers did every completion.
+	logData, err := os.ReadFile(eventLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logged, err := events.ReadLog(bytes.NewReader(logData))
+	if err != nil {
+		t.Fatalf("decoding event log: %v", err)
+	}
+	joined, reaped := false, false
+	for _, e := range logged {
+		if e.Worker == "e2e-wedged" {
+			switch e.Type {
+			case events.WorkerJoin:
+				joined = true
+			case events.WorkerLost, events.WorkerLeave:
+				reaped = true
+			case events.TaskDone:
+				t.Errorf("task %s reported done by the wedged worker", e.Task)
+			}
+		}
+	}
+	if !joined {
+		t.Error("wedged worker never joined; the fault was not injected")
+	}
+	if !reaped {
+		t.Error("wedged worker was never declared dead")
 	}
 }
 

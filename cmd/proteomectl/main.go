@@ -120,7 +120,8 @@ commands:
                                 predict + relax one protein, write PDB
   sched -listen A [-scheduler-file F] [-log-placement] [-event-log F]
       [-resume-log] [-max-retries N] [-heartbeat-timeout D] [-event-backlog N]
-      [-batch N] [-policy fifo|fair] [-quota N]
+      [-batch N] [-policy fifo|fair] [-quota N] [-outbox-depth N]
+      [-write-timeout D] [-pprof A]
                                 start a standalone dataflow scheduler;
                                 -event-log persists the structured task
                                 transition stream as JSONL, -resume-log
@@ -132,7 +133,12 @@ commands:
                                 frame (amortizes per-message cost at scale),
                                 -policy fair round-robins handout across
                                 campaigns sharing the fleet, -quota defers
-                                admission beyond N in-flight tasks per campaign
+                                admission beyond N in-flight tasks per campaign,
+                                -outbox-depth bounds each peer's outbound
+                                frame queue and -write-timeout its slowest
+                                accepted write (an overflowing or wedged peer
+                                is declared dead, never the fleet), -pprof
+                                serves live CPU/heap profiles over HTTP
   worker (-connect A | -scheduler-file F) [-id ID] [-heartbeat D] [-dial-retry D]
       [-wire json|binary]
                                 start a worker serving the campaign kernels;
@@ -429,6 +435,9 @@ type schedOptions struct {
 	batch            int
 	policy           string
 	quota            int
+	outboxDepth      int
+	writeTimeout     time.Duration
+	pprofAddr        string
 }
 
 func (o *schedOptions) register(fs *flag.FlagSet) {
@@ -443,6 +452,9 @@ func (o *schedOptions) register(fs *flag.FlagSet) {
 	fs.IntVar(&o.batch, "batch", 1, "hand a free worker up to this many tasks per frame (acked in one frame back), amortizing per-message cost at scale; negotiated per worker, so peers that predate batching get one task per frame")
 	fs.StringVar(&o.policy, "policy", flow.PolicyFIFO, "queue policy: fifo (strict arrival order) or fair (round-robin handout across campaigns sharing the fleet; tasks name their campaign via submit -campaign)")
 	fs.IntVar(&o.quota, "quota", 0, "admit at most this many unfinished tasks per campaign, deferring the rest (and their submit ack) until earlier tasks settle; 0 = unlimited")
+	fs.IntVar(&o.outboxDepth, "outbox-depth", flow.DefaultOutboxDepth, "bound each peer connection's outbound frame queue to this many frames; a peer whose queue overflows is declared dead and its tasks requeue (size it at least as large as the biggest in-flight wave one client awaits)")
+	fs.DurationVar(&o.writeTimeout, "write-timeout", flow.DefaultWriteTimeout, "declare a peer dead when a single write to it blocks this long (its kernel buffers full and not draining); its in-flight tasks requeue to healthy workers (0 = block forever)")
+	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof profiles on this address (e.g. localhost:6060); off unless set")
 }
 
 // scheduler builds the configured scheduler (not yet started).
@@ -453,6 +465,8 @@ func (o *schedOptions) scheduler() *flow.Scheduler {
 	s.Batch = o.batch
 	s.Policy = o.policy
 	s.Quota = o.quota
+	s.OutboxDepth = o.outboxDepth
+	s.WriteTimeout = o.writeTimeout
 	if o.eventBacklog > 0 {
 		s.Events().SetLimit(o.eventBacklog)
 	}
@@ -471,6 +485,13 @@ func schedCmd(args []string, stdout io.Writer) error {
 		return err
 	}
 	s := o.scheduler()
+	if o.pprofAddr != "" {
+		paddr, err := startPprof(o.pprofAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "pprof listening on http://%s/debug/pprof/\n", paddr)
+	}
 	if o.logPlacement {
 		s.PlacementLog = stdout
 	}

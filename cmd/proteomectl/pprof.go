@@ -1,0 +1,23 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ handlers on DefaultServeMux
+)
+
+// startPprof serves the standard net/http/pprof endpoints on addr —
+// `sched -pprof localhost:6060` — so a live scheduler can be profiled
+// under load (go tool pprof http://localhost:6060/debug/pprof/profile)
+// without rebuilding or restarting it. The listen happens synchronously
+// so a bad address fails the command instead of logging from a
+// goroutine; serving is fire-and-forget for the process lifetime. The
+// bound address is returned because addr may carry port 0.
+func startPprof(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() { _ = http.Serve(ln, nil) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestStartPprof: the -pprof listener binds synchronously, reports its
+// bound address (port 0 resolved), and serves the pprof index.
+func TestStartPprof(t *testing.T) {
+	addr, err := startPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ = %d, want 200", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index does not list profiles:\n%s", body)
+	}
+}
+
+// TestStartPprofBadAddr: an unbindable address fails the command at
+// startup instead of dying later in a goroutine.
+func TestStartPprofBadAddr(t *testing.T) {
+	if _, err := startPprof("256.0.0.1:0"); err == nil {
+		t.Fatal("startPprof accepted an unbindable address")
+	}
+}

@@ -148,10 +148,36 @@
 // negotiated per worker at registration, and a legacy peer that
 // advertises no batching capability keeps receiving the single-task
 // form.
-// BenchmarkDispatchThroughput drives hundreds of in-process workers
-// through both codecs and reports tasks/sec and allocs/op; the binary
-// codec must stay at least 2x JSON's throughput with strictly fewer
-// allocations.
+//
+// Scheduler I/O is non-blocking end to end: every worker, client, and
+// monitor connection gets a bounded outbound frame queue (an outbox)
+// drained by a dedicated writer goroutine that coalesces queued frames
+// into one flush and applies a per-write deadline, so the
+// single-goroutine dispatch loop never parks on a peer's socket. A peer
+// that stops draining — kernel buffers full past `sched
+// -write-timeout`, or its queue overflowing `sched -outbox-depth` —
+// is declared dead and disconnected; its in-flight tasks requeue
+// through the ordinary retry budget and the campaign completes on the
+// healthy fleet with the identical report (TestSlowPeerFaultInjection,
+// across real processes). Size -outbox-depth at least as large as the
+// biggest wave of results one client awaits; raise -write-timeout for
+// genuinely slow links rather than unbounding the queue. Event
+// persistence is off the dispatch path too: `sched -event-log` and the
+// placement log write through events.AsyncSink, a bounded buffer with
+// its own writer goroutine that preserves stream order, drains fully on
+// clean shutdown (the persisted log is complete — what `-resume-log`
+// and `submit -resume` rely on), and under sustained overload drops
+// rather than stalls, recording the loss as an explicit truncated
+// marker; a log with such a marker has non-contiguous sequence numbers
+// and will not restore, which is the honest outcome after an overloaded
+// crash. BenchmarkDispatchThroughput drives 256/1024/4096-worker
+// in-process fleets through both codecs and reports tasks/sec and
+// allocs/op; BenchmarkDispatchSlowPeer adds a wedged worker and a
+// never-draining monitor to the 256-worker fleet and must stay at the
+// all-healthy level — a slow peer costs its own connection, never fleet
+// throughput. A live scheduler can be profiled under load via `sched
+// -pprof localhost:6060` (standard net/http/pprof endpoints, off unless
+// set).
 //
 // CI enforces the perf + determinism contract: a bench-regression job
 // gates the kernel microbenchmarks and the dispatch-throughput rows

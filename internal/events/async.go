@@ -1,0 +1,135 @@
+package events
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DefaultAsyncDepth is the buffer bound an AsyncSink gets when no depth
+// is given — sized so a full campaign wave of transitions queues without
+// drops while the file system absorbs a write stall.
+const DefaultAsyncDepth = 1 << 15
+
+// AsyncSink decouples a sink from the emitting goroutine: Sink enqueues
+// onto a bounded buffer and returns immediately, and a dedicated writer
+// goroutine invokes the wrapped function — so `sched -event-log` file
+// I/O (or any slow view) never runs on the scheduler's dispatch path.
+//
+// Ordering: the Hub calls Sink under its lock in stream order, the
+// buffer is FIFO, and one goroutine drains it — so the wrapped sink
+// observes exactly the emit order, same as a synchronous sink. What
+// changes is durability, not order: events an AsyncSink has buffered but
+// not yet written are lost on a crash (a cleanly closed hub drains them,
+// see Close), and under sustained overload the bounded buffer drops
+// events rather than stall the emitter. Drops are counted and surfaced
+// at Close as one synthesized Truncated marker, so a reader of the log
+// can tell "complete" from "gapped" — but a gapped log no longer has
+// contiguous sequences and cannot seed Hub.Restore.
+type AsyncSink struct {
+	fn   func(Event)
+	ch   chan Event
+	done chan struct{}
+
+	closeOnce sync.Once
+
+	mu      sync.Mutex
+	closed  bool
+	dropped uint64
+	lastSeq uint64
+	lastNS  int64
+}
+
+// NewAsyncSink wraps fn with a buffer of the given depth (<= 0 selects
+// DefaultAsyncDepth) and starts the writer goroutine. Callers that do
+// not route through Hub.AddAsyncSink must Close the sink themselves.
+func NewAsyncSink(fn func(Event), depth int) *AsyncSink {
+	if depth <= 0 {
+		depth = DefaultAsyncDepth
+	}
+	a := &AsyncSink{
+		fn:   fn,
+		ch:   make(chan Event, depth),
+		done: make(chan struct{}),
+	}
+	go a.run()
+	return a
+}
+
+func (a *AsyncSink) run() {
+	defer close(a.done)
+	for e := range a.ch {
+		a.fn(e)
+	}
+}
+
+// Sink enqueues one event; it never blocks. When the buffer is full the
+// event is dropped and counted — the emitter must not stall on a slow
+// view. Safe for concurrent use; no-op after Close.
+func (a *AsyncSink) Sink(e Event) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return
+	}
+	a.lastSeq, a.lastNS = e.Seq, e.TimeNS
+	select {
+	case a.ch <- e:
+	default:
+		a.dropped++
+	}
+}
+
+// Dropped reports how many events were discarded because the buffer was
+// full when they arrived.
+func (a *AsyncSink) Dropped() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.dropped
+}
+
+// Close stops intake, blocks until every buffered event has been written
+// (the flush-and-drain a clean shutdown relies on), and — when events
+// were dropped — appends one synthesized Truncated marker stating how
+// many, stamped with the Seq/TimeNS of the last event offered so the gap
+// is attributable. Idempotent; concurrent callers block until the first
+// Close completes.
+func (a *AsyncSink) Close() {
+	a.closeOnce.Do(func() {
+		a.mu.Lock()
+		a.closed = true
+		dropped, seq, ns := a.dropped, a.lastSeq, a.lastNS
+		a.mu.Unlock()
+		close(a.ch)
+		<-a.done
+		if dropped > 0 {
+			a.fn(Event{
+				Seq:    seq,
+				TimeNS: ns,
+				Type:   Truncated,
+				Err:    fmt.Sprintf("events: %d events dropped by async sink", dropped),
+			})
+		}
+	})
+}
+
+// AddAsyncSink registers fn behind an AsyncSink (depth <= 0 selects
+// DefaultAsyncDepth) and returns it. The hub drains and closes the sink
+// inside Hub.Close, after waking subscribers — so a scheduler that shuts
+// down cleanly persists its complete stream even though the writes were
+// asynchronous. On an already-closed hub the sink is closed immediately.
+func (h *Hub) AddAsyncSink(fn func(Event), depth int) *AsyncSink {
+	if fn == nil {
+		return nil
+	}
+	a := NewAsyncSink(fn, depth)
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		a.Close()
+		return a
+	}
+	h.sinks = append(h.sinks, a.Sink)
+	h.drains = append(h.drains, a.Close)
+	h.mu.Unlock()
+	return a
+}

@@ -1,0 +1,165 @@
+package events
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestAsyncSinkPreservesStreamOrder: the async stage changes where sink
+// I/O runs, not what it observes — after a clean Close the wrapped sink
+// has seen exactly the emit order, same as a synchronous sink.
+func TestAsyncSinkPreservesStreamOrder(t *testing.T) {
+	h := NewHub()
+	var got []uint64
+	h.AddAsyncSink(func(e Event) { got = append(got, e.Seq) }, 0)
+	h.AddAsyncSink(nil, 0) // must be ignored
+	const n = 1000
+	for i := 0; i < n; i++ {
+		h.Emit(Event{Type: TaskReceived, Task: "t"})
+	}
+	h.Close() // drains; also the happens-before edge for reading got
+	if len(got) != n {
+		t.Fatalf("sink saw %d events, want %d", len(got), n)
+	}
+	for i, seq := range got {
+		if seq != uint64(i)+1 {
+			t.Fatalf("event %d has seq %d, want %d (order not preserved)", i, seq, uint64(i)+1)
+		}
+	}
+}
+
+// TestAsyncSinkDrainOnClose: events buffered but unwritten when Close is
+// called are flushed before Close returns — the clean-shutdown guarantee
+// `sched -event-log` relies on.
+func TestAsyncSinkDrainOnClose(t *testing.T) {
+	h := NewHub()
+	var buf bytes.Buffer
+	gate := make(chan struct{})
+	first := true
+	h.AddAsyncSink(func(e Event) {
+		if first {
+			first = false
+			<-gate // hold the writer so events pile up in the buffer
+		}
+		LogSink(&buf)(e)
+	}, 64)
+	for i := 0; i < 20; i++ {
+		h.Emit(Event{Type: TaskReceived, Task: "t"})
+	}
+	close(gate)
+	h.Close()
+	logged, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logged) != 20 {
+		t.Fatalf("drained log has %d events, want 20", len(logged))
+	}
+}
+
+// TestAsyncSinkDropsAndMarker: a full buffer drops events (the emitter
+// must never stall) and Close surfaces the loss as one synthesized
+// Truncated marker carrying the count and the last offered stamp.
+func TestAsyncSinkDropsAndMarker(t *testing.T) {
+	var mu sync.Mutex
+	var got []Event
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	a := NewAsyncSink(func(e Event) {
+		mu.Lock()
+		got = append(got, e)
+		mu.Unlock()
+		select {
+		case <-started:
+		default:
+			close(started)
+		}
+		<-gate
+	}, 2)
+	// First event occupies the writer, two fill the buffer, the rest drop.
+	a.Sink(Event{Seq: 1, TimeNS: 10, Type: TaskReceived, Task: "t"})
+	<-started
+	for seq := uint64(2); seq <= 6; seq++ {
+		a.Sink(Event{Seq: seq, TimeNS: int64(seq * 10), Type: TaskReceived, Task: "t"})
+	}
+	if d := a.Dropped(); d == 0 {
+		t.Fatal("no drops against a blocked writer and a 2-deep buffer")
+	}
+	close(gate)
+	a.Close()
+	a.Close() // idempotent
+
+	mu.Lock()
+	defer mu.Unlock()
+	last := got[len(got)-1]
+	if last.Type != Truncated {
+		t.Fatalf("last event is %s, want a %s marker", last.Type, Truncated)
+	}
+	if last.Seq != 6 || last.TimeNS != 60 {
+		t.Fatalf("marker stamped Seq=%d TimeNS=%d, want the last offered event's 6/60", last.Seq, last.TimeNS)
+	}
+	if !strings.Contains(last.Err, "dropped by async sink") {
+		t.Fatalf("marker error %q does not state the loss", last.Err)
+	}
+	// Everything that was not dropped arrived, in order.
+	var want uint64
+	for _, e := range got[:len(got)-1] {
+		if e.Seq <= want {
+			t.Fatalf("out-of-order delivery: seq %d after %d", e.Seq, want)
+		}
+		want = e.Seq
+	}
+	if int(want) != 3+int(6-3-a.Dropped()) {
+		// 1 in-flight + 2 buffered before drops began; exact survivors
+		// depend on scheduling, so just require consistency.
+		t.Logf("survivors end at seq %d with %d dropped", want, a.Dropped())
+	}
+}
+
+// TestAsyncSinkNoDropsNoMarker: a clean run must not synthesize a marker
+// — the persisted log stays decodable as a complete contiguous stream.
+func TestAsyncSinkNoDropsNoMarker(t *testing.T) {
+	h := NewHub()
+	var buf bytes.Buffer
+	a := h.AddAsyncSink(LogSink(&buf), 0)
+	for i := 0; i < 50; i++ {
+		h.Emit(Event{Type: TaskReceived, Task: "t"})
+	}
+	h.Close()
+	if d := a.Dropped(); d != 0 {
+		t.Fatalf("dropped %d events with a fast sink", d)
+	}
+	logged, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logged) != 50 {
+		t.Fatalf("log has %d events, want 50", len(logged))
+	}
+	for _, e := range logged {
+		if e.Type == Truncated {
+			t.Fatal("clean stream contains a truncated marker")
+		}
+	}
+	// Hub.Close already drained the sink; a later direct Close is a no-op.
+	a.Close()
+}
+
+// TestAddAsyncSinkOnClosedHub: registering on a closed hub returns an
+// already-closed sink instead of leaking its writer goroutine.
+func TestAddAsyncSinkOnClosedHub(t *testing.T) {
+	h := NewHub()
+	h.Close()
+	var called bool
+	a := h.AddAsyncSink(func(Event) { called = true }, 4)
+	a.Sink(Event{Seq: 1, Type: TaskReceived, Task: "t"}) // no-op after close
+	a.Close()
+	if called {
+		t.Fatal("sink function ran on a closed hub")
+	}
+	if a.Dropped() != 0 {
+		t.Fatalf("Dropped = %d on an unused sink", a.Dropped())
+	}
+}

@@ -148,8 +148,10 @@ func (e *Event) Validate() error {
 // Emit is safe for concurrent use, though the scheduler calls it from
 // its single event-loop goroutine; sinks run on the emitting goroutine
 // under the hub lock, in stream order — they must be fast and must never
-// block (file writes are fine, RPCs are not). Sink errors are the sink's
-// problem: recording must never stall scheduling.
+// block (RPCs and anything that can stall on I/O belong behind
+// AddAsyncSink, which keeps stream order while moving the work to a
+// dedicated writer goroutine). Sink errors are the sink's problem:
+// recording must never stall scheduling.
 type Hub struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -157,6 +159,11 @@ type Hub struct {
 	hist   []Event
 	sinks  []func(Event)
 	closed bool
+
+	// drains are the Close hooks of registered async sinks, run (outside
+	// the lock) by Hub.Close so buffered events are flushed before it
+	// returns.
+	drains []func()
 
 	// lastSeq is the sequence of the most recently stamped (or restored)
 	// event; it keeps counting even when eviction shrinks hist.
@@ -289,12 +296,20 @@ func (h *Hub) Snapshot() []Event {
 }
 
 // Close wakes every blocked cursor; once the backlog is drained their
-// Next returns false. Close is idempotent and does not discard history.
+// Next returns false. Registered async sinks are then drained and closed
+// (outside the hub lock), so when Close returns every event emitted
+// before it has been handed to every sink's underlying writer. Close is
+// idempotent and does not discard history.
 func (h *Hub) Close() {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	h.closed = true
+	drains := h.drains
+	h.drains = nil
 	h.cond.Broadcast()
+	h.mu.Unlock()
+	for _, d := range drains {
+		d()
+	}
 }
 
 // Subscribe returns a cursor positioned at the start of the stream, so

@@ -3,34 +3,70 @@ package flow
 import (
 	"encoding/json"
 	"fmt"
+	"net"
 	"testing"
+	"time"
+
+	"repro/internal/events"
 )
 
 // BenchmarkDispatchThroughput drives a fleet of in-process workers
 // through the scheduler dispatch hot path — submit, batched handout,
-// execute (no-op handler), batched ack, result forwarding — once per
-// codec. The handler does no work, so the numbers isolate the framing
-// and scheduling cost the paper's 6,000-worker deployments pay per task;
-// tasks/s and allocs/op for both codecs are gated in CI by
-// cmd/benchguard against BENCH_BASELINE.json.
+// execute (no-op handler), batched ack, result forwarding — per codec
+// and per fleet size. The handler does no work, so the numbers isolate
+// the framing and scheduling cost the paper's 6,000-worker deployments
+// pay per task. The w256 and w1024 rows for both codecs are gated in CI
+// by cmd/benchguard against BENCH_BASELINE.json; w4096 approaches the
+// paper's per-batch scale and is for manual runs (CI skips it).
 func BenchmarkDispatchThroughput(b *testing.B) {
 	for _, wire := range []string{WireJSON, WireBinary} {
 		b.Run(wire, func(b *testing.B) {
-			benchDispatch(b, wire)
+			for _, workers := range []int{256, 1024, 4096} {
+				b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+					benchDispatch(b, wire, workers, false)
+				})
+			}
 		})
 	}
 }
 
-func benchDispatch(b *testing.B, wire string) {
-	const (
-		numWorkers = 256
-		tasksPerOp = 2048
-	)
+// BenchmarkDispatchSlowPeer is the wedged-peer run: the same 256-worker
+// fleet and task load as BenchmarkDispatchThroughput/*/w256, plus one
+// registered worker that never reads its connection (reaped by the
+// heartbeat sweep during warmup) and one monitor subscriber that never
+// drains its event stream (wedged for the whole timed region). Gated
+// against baselines set within a few percent of the all-healthy w256
+// rows: proof that a non-draining peer costs its own connection, not the
+// fleet's throughput. Healthy workers heartbeat so the sweep only reaps
+// the wedge.
+func BenchmarkDispatchSlowPeer(b *testing.B) {
+	for _, wire := range []string{WireJSON, WireBinary} {
+		b.Run(wire, func(b *testing.B) {
+			benchDispatch(b, wire, 256, true)
+		})
+	}
+}
+
+func benchDispatch(b *testing.B, wire string, numWorkers int, slowPeer bool) {
+	tasksPerOp := 8 * numWorkers
 	s := NewScheduler()
 	s.Batch = 16
-	// Bound the event hub's in-memory history: the benchmark measures the
-	// dispatch path, not unbounded backlog growth across iterations.
-	s.Events().SetLimit(1024)
+	// The client awaits a whole wave, so a wave's worth of result frames
+	// can be queued on its outbox before the writer goroutine runs. Size
+	// the outbox for the wave — the tuning rule `sched -outbox-depth`
+	// exists for (depth >= the largest in-flight wave per client);
+	// the default depth is sized for campaign-scale waves, not this
+	// synthetic all-results-at-once burst.
+	s.OutboxDepth = 2 * tasksPerOp
+	if slowPeer {
+		// The only reap signal for a wedged-but-connected worker is its
+		// heartbeat going quiet; healthy workers beat at a tenth of the
+		// deadline, wide enough that a dispatch burst starving their
+		// heartbeat goroutines (single-core CI runners) cannot cause a
+		// false reap. The steady heartbeat traffic is part of what the
+		// slow-peer rows measure.
+		s.HeartbeatTimeout = 10 * time.Second
+	}
 	addr, err := s.Start("127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)
@@ -41,10 +77,17 @@ func benchDispatch(b *testing.B, wire string) {
 	for i := 0; i < numWorkers; i++ {
 		w := NewWorker(fmt.Sprintf("w%03d", i), noop)
 		w.HeartbeatInterval = 0
+		if slowPeer {
+			w.HeartbeatInterval = time.Second
+		}
 		if err := w.Dial(DialOptions{Addr: addr, Codec: wire}); err != nil {
 			b.Fatal(err)
 		}
 		defer w.Close()
+	}
+	if slowPeer {
+		wedgeBenchPeer(b, addr, wire, msgRegister)
+		wedgeBenchPeer(b, addr, wire, msgSubscribe)
 	}
 	c, err := DialClient(DialOptions{Addr: addr, Codec: wire})
 	if err != nil {
@@ -65,6 +108,28 @@ func benchDispatch(b *testing.B, wire string) {
 	if _, err := c.Map(tasks, nil); err != nil {
 		b.Fatal(err)
 	}
+	if slowPeer {
+		// Keep running untimed waves until the free-list rotation hands
+		// the wedged worker a batch, that wave stalls on its silent
+		// conn, and the heartbeat sweep reaps it (requeueing the batch
+		// to healthy workers). The timed region then starts with the
+		// wedge's one-time damage fully paid — steady state with a dead
+		// wedged worker and a still-attached, never-draining monitor.
+		deadline := time.Now().Add(90 * time.Second)
+		for countEvents(s, events.WorkerLost) == 0 {
+			if time.Now().After(deadline) {
+				b.Fatal("wedged worker never reaped during warmup")
+			}
+			if _, err := c.Map(tasks, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// Bound the event hub's in-memory history for the timed region: the
+	// benchmark measures the dispatch path, not unbounded backlog growth
+	// across iterations. (Unbounded during warmup, so the WorkerLost
+	// marker above cannot be evicted before it is observed.)
+	s.Events().SetLimit(1024)
 
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -75,4 +140,35 @@ func benchDispatch(b *testing.B, wire string) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(tasksPerOp)*float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+}
+
+// wedgeBenchPeer connects a peer speaking the benchmark's codec that
+// sends one hello frame (register or subscribe) and then never reads —
+// the non-draining connection the slow-peer benchmark is about.
+func wedgeBenchPeer(b *testing.B, addr, wire, kind string) {
+	b.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetReadBuffer(4 << 10)
+	}
+	b.Cleanup(func() { conn.Close() })
+	codec, err := dialCodec(conn, wire)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := message{Type: kind}
+	if kind == msgRegister {
+		m.WorkerID = "wedged"
+		m.Slots = 1
+		m.MaxBatch = workerMaxBatch
+	}
+	if err := codec.Encode(&m); err != nil {
+		b.Fatal(err)
+	}
+	if err := codec.Flush(); err != nil {
+		b.Fatal(err)
+	}
 }

@@ -154,6 +154,9 @@ func TestPlacementLogIncludesCompletions(t *testing.T) {
 	if _, err := c.Map(makeTasks(4), nil); err != nil {
 		t.Fatal(err)
 	}
+	// The placement log is written by an async sink; Close drains it
+	// (idempotent — the cleanup's Close is a no-op after this).
+	s.Close()
 	log := buf.String()
 	for _, want := range []string{
 		"assign t000 -> w00",
@@ -197,6 +200,10 @@ func TestEventLogMatchesHub(t *testing.T) {
 	if _, err := c.Map(makeTasks(6), nil); err != nil {
 		t.Fatal(err)
 	}
+	// The event log is written by an async sink; a clean Close drains
+	// every buffered event, which is exactly the guarantee under test:
+	// the persisted log still matches the hub record byte for byte.
+	s.Close()
 
 	logged, err := events.ReadLog(&buf)
 	if err != nil {

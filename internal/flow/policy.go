@@ -27,6 +27,9 @@ type queued struct {
 	// current delivery: only the head of a batch runs at handout, the
 	// rest wait in the worker and are marked running on a partial ack.
 	running bool
+	// label caches taskLabel(&task) from admission time, so the emit
+	// path (six events per task at steady state) never recomputes it.
+	label string
 }
 
 // queuePolicy is the pluggable queue discipline of the scheduler: it owns

@@ -1,0 +1,6 @@
+//go:build race
+
+package flow
+
+// raceEnabled mirrors the harness's -race flag; see race_off_test.go.
+const raceEnabled = true

@@ -84,6 +84,22 @@ type Scheduler struct {
 	// disables quotas.
 	Quota int
 
+	// OutboxDepth bounds each peer connection's outbound frame queue
+	// (`sched -outbox-depth`). The event loop never writes to a socket:
+	// it enqueues frames on the peer's outbox and a per-connection writer
+	// goroutine drains them, coalescing bursts into one flush. A peer
+	// whose queue fills — it has stopped draining an entire queue's worth
+	// of frames — is declared dead and its work requeued under the retry
+	// budget. Zero selects DefaultOutboxDepth.
+	OutboxDepth int
+
+	// WriteTimeout bounds every peer write (`sched -write-timeout`):
+	// handouts to workers, result/ack frames to clients, and event frames
+	// to monitors. A write that cannot complete within the deadline marks
+	// the peer dead, exactly like a disconnect. Zero selects
+	// DefaultWriteTimeout.
+	WriteTimeout time.Duration
+
 	// policy is the queue built by Start from Policy; only the event
 	// loop touches it afterwards.
 	policy queuePolicy
@@ -126,18 +142,38 @@ type workerConn struct {
 	// lastBeat is the last time the worker proved liveness (register,
 	// result, or heartbeat frame). Only the event loop touches it.
 	lastBeat time.Time
+	// ob is the connection's outbound frame queue, created by the event
+	// loop at registration so every handout path — including test-
+	// fabricated conns injected straight into the event channel — gets
+	// one.
+	ob *outbox
+	// handouts counts frames the event loop enqueued on ob; comparing it
+	// against ob.encoded tells the loop whether the writer has serialized
+	// everything it was handed, and therefore whether the encode scratch
+	// below may be reused for the next handout. Only the event loop
+	// touches handouts, taskBuf, and outMsg.
+	handouts uint64
+	taskBuf  []Task
+	outMsg   message
 }
 
 type clientConn struct {
 	codec   Codec
 	conn    net.Conn
 	pending int // results still owed to this client
+	// ob is the outbound frame queue, created by the event loop on the
+	// client's first submit.
+	ob *outbox
 }
 
-// send encodes one frame and flushes it immediately — for frames that
-// stand alone (accepted acks, quarantine results). The result fan-out
-// path encodes per result and flushes once per drained batch instead.
+// send hands one frame (result, accepted ack) to the client's outbox;
+// the writer goroutine coalesces whatever frames are queued into one
+// flush. Conns fabricated without an outbox fall back to a synchronous
+// write.
 func (c *clientConn) send(m *message) error {
+	if c.ob != nil {
+		return c.ob.enqueue(m)
+	}
 	if err := c.codec.Encode(m); err != nil {
 		return err
 	}
@@ -186,13 +222,19 @@ func (s *Scheduler) Start(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("flow: scheduler listen: %w", err)
 	}
-	// The views attach before any event can flow. Sinks run on the event
-	// loop goroutine in stream order.
+	// The views attach before any event can flow. Both file-backed views
+	// run behind async sinks so their writes happen off the dispatch
+	// path: the event loop only enqueues, a per-sink writer goroutine
+	// performs the I/O in stream order, and Hub.Close (called from
+	// Scheduler.Close) drains whatever is buffered before returning — so
+	// a cleanly shut down scheduler persists its complete log. Only a
+	// crash, or a writer so slow the bounded buffer overflows, loses
+	// events (see events.AsyncSink).
 	if s.EventLog != nil {
-		s.hub.AddSink(events.LogSink(s.EventLog))
+		s.hub.AddAsyncSink(events.LogSink(s.EventLog), 0)
 	}
 	if s.PlacementLog != nil {
-		s.hub.AddSink(placementView(s.PlacementLog))
+		s.hub.AddAsyncSink(placementView(s.PlacementLog), 0)
 	}
 	s.ln = ln
 	s.wg.Add(2)
@@ -355,9 +397,13 @@ func (s *Scheduler) serveConn(conn net.Conn) {
 		// A read-only monitor: replay the backlog, then follow the live
 		// stream. The cursor reads from the hub's retained history, so a
 		// slow monitor can never stall the scheduler — it only falls
-		// behind on its own connection, and a wedged one is cut off by
-		// the per-frame write deadline.
+		// behind on its own connection. Event frames route through an
+		// outbox like every other peer write: bursts coalesce into one
+		// flush, and a wedged monitor is cut off by the write deadline.
+		// This pump blocks (enqueueWait) when the outbox fills — it is a
+		// dedicated goroutine, so parking it costs the fleet nothing.
 		cur := s.hub.Subscribe()
+		ob := s.newOutbox(conn, codec, nil)
 		// Peer-close watchdog: monitors never send after subscribing, so
 		// any read result means the monitor went away. Cancelling the
 		// cursor unblocks the pump below even when no events are flowing
@@ -369,22 +415,18 @@ func (s *Scheduler) serveConn(conn net.Conn) {
 			var m message
 			_ = codec.Decode(&m)
 			cur.Cancel()
-			conn.Close()
+			ob.shutdown()
 		}()
+		defer ob.shutdown()
 		for {
 			e, ok := cur.Next()
 			if !ok {
 				return // scheduler closed or monitor detached
 			}
-			_ = conn.SetWriteDeadline(time.Now().Add(resultWriteTimeout))
-			err := codec.Encode(&message{Type: msgEvent, Event: &e})
-			if err == nil {
-				err = codec.Flush()
+			ev := e
+			if err := ob.enqueueWait(&message{Type: msgEvent, Event: &ev}, s.done); err != nil {
+				return // monitor went away or scheduler closed
 			}
-			if err != nil {
-				return // monitor went away
-			}
-			_ = conn.SetWriteDeadline(time.Time{})
 		}
 	}
 }
@@ -416,6 +458,14 @@ func (s *Scheduler) emit(typ events.Type, task, worker, errMsg string) {
 // namespace so monitors and the event log can attribute the transition.
 func (s *Scheduler) emitTask(typ events.Type, t *Task, worker, errMsg string) {
 	s.hub.Emit(events.Event{Type: typ, Task: taskLabel(t), Worker: worker, Err: errMsg, Campaign: t.Campaign})
+}
+
+// emitQ is emitTask for a queued entry, using the label cached at
+// admission instead of re-deriving it — the emit path runs six times per
+// task at steady state, so the hot loop never recomputes or reallocates
+// the label string.
+func (s *Scheduler) emitQ(typ events.Type, q *queued, worker, errMsg string) {
+	s.hub.Emit(events.Event{Type: typ, Task: q.label, Worker: worker, Err: errMsg, Campaign: q.task.Campaign})
 }
 
 // eventLoop is the single-threaded heart of the scheduler: a policy-owned
@@ -485,7 +535,7 @@ func (s *Scheduler) eventLoop() {
 		if q.client != nil {
 			q.client.pending++
 		}
-		s.emitTask(events.TaskQueued, &q.task, "", "")
+		s.emitQ(events.TaskQueued, &q, "", "")
 		queue.Push(q)
 	}
 
@@ -534,7 +584,7 @@ func (s *Scheduler) eventLoop() {
 	// history) then a quarantined marker, and the submitting client gets
 	// a failed Result so its Map completes instead of waiting forever.
 	requeue := func(q queued) {
-		label := taskLabel(&q.task)
+		label := q.label
 		q.attempts++
 		if s.MaxRetries > 0 && q.attempts > s.MaxRetries {
 			errMsg := fmt.Sprintf("flow: task %s quarantined: worker died on all %d attempts (retry budget %d)",
@@ -573,8 +623,9 @@ func (s *Scheduler) eventLoop() {
 
 	// dropWorker removes a worker the event loop decided is gone (lost
 	// heartbeat) — as opposed to workerGone, which reacts to its read
-	// pump failing. Closing the conn makes the pump fail soon after; the
-	// workers map check there prevents a duplicate leave event.
+	// pump failing. Stopping the outbox closes the conn, which makes the
+	// pump fail soon after; the workers map check there prevents a
+	// duplicate leave event.
 	dropWorker := func(wc *workerConn) {
 		delete(workers, wc)
 		for i, w := range free {
@@ -584,6 +635,9 @@ func (s *Scheduler) eventLoop() {
 			}
 		}
 		requeueCurrent(wc)
+		if wc.ob != nil {
+			wc.ob.shutdown()
+		}
 		wc.conn.Close()
 	}
 
@@ -605,6 +659,11 @@ func (s *Scheduler) eventLoop() {
 		batchSize = 1
 	}
 
+	// batchScratch stages one handout's popped tasks, reused across every
+	// assign iteration: its contents are copied out (into inFlight and
+	// the wire slice) before the next iteration overwrites it.
+	var batchScratch []queued
+
 	assign := func() {
 		for queue.Len() > 0 && len(free) > 0 {
 			w := free[0]
@@ -622,7 +681,7 @@ func (s *Scheduler) eventLoop() {
 			if n > queue.Len() {
 				n = queue.Len()
 			}
-			batch := make([]queued, 0, n)
+			batch := batchScratch[:0]
 			for len(batch) < n {
 				q, ok := queue.Pop()
 				if !ok {
@@ -630,43 +689,73 @@ func (s *Scheduler) eventLoop() {
 				}
 				batch = append(batch, q)
 			}
+			batchScratch = batch
 			n = len(batch)
 			w.busy = true
 			w.current = w.current[:0]
-			tasks := make([]Task, n)
-			for i, q := range batch {
-				tasks[i] = q.task
+			// The worker's encode scratch (taskBuf, outMsg) is handed to
+			// its outbox writer by reference, so it may be reused only once
+			// the writer has serialized every frame this loop enqueued —
+			// the atomic counter pair is the happens-before edge. A worker
+			// re-handed work before its writer caught up (possible under
+			// partial acks) gets freshly allocated wire state instead.
+			reuse := w.ob == nil || w.ob.encoded.Load() >= w.handouts
+			var tasks []Task
+			if reuse {
+				tasks = w.taskBuf[:0]
+			}
+			for i := range batch {
+				q := &batch[i]
+				tasks = append(tasks, q.task)
 				q.running = i == 0
-				inFlight[q.task.ID] = q
+				inFlight[q.task.ID] = *q
 				w.current = append(w.current, q.task.ID)
-				s.emitTask(events.TaskAssigned, &q.task, w.id, "")
+				s.emitQ(events.TaskAssigned, q, w.id, "")
+			}
+			if reuse {
+				w.taskBuf = tasks
 			}
 			// One frame per handout: the singular legacy form for a lone
 			// task (wire-identical to pre-batch releases), the batched form
-			// otherwise — and exactly one flush either way.
-			var m message
-			if n == 1 {
-				m = message{Type: msgTask, Task: &tasks[0]}
+			// otherwise. The outbox writer coalesces bursts of handouts
+			// into one flush.
+			var m *message
+			if reuse {
+				m = &w.outMsg
 			} else {
-				m = message{Type: msgTask, Tasks: tasks}
+				m = new(message)
 			}
-			err := w.codec.Encode(&m)
-			if err == nil {
-				err = w.codec.Flush()
+			if n == 1 {
+				*m = message{Type: msgTask, Task: &tasks[0]}
+			} else {
+				*m = message{Type: msgTask, Tasks: tasks}
+			}
+			var err error
+			if w.ob != nil {
+				err = w.ob.enqueue(m)
+			} else {
+				err = w.codec.Encode(m)
+				if err == nil {
+					err = w.codec.Flush()
+				}
 			}
 			if err != nil {
-				// Worker send failed: drop the worker and requeue the whole
-				// batch, back to front so the queue head ends up in original
-				// handout order. Going through requeue charges these
-				// deliveries against the retry budget like any other worker
-				// death — a worker dying exactly at send time must not grant
-				// its batch a free attempt, or a poison task could cycle
-				// through send failures forever.
-				for _, q := range batch {
-					delete(inFlight, q.task.ID)
+				// Worker send failed — its outbox overflowed (peer not
+				// draining) or already died on a write: drop the worker and
+				// requeue the whole batch, back to front so the queue head
+				// ends up in original handout order. Going through requeue
+				// charges these deliveries against the retry budget like
+				// any other worker death — a worker dying exactly at send
+				// time must not grant its batch a free attempt, or a poison
+				// task could cycle through send failures forever.
+				for i := range batch {
+					delete(inFlight, batch[i].task.ID)
 				}
 				w.current = w.current[:0]
 				delete(workers, w)
+				if w.ob != nil {
+					w.ob.shutdown()
+				}
 				w.conn.Close()
 				s.emit(events.WorkerLeave, "", w.id, "")
 				for i := len(batch) - 1; i >= 0; i-- {
@@ -674,13 +763,14 @@ func (s *Scheduler) eventLoop() {
 				}
 				continue
 			}
+			w.handouts++
 			// Delivered: the worker starts the batch head on receipt and
 			// runs the rest in order, so only the head is running now. The
 			// others stay assigned until a partial ack reveals the worker
 			// moved on; the exact per-task execution bracket is always the
 			// Result's Start/End stamps, the event stream records when the
 			// scheduler learned of each transition.
-			s.emitTask(events.TaskRunning, &tasks[0], w.id, "")
+			s.emitQ(events.TaskRunning, &batch[0], w.id, "")
 		}
 	}
 
@@ -706,6 +796,16 @@ func (s *Scheduler) eventLoop() {
 		case e := <-s.events:
 			switch e.kind {
 			case "register":
+				// The event loop owns outbox creation so every delivery
+				// path — real conns and test-fabricated ones alike — sends
+				// through a writer goroutine. A write failure reports the
+				// worker gone through the same channel a read failure does.
+				if e.wc.ob == nil {
+					wc := e.wc
+					wc.ob = s.newOutbox(wc.conn, wc.codec, func(error) {
+						s.sendEvent(schedEvent{kind: "workerGone", wc: wc})
+					})
+				}
 				workers[e.wc] = true
 				free = append(free, e.wc)
 				e.wc.lastBeat = time.Now()
@@ -716,6 +816,9 @@ func (s *Scheduler) eventLoop() {
 					e.wc.lastBeat = time.Now()
 				}
 			case "workerGone":
+				if e.wc.ob != nil {
+					e.wc.ob.shutdown()
+				}
 				if !workers[e.wc] {
 					break
 				}
@@ -744,9 +847,9 @@ func (s *Scheduler) eventLoop() {
 				}
 				e.wc.lastBeat = time.Now()
 				// One frame may ack a whole batch. Each record is settled
-				// individually; client forwards coalesce into one flush per
-				// touched client, per frame.
-				var flushed []*clientConn
+				// individually; client forwards land on each client's
+				// outbox, whose writer coalesces everything queued into one
+				// flush per drain.
 				for i := range e.ress {
 					res := &e.ress[i]
 					// The record must ack a task this worker currently holds:
@@ -771,27 +874,14 @@ func (s *Scheduler) eventLoop() {
 					}
 					delete(inFlight, res.TaskID)
 					if res.Err != "" {
-						s.emitTask(events.TaskFailed, &q.task, e.wc.id, res.Err)
+						s.emitQ(events.TaskFailed, &q, e.wc.id, res.Err)
 					} else {
-						s.emitTask(events.TaskDone, &q.task, e.wc.id, "")
+						s.emitQ(events.TaskDone, &q, e.wc.id, "")
 					}
 					if q.client != nil {
-						_ = q.client.codec.Encode(&message{Type: msgResult, Result: res})
-						already := false
-						for _, cc := range flushed {
-							if cc == q.client {
-								already = true
-								break
-							}
-						}
-						if !already {
-							flushed = append(flushed, q.client)
-						}
+						_ = q.client.send(&message{Type: msgResult, Result: res})
 					}
 					settle(&q)
-				}
-				for _, cc := range flushed {
-					_ = cc.codec.Flush()
 				}
 				// A partial ack reveals the worker moved on: the head of the
 				// remaining batch is the task running now. Tasks deeper in
@@ -801,7 +891,7 @@ func (s *Scheduler) eventLoop() {
 					if q, ok := inFlight[head]; ok && !q.running {
 						q.running = true
 						inFlight[head] = q
-						s.emitTask(events.TaskRunning, &q.task, e.wc.id, "")
+						s.emitQ(events.TaskRunning, &q, e.wc.id, "")
 					}
 				}
 				// Only a worker that was actually busy — and whose batch is
@@ -823,6 +913,12 @@ func (s *Scheduler) eventLoop() {
 				// the campaign quota are deferred instead of admitted, and
 				// the accepted ack is withheld until the whole frame is in —
 				// the backpressure signal.
+				if e.cc != nil && e.cc.ob == nil {
+					cc := e.cc
+					cc.ob = s.newOutbox(cc.conn, cc.codec, func(error) {
+						s.sendEvent(schedEvent{kind: "clientGone", cc: cc})
+					})
+				}
 				sub := &submission{cc: e.cc, total: len(e.tsk)}
 				now := time.Now().UnixNano()
 				for _, t := range e.tsk {
@@ -830,7 +926,7 @@ func (s *Scheduler) eventLoop() {
 						t.Campaign = e.campaign
 					}
 					s.emitTask(events.TaskReceived, &t, "", "")
-					q := queued{task: t, client: e.cc}
+					q := queued{task: t, client: e.cc, label: taskLabel(&t)}
 					key := admissionKey(&q)
 					// Anything already deferred for this namespace keeps
 					// arrival order: later tasks queue behind it even if a
@@ -847,6 +943,9 @@ func (s *Scheduler) eventLoop() {
 				}
 				assign()
 			case "clientGone":
+				if e.cc.ob != nil {
+					e.cc.ob.shutdown()
+				}
 				// Purge this client's deferred submissions first: settling
 				// its dropped queued tasks below re-admits deferred work in
 				// the same namespace, and the gone client's own tasks must
@@ -855,7 +954,7 @@ func (s *Scheduler) eventLoop() {
 					kept := list[:0]
 					for _, d := range list {
 						if d.sub.cc == e.cc {
-							s.emitTask(events.TaskDropped, &d.q.task, "", "")
+							s.emitQ(events.TaskDropped, &d.q, "", "")
 						} else {
 							kept = append(kept, d)
 						}
@@ -869,7 +968,7 @@ func (s *Scheduler) eventLoop() {
 				// Orphan this client's queued tasks: drop them, releasing
 				// their admission slots to surviving campaign peers.
 				for _, q := range queue.DropClient(e.cc) {
-					s.emitTask(events.TaskDropped, &q.task, "", "")
+					s.emitQ(events.TaskDropped, &q, "", "")
 					settle(&q)
 				}
 				for id, q := range inFlight {
