@@ -1,0 +1,52 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/obs"
+)
+
+// startAdmin serves the scheduler's admin HTTP endpoint — `sched -http
+// localhost:6060` — on its own mux (nothing leaks onto DefaultServeMux):
+//
+//	GET /metrics       live cluster metrics, Prometheus text exposition
+//	GET /healthz       200 while the scheduler accepts work, 503 once
+//	                   shutdown begins (or before it starts) — the probe
+//	                   external supervisors restart on
+//	GET /debug/pprof/  the standard net/http/pprof profile endpoints
+//
+// The listen happens synchronously so a bad address fails the command
+// instead of logging from a goroutine; serving is fire-and-forget for the
+// process lifetime. The bound address is returned because addr may carry
+// port 0.
+func startAdmin(addr string, reg *obs.Registry, healthy func() bool) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg != nil {
+			_ = reg.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if healthy != nil && healthy() {
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte("ok\n"))
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("shutting down\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr().String(), nil
+}

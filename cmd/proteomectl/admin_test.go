@@ -1,0 +1,96 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/events"
+	"repro/internal/flow"
+)
+
+func adminGet(t *testing.T, addr, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestStartAdmin: the -http listener binds synchronously, reports its
+// bound address (port 0 resolved), and serves all three endpoint families.
+func TestStartAdmin(t *testing.T) {
+	m := flow.NewSchedulerMetrics(nil)
+	m.Observe(events.Event{Type: events.TaskReceived, Task: "t1", Campaign: "dvu"})
+	var healthy atomic.Bool
+	healthy.Store(true)
+	addr, err := startAdmin("127.0.0.1:0", m.Registry(), healthy.Load)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := adminGet(t, addr, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("GET /debug/pprof/ = %d, body %q", code, body)
+	}
+
+	code, body = adminGet(t, addr, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	if !strings.Contains(body, `flow_tasks_total{event="received",campaign="dvu"} 1`) {
+		t.Fatalf("metrics scrape missing observed series:\n%s", body)
+	}
+	if !strings.Contains(body, "# TYPE flow_tasks_total counter") {
+		t.Fatalf("metrics scrape missing exposition metadata:\n%s", body)
+	}
+
+	// /healthz flips with the scheduler's health: 200 while serving, 503
+	// from the moment shutdown begins.
+	code, _ = adminGet(t, addr, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("GET /healthz while healthy = %d, want 200", code)
+	}
+	healthy.Store(false)
+	code, _ = adminGet(t, addr, "/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("GET /healthz while shutting down = %d, want 503", code)
+	}
+}
+
+// TestStartAdminBadAddr: an unbindable address fails the command at
+// startup instead of dying later in a goroutine.
+func TestStartAdminBadAddr(t *testing.T) {
+	if _, err := startAdmin("256.0.0.1:0", nil, nil); err == nil {
+		t.Fatal("startAdmin accepted an unbindable address")
+	}
+}
+
+// TestAdminHealthzTracksScheduler wires /healthz to a real scheduler's
+// Healthy: 200 while started, 503 after Close.
+func TestAdminHealthzTracksScheduler(t *testing.T) {
+	s := flow.NewScheduler()
+	s.Metrics = flow.NewSchedulerMetrics(nil)
+	if _, err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := startAdmin("127.0.0.1:0", s.Metrics.Registry(), s.Healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := adminGet(t, addr, "/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz on a live scheduler = %d, want 200", code)
+	}
+	s.Close()
+	if code, _ := adminGet(t, addr, "/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz on a closed scheduler = %d, want 503", code)
+	}
+}

@@ -5,7 +5,9 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	osexec "os/exec"
 	"path/filepath"
@@ -1092,6 +1094,171 @@ func TestTwoCampaignsFairShare(t *testing.T) {
 	for _, row := range rows {
 		if row[campCol] != "dvu-full" {
 			t.Fatalf("stats row %v: campaign = %q, want dvu-full", row, row[campCol])
+		}
+	}
+}
+
+// parseScrape indexes a Prometheus text scrape by full series name —
+// `name{labels}` → value — skipping comment lines.
+func parseScrape(body string) map[string]float64 {
+	series := map[string]float64{}
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		series[line[:i]] = v
+	}
+	return series
+}
+
+// TestMetricsEndpointMatchesEventLog is the observability acceptance test:
+// a real multi-worker campaign on a scheduler running with both -http and
+// -event-log, scraped over HTTP mid-run and after completion. The final
+// counters must exactly match the persisted event log's tallies — the
+// scrape and the log are two views of the same stream — the
+// heartbeat-carried worker gauges must account for every executed task,
+// and `top -metrics-snapshot` must derive the same numbers from the
+// monitor protocol alone.
+func TestMetricsEndpointMatchesEventLog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	dir := t.TempDir()
+	eventLog := filepath.Join(dir, "events.jsonl")
+	// Fast worker heartbeats so the gauge series converge within the poll
+	// window below.
+	schedFile := e2eClusterFull(t, make([]string, 2), []string{"-heartbeat", "500ms"},
+		"-event-log", eventLog, "-http", "127.0.0.1:0")
+
+	sfData, err := os.ReadFile(schedFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := flow.ParseSchedulerFile(sfData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.HTTP == "" {
+		t.Fatal("scheduler file does not advertise the -http admin endpoint")
+	}
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + sf.HTTP + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	campaign := []string{"-species", "DVU", "-preset", "genome", "-limit", "150", "-seed", "20220125", "-campaign", "dvu-metrics"}
+	submit := osexec.Command(binPath, append([]string{"submit", "-scheduler-file", schedFile}, campaign...)...)
+	submit.Stdout = os.Stderr
+	submit.Stderr = os.Stderr
+	if err := submit.Start(); err != nil {
+		t.Fatalf("starting submit: %v", err)
+	}
+	time.Sleep(150 * time.Millisecond)
+
+	// Mid-run: the endpoint serves well-formed exposition while the
+	// campaign is in flight, and the scheduler reports healthy.
+	code, body, ctype := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("mid-run GET /metrics = %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Errorf("mid-run /metrics Content-Type = %q", ctype)
+	}
+	for _, want := range []string{"# TYPE flow_tasks_total counter", "flow_queue_depth "} {
+		if !strings.Contains(body, want) {
+			t.Errorf("mid-run scrape missing %q:\n%s", want, body)
+		}
+	}
+	if code, body, _ := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("mid-run GET /healthz = %d %q, want 200 ok", code, body)
+	}
+
+	if err := submit.Wait(); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	// After completion: poll until the scrape and the persisted log agree
+	// exactly (the log sink is async and the gauge series lag by one
+	// heartbeat; a partially flushed last JSONL line is retried too).
+	deadline := time.Now().Add(15 * time.Second)
+	var done, failed, joins int
+	for {
+		done, failed, joins = 0, 0, 0
+		converged := false
+		data, err := os.ReadFile(eventLog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logged, err := events.ReadLog(bytes.NewReader(data))
+		if err == nil {
+			for _, e := range logged {
+				switch {
+				case e.Campaign == "dvu-metrics" && e.Type == events.TaskDone:
+					done++
+				case e.Campaign == "dvu-metrics" && e.Type == events.TaskFailed:
+					failed++
+				case e.Type == events.WorkerJoin:
+					joins++
+				}
+			}
+			code, body, _ := get("/metrics")
+			if code != http.StatusOK {
+				t.Fatalf("final GET /metrics = %d", code)
+			}
+			s := parseScrape(body)
+			converged = done > 0 &&
+				s[`flow_tasks_total{event="done",campaign="dvu-metrics"}`] == float64(done) &&
+				s[`flow_tasks_total{event="failed",campaign="dvu-metrics"}`] == float64(failed) &&
+				s[`flow_worker_events_total{event="worker_join"}`] == float64(joins) &&
+				s["flow_queue_depth"] == 0 &&
+				s["flow_tasks_running"] == 0 &&
+				// Heartbeat-carried gauges: the fleet's executed-task total
+				// accounts for every completion the log recorded.
+				s[`flow_worker_tasks_executed{worker="e2e-w0"}`]+
+					s[`flow_worker_tasks_executed{worker="e2e-w1"}`] == float64(done+failed) &&
+				s[`flow_worker_goroutines{worker="e2e-w0"}`] > 0 &&
+				s[`flow_worker_heap_bytes{worker="e2e-w1"}`] > 0
+			if converged {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			_, body, _ := get("/metrics")
+			t.Fatalf("metrics never converged with the event log (log: done=%d failed=%d joins=%d, readErr=%v)\nscrape:\n%s",
+				done, failed, joins, err, body)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// The same tallies are derivable without the HTTP endpoint: `top
+	// -metrics-snapshot` folds the monitor stream into one scrape.
+	snap := string(runBin(t, "top", "-scheduler-file", schedFile, "-metrics-snapshot"))
+	for _, want := range []string{
+		fmt.Sprintf(`flow_tasks_total{event="done",campaign="dvu-metrics"} %d`, done),
+		fmt.Sprintf(`flow_worker_events_total{event="worker_join"} %d`, joins),
+	} {
+		if !strings.Contains(snap, want) {
+			t.Errorf("top -metrics-snapshot missing %q:\n%s", want, snap)
 		}
 	}
 }

@@ -72,6 +72,8 @@ func main() {
 		err = submitCmd(os.Args[2:], os.Stdout)
 	case "monitor":
 		err = monitorCmd(os.Args[2:], os.Stdout)
+	case "top":
+		err = topCmd(os.Args[2:], os.Stdout)
 	default:
 		usage()
 		os.Exit(2)
@@ -121,7 +123,7 @@ commands:
   sched -listen A [-scheduler-file F] [-log-placement] [-event-log F]
       [-resume-log] [-max-retries N] [-heartbeat-timeout D] [-event-backlog N]
       [-batch N] [-policy fifo|fair] [-quota N] [-outbox-depth N]
-      [-write-timeout D] [-pprof A]
+      [-write-timeout D] [-http A]
                                 start a standalone dataflow scheduler;
                                 -event-log persists the structured task
                                 transition stream as JSONL, -resume-log
@@ -137,8 +139,10 @@ commands:
                                 -outbox-depth bounds each peer's outbound
                                 frame queue and -write-timeout its slowest
                                 accepted write (an overflowing or wedged peer
-                                is declared dead, never the fleet), -pprof
-                                serves live CPU/heap profiles over HTTP
+                                is declared dead, never the fleet), -http
+                                serves the admin endpoint — GET /metrics
+                                (live Prometheus series), /healthz (503
+                                once shutdown begins), /debug/pprof/
   worker (-connect A | -scheduler-file F) [-id ID] [-heartbeat D] [-dial-retry D]
       [-wire json|binary]
                                 start a worker serving the campaign kernels;
@@ -164,7 +168,17 @@ commands:
                                 tail a running campaign live (queue depth,
                                 per-worker in-flight, throughput) from the
                                 scheduler's event stream; read-only;
-                                -campaign filters to one campaign's tasks`)
+                                -campaign filters to one campaign's tasks
+  top (-connect A | -scheduler-file F) [-interval D] [-metrics-snapshot]
+      [-wire json|binary] [-campaign NAME]
+                                refreshing dashboard over the same event
+                                stream: queue depth, per-campaign
+                                queued/running/done/failed, per-worker
+                                occupancy, dispatch rate; read-only;
+                                -metrics-snapshot instead prints one
+                                Prometheus scrape of the stream-derived
+                                series once the backlog drains, for
+                                scripting without the -http endpoint`)
 }
 
 func findSpecies(code string) (proteome.Species, error) {
@@ -437,7 +451,18 @@ type schedOptions struct {
 	quota            int
 	outboxDepth      int
 	writeTimeout     time.Duration
+	httpAddr         string
 	pprofAddr        string
+}
+
+// adminAddr resolves the admin endpoint address: -http, or the deprecated
+// -pprof alias it grew out of (same listener, now also serving /metrics
+// and /healthz).
+func (o *schedOptions) adminAddr() string {
+	if o.httpAddr != "" {
+		return o.httpAddr
+	}
+	return o.pprofAddr
 }
 
 func (o *schedOptions) register(fs *flag.FlagSet) {
@@ -454,7 +479,8 @@ func (o *schedOptions) register(fs *flag.FlagSet) {
 	fs.IntVar(&o.quota, "quota", 0, "admit at most this many unfinished tasks per campaign, deferring the rest (and their submit ack) until earlier tasks settle; 0 = unlimited")
 	fs.IntVar(&o.outboxDepth, "outbox-depth", flow.DefaultOutboxDepth, "bound each peer connection's outbound frame queue to this many frames; a peer whose queue overflows is declared dead and its tasks requeue (size it at least as large as the biggest in-flight wave one client awaits)")
 	fs.DurationVar(&o.writeTimeout, "write-timeout", flow.DefaultWriteTimeout, "declare a peer dead when a single write to it blocks this long (its kernel buffers full and not draining); its in-flight tasks requeue to healthy workers (0 = block forever)")
-	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof profiles on this address (e.g. localhost:6060); off unless set")
+	fs.StringVar(&o.httpAddr, "http", "", "serve the admin HTTP endpoint on this address (e.g. localhost:6060): GET /metrics (live cluster metrics, Prometheus text format), /healthz (200 while serving, 503 once shutdown begins), and /debug/pprof/; off unless set; the bound address is advertised in the scheduler file so `proteomectl top -metrics-snapshot` and probes can find it")
+	fs.StringVar(&o.pprofAddr, "pprof", "", "deprecated alias for -http (the profile endpoints moved onto the admin listener)")
 }
 
 // scheduler builds the configured scheduler (not yet started).
@@ -485,12 +511,12 @@ func schedCmd(args []string, stdout io.Writer) error {
 		return err
 	}
 	s := o.scheduler()
-	if o.pprofAddr != "" {
-		paddr, err := startPprof(o.pprofAddr)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(stdout, "pprof listening on http://%s/debug/pprof/\n", paddr)
+	if o.adminAddr() != "" {
+		// Metrics ride the admin endpoint: the registry exists before
+		// Start so the event sink is attached, and the listener binds
+		// after Start so /healthz never reports 200 for a scheduler that
+		// failed to come up.
+		s.Metrics = flow.NewSchedulerMetrics(nil)
 	}
 	if o.logPlacement {
 		s.PlacementLog = stdout
@@ -534,6 +560,16 @@ func schedCmd(args []string, stdout io.Writer) error {
 		return err
 	}
 	defer s.Close()
+	if a := o.adminAddr(); a != "" {
+		bound, err := startAdmin(a, s.Metrics.Registry(), s.Healthy)
+		if err != nil {
+			return err
+		}
+		// Advertise the admin endpoint in the scheduler file (written
+		// below) so tooling discovers it alongside the dispatch address.
+		s.AdminHTTP = bound
+		fmt.Fprintf(stdout, "admin endpoint on http://%s/ (/metrics, /healthz, /debug/pprof/)\n", bound)
+	}
 	if o.schedFile != "" {
 		if err := s.WriteSchedulerFile(o.schedFile); err != nil {
 			return err

@@ -1,0 +1,294 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"repro/internal/events"
+	"repro/internal/flow"
+)
+
+// topCmd is the cluster dashboard — the terminal answer to the Dask
+// dashboard the paper leans on for live campaign visibility. It attaches
+// over the same read-only monitor protocol as `monitor`, but instead of
+// one line per event it folds the stream into a refreshing table: global
+// queue depth and dispatch rate, per-campaign queued/running/done/failed,
+// and per-worker occupancy. With -metrics-snapshot it prints a single
+// Prometheus text scrape derived from the stream (the same series `sched
+// -http` serves on /metrics) and exits — for scripts and tests that have
+// no HTTP endpoint to curl.
+func topCmd(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("top", flag.ContinueOnError)
+	var conn connFlags
+	conn.register(fs, 0)
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval for the live table")
+	campaign := fs.String("campaign", "", "only count task events for this campaign (submit -campaign); fleet-wide events (worker join/leave, truncation) always pass")
+	snapshot := fs.Bool("metrics-snapshot", false, "print one Prometheus text scrape derived from the event stream once the backlog drains, then exit")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if err := conn.validate("top"); err != nil {
+		return err
+	}
+	m, err := flow.DialMonitor(conn.dialOptions())
+	if err != nil {
+		return err
+	}
+	m.Campaign = *campaign
+	defer m.Close()
+	// Detach on a signal, exactly like monitor: closing the monitor fails
+	// the blocking Next, the loop renders once more and exits cleanly.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	go func() {
+		<-sig
+		m.Close()
+	}()
+	return runTop(m, stdout, topOptions{interval: *interval, snapshot: *snapshot, clear: true})
+}
+
+type topOptions struct {
+	// interval is the live-table refresh period; renders also happen once
+	// at stream end regardless.
+	interval time.Duration
+	// snapshot switches to one-shot Prometheus output: the stream is
+	// folded into a flow.SchedulerMetrics and dumped after the backlog
+	// drains (snapshotQuiet with no events) or the stream ends.
+	snapshot bool
+	// clear prefixes each render with an ANSI clear-screen, giving the
+	// refreshing-dashboard effect on a terminal. Off in tests.
+	clear bool
+}
+
+// snapshotQuiet is how long the stream must stay silent before a
+// -metrics-snapshot is considered caught up with the scheduler's backlog
+// replay and printed.
+const snapshotQuiet = 500 * time.Millisecond
+
+// runTop drains the monitor stream through a reader goroutine so the
+// select below can interleave events with the refresh ticker (a blocking
+// Next would freeze the table between events). A clean stream end
+// (scheduler shutdown, Ctrl-C detach — flow.ErrStreamEnd) triggers a
+// final render and exits 0; any other error is surfaced.
+func runTop(src eventSource, w io.Writer, opts topOptions) error {
+	type item struct {
+		e   events.Event
+		err error
+	}
+	ch := make(chan item, 256)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		for {
+			e, err := src.Next()
+			select {
+			case ch <- item{e: e, err: err}:
+			case <-done:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	if opts.snapshot {
+		m := flow.NewSchedulerMetrics(nil)
+		timer := time.NewTimer(snapshotQuiet)
+		defer timer.Stop()
+		for {
+			select {
+			case it := <-ch:
+				if it.err != nil {
+					if !errors.Is(it.err, flow.ErrStreamEnd) {
+						return it.err
+					}
+					return m.WritePrometheus(w)
+				}
+				m.Observe(it.e)
+				if !timer.Stop() {
+					select {
+					case <-timer.C:
+					default:
+					}
+				}
+				timer.Reset(snapshotQuiet)
+			case <-timer.C:
+				return m.WritePrometheus(w)
+			}
+		}
+	}
+
+	st := newTopState()
+	var tick <-chan time.Time
+	if opts.interval > 0 {
+		ticker := time.NewTicker(opts.interval)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+	for {
+		select {
+		case it := <-ch:
+			if it.err != nil {
+				if !errors.Is(it.err, flow.ErrStreamEnd) {
+					return it.err
+				}
+				st.render(w, opts.clear)
+				return nil
+			}
+			st.observe(it.e)
+		case <-tick:
+			st.render(w, opts.clear)
+		}
+	}
+}
+
+// topWorker is one worker's accumulated execution history as seen from
+// the event stream — the live counterpart of analysis.WorkerOccupancy.
+type topWorker struct {
+	joinNS int64
+	leftNS int64 // 0 while connected
+	busyNS int64 // closed busy intervals; open ones are added at render
+	tasks  int
+}
+
+type openTask struct {
+	worker  string
+	startNS int64
+}
+
+// topState folds the event stream into everything one table render needs:
+// the global Tracker counters, per-campaign tallies, and per-worker busy
+// intervals (assigned → done/failed, cut short by a worker death — the
+// same convention analysis.ReplayOccupancy uses offline).
+type topState struct {
+	tr      *events.Tracker
+	cv      *events.CampaignView
+	workers map[string]*topWorker
+	open    map[string]openTask
+	firstNS int64
+	seen    bool
+}
+
+func newTopState() *topState {
+	return &topState{
+		tr:      events.NewTracker(),
+		cv:      events.NewCampaignView(),
+		workers: make(map[string]*topWorker),
+		open:    make(map[string]openTask),
+	}
+}
+
+func (t *topState) observe(e events.Event) {
+	if !t.seen {
+		t.firstNS = e.TimeNS
+		t.seen = true
+	}
+	t.tr.Observe(e)
+	t.cv.Observe(e)
+	switch e.Type {
+	case events.WorkerJoin:
+		t.workers[e.Worker] = &topWorker{joinNS: e.TimeNS}
+	case events.WorkerLeave, events.WorkerLost:
+		if ws := t.workers[e.Worker]; ws != nil && ws.leftNS == 0 {
+			ws.leftNS = e.TimeNS
+		}
+		for task, iv := range t.open {
+			if iv.worker == e.Worker {
+				t.closeInterval(task, e.TimeNS)
+			}
+		}
+	case events.TaskAssigned:
+		// A monitor attached mid-run can see an assignment for a worker
+		// whose join predates the backlog; invent the worker at first
+		// sight so its row still appears.
+		if t.workers[e.Worker] == nil {
+			t.workers[e.Worker] = &topWorker{joinNS: e.TimeNS}
+		}
+		t.open[e.Task] = openTask{worker: e.Worker, startNS: e.TimeNS}
+	case events.TaskDone, events.TaskFailed:
+		t.closeInterval(e.Task, e.TimeNS)
+	case events.TaskQueued:
+		if e.Attempt > 0 {
+			// Requeue after a loss: the worker_lost already closed the
+			// interval; drop any stale leftover.
+			delete(t.open, e.Task)
+		}
+	}
+}
+
+func (t *topState) closeInterval(task string, nowNS int64) {
+	iv, ok := t.open[task]
+	if !ok {
+		return
+	}
+	delete(t.open, task)
+	if ws := t.workers[iv.worker]; ws != nil {
+		ws.busyNS += nowNS - iv.startNS
+		ws.tasks++
+	}
+}
+
+func (t *topState) render(w io.Writer, clear bool) {
+	if clear {
+		fmt.Fprint(w, "\x1b[2J\x1b[H")
+	}
+	tr := t.tr
+	rate := 0.0
+	if span := tr.LastNS - t.firstNS; t.seen && span > 0 {
+		rate = float64(tr.Done) / (float64(span) / 1e9)
+	}
+	fmt.Fprintf(w, "top: queue=%d busy=%d workers=%d done=%d failed=%d dropped=%d %.2f tasks/s\n",
+		tr.QueueDepth, tr.Busy(), len(tr.Workers), tr.Done, tr.Failed, tr.Dropped, rate)
+
+	if names := t.cv.Campaigns(); len(names) > 0 {
+		fmt.Fprintf(w, "\n%-24s %7s %7s %7s %7s\n", "CAMPAIGN", "QUEUED", "RUNNING", "DONE", "FAILED")
+		for _, name := range names {
+			c := t.cv.Tally(name)
+			label := name
+			if label == "" {
+				label = "(unnamed)"
+			}
+			fmt.Fprintf(w, "%-24s %7d %7d %7d %7d\n", label, c.Queued, c.Running, c.Done, c.Failed)
+		}
+	}
+
+	if len(t.workers) > 0 {
+		fmt.Fprintf(w, "\n%-16s %6s %9s %6s\n", "WORKER", "TASKS", "BUSY", "OCC%")
+		names := make([]string, 0, len(t.workers))
+		for name := range t.workers {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			ws := t.workers[name]
+			busy := ws.busyNS
+			for _, iv := range t.open {
+				if iv.worker == name {
+					busy += tr.LastNS - iv.startNS
+				}
+			}
+			end := ws.leftNS
+			if end == 0 {
+				end = tr.LastNS
+			}
+			occ := 0.0
+			if span := end - ws.joinNS; span > 0 {
+				occ = float64(busy) / float64(span) * 100
+			}
+			gone := ""
+			if ws.leftNS != 0 {
+				gone = " gone"
+			}
+			fmt.Fprintf(w, "%-16s %6d %8.1fs %6.1f%s\n", name, ws.tasks, float64(busy)/1e9, occ, gone)
+		}
+	}
+}

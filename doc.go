@@ -175,9 +175,30 @@
 // allocs/op; BenchmarkDispatchSlowPeer adds a wedged worker and a
 // never-draining monitor to the 256-worker fleet and must stay at the
 // all-healthy level — a slow peer costs its own connection, never fleet
-// throughput. A live scheduler can be profiled under load via `sched
-// -pprof localhost:6060` (standard net/http/pprof endpoints, off unless
-// set).
+// throughput.
+//
+// Live observability is a first-class subsystem (the terminal answer to
+// the Dask dashboard the paper leans on). `sched -http localhost:6060`
+// serves GET /metrics — every task transition, worker join/leave/lost,
+// retry, quarantine, and async-sink drop folded into Prometheus text
+// series (internal/obs, dependency-free) labeled by campaign and worker
+// — plus /healthz (200 while serving, 503 from the moment shutdown
+// begins) and the standard /debug/pprof/ endpoints; the bound address is
+// advertised in the scheduler file. Workers piggyback runtime gauges
+// (goroutines, live heap bytes, tasks executed, cumulative busy time) on
+// their existing heartbeats — appended to the wire message under the
+// append-last convention, so mixed fleets interoperate and a legacy
+// worker's series are simply absent, never zero garbage. The metrics
+// sink runs synchronously under the hub lock and is allocation-free at
+// steady state; the gated dispatch benchmarks measure the path with
+// metrics enabled. `proteomectl top` renders the same picture without
+// HTTP — a refreshing terminal table (queue depth, per-campaign
+// queued/running/done/failed, per-worker occupancy, dispatch rate) over
+// the read-only monitor protocol, and `top -metrics-snapshot` prints one
+// Prometheus scrape derived from the event stream for scripts and tests.
+// The e2e contract: the /metrics counters after a real multi-worker
+// campaign must exactly match the persisted event log's tallies
+// (TestMetricsEndpointMatchesEventLog).
 //
 // CI enforces the perf + determinism contract: a bench-regression job
 // gates the kernel microbenchmarks and the dispatch-throughput rows
@@ -185,8 +206,8 @@
 // where deterministic, within an explicit band for the
 // scheduling-dependent dispatch rows, ns/op with generous tolerance),
 // the execution-layer packages (internal/flow, internal/parallel,
-// internal/exec) carry an 80% coverage floor that includes the
-// remote-dispatch path, the multi-process e2e suite runs under -race, and
+// internal/exec, internal/obs) carry an 80% coverage floor that includes
+// the remote-dispatch path, the multi-process e2e suite runs under -race, and
 // the wire-protocol and FASTA decoders — including the binary framing —
 // are continuously fuzzed (short budget per push; seed corpora under
 // testdata/fuzz).

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/events"
+)
+
+func TestReplayOccupancy(t *testing.T) {
+	// w1 is busy 6s of the 10s span across two tasks; w2 runs one task for
+	// 2s and is lost mid-second-task at 10s (interval closed by the loss).
+	evs := []events.Event{
+		{Seq: 1, TimeNS: 0, Type: events.WorkerJoin, Worker: "w1"},
+		{Seq: 2, TimeNS: 0, Type: events.WorkerJoin, Worker: "w2"},
+		{Seq: 3, TimeNS: 0, Type: events.TaskReceived, Task: "a"},
+		{Seq: 4, TimeNS: 0, Type: events.TaskQueued, Task: "a"},
+		{Seq: 5, TimeNS: 1e9, Type: events.TaskAssigned, Task: "a", Worker: "w1"},
+		{Seq: 6, TimeNS: 5e9, Type: events.TaskDone, Task: "a", Worker: "w1"},
+		{Seq: 7, TimeNS: 5e9, Type: events.TaskReceived, Task: "b"},
+		{Seq: 8, TimeNS: 5e9, Type: events.TaskQueued, Task: "b"},
+		{Seq: 9, TimeNS: 6e9, Type: events.TaskAssigned, Task: "b", Worker: "w1"},
+		{Seq: 10, TimeNS: 8e9, Type: events.TaskDone, Task: "b", Worker: "w1"},
+		{Seq: 11, TimeNS: 0, Type: events.TaskReceived, Task: "c"},
+		{Seq: 12, TimeNS: 0, Type: events.TaskQueued, Task: "c"},
+		{Seq: 13, TimeNS: 2e9, Type: events.TaskAssigned, Task: "c", Worker: "w2"},
+		{Seq: 14, TimeNS: 4e9, Type: events.TaskDone, Task: "c", Worker: "w2"},
+		{Seq: 15, TimeNS: 8e9, Type: events.TaskReceived, Task: "d"},
+		{Seq: 16, TimeNS: 8e9, Type: events.TaskQueued, Task: "d"},
+		{Seq: 17, TimeNS: 9e9, Type: events.TaskAssigned, Task: "d", Worker: "w2"},
+		{Seq: 18, TimeNS: 10e9, Type: events.WorkerLost, Worker: "w2", Err: "silent"},
+	}
+	rep, err := events.ReplayEvents(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	occ := ReplayOccupancy(rep)
+	if len(occ) != 2 {
+		t.Fatalf("got %d workers, want 2: %+v", len(occ), occ)
+	}
+	w1, w2 := occ[0], occ[1]
+	if w1.Worker != "w1" || w2.Worker != "w2" {
+		t.Fatalf("order = %q,%q, want w1,w2", w1.Worker, w2.Worker)
+	}
+	if w1.BusyNS != 6e9 || w1.Tasks != 2 {
+		t.Errorf("w1 = %+v, want busy 6e9 over 2 tasks", w1)
+	}
+	if math.Abs(w1.Fraction-0.6) > 1e-12 {
+		t.Errorf("w1 fraction = %v, want 0.6", w1.Fraction)
+	}
+	// w2: task c 2s + task d cut at the 10s loss stamp = 3s busy.
+	if w2.BusyNS != 3e9 || w2.Tasks != 2 {
+		t.Errorf("w2 = %+v, want busy 3e9 over 2 tasks", w2)
+	}
+	if math.Abs(w2.Fraction-0.3) > 1e-12 {
+		t.Errorf("w2 fraction = %v, want 0.3", w2.Fraction)
+	}
+}
+
+func TestReplayOccupancyEmpty(t *testing.T) {
+	rep, err := events.ReplayEvents(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ := ReplayOccupancy(rep); len(occ) != 0 {
+		t.Fatalf("empty replay yielded %+v", occ)
+	}
+}

@@ -1,0 +1,97 @@
+package events
+
+import "sort"
+
+// CampaignTally is one campaign's live task counts — the per-tenant row of
+// the paper's dashboard view (`proteomectl top`), maintained incrementally
+// the way Tracker maintains the global counters.
+type CampaignTally struct {
+	// Received / Done / Failed / Dropped / Quarantined count outcomes.
+	Received, Done, Failed, Dropped, Quarantined int
+	// Queued is the campaign's current queue depth; Running its tasks
+	// currently assigned to a worker.
+	Queued, Running int
+}
+
+// Finished reports how many of the campaign's tasks reached a terminal
+// state.
+func (c CampaignTally) Finished() int { return c.Done + c.Failed + c.Dropped }
+
+// CampaignView folds an event stream into per-campaign tallies, one event
+// at a time and in stream order. Events without a campaign (single-tenant
+// submitters) accumulate under the empty name, so the view always accounts
+// for every task-scoped event it sees.
+type CampaignView struct {
+	tallies map[string]*CampaignTally
+}
+
+// NewCampaignView returns an empty view.
+func NewCampaignView() *CampaignView {
+	return &CampaignView{tallies: make(map[string]*CampaignTally)}
+}
+
+// Observe advances the view by one event. The counting rules mirror
+// Tracker: a queued event with Attempt > 0 is a requeue pulling an
+// in-flight task back onto the queue, assigned moves queued → running,
+// done/failed retire a running task, dropped retires a queued one, and a
+// quarantine's terminal failed arrives without a matching queued.
+func (v *CampaignView) Observe(e Event) {
+	if !e.Type.TaskScoped() {
+		return
+	}
+	c := v.tallies[e.Campaign]
+	if c == nil {
+		c = &CampaignTally{}
+		v.tallies[e.Campaign] = c
+	}
+	switch e.Type {
+	case TaskReceived:
+		c.Received++
+	case TaskQueued:
+		c.Queued++
+		if e.Attempt > 0 && c.Running > 0 {
+			c.Running--
+		}
+	case TaskAssigned:
+		if c.Queued > 0 {
+			c.Queued--
+		}
+		c.Running++
+	case TaskDone:
+		c.Done++
+		if c.Running > 0 {
+			c.Running--
+		}
+	case TaskFailed:
+		c.Failed++
+		if c.Running > 0 {
+			c.Running--
+		}
+	case TaskDropped:
+		c.Dropped++
+		if c.Queued > 0 {
+			c.Queued--
+		}
+	case TaskQuarantined:
+		c.Quarantined++
+	}
+}
+
+// Campaigns returns the campaign names seen so far, sorted, with the
+// unnamed (empty) campaign first when present.
+func (v *CampaignView) Campaigns() []string {
+	names := make([]string, 0, len(v.tallies))
+	for name := range v.tallies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Tally returns the counts for one campaign (zero value when unseen).
+func (v *CampaignView) Tally(campaign string) CampaignTally {
+	if c := v.tallies[campaign]; c != nil {
+		return *c
+	}
+	return CampaignTally{}
+}

@@ -1,0 +1,60 @@
+package events
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCampaignViewTallies(t *testing.T) {
+	v := NewCampaignView()
+	obs := func(typ Type, task, campaign string, attempt int) {
+		v.Observe(Event{Type: typ, Task: task, Campaign: campaign, Attempt: attempt})
+	}
+	// Campaign "dvu": one task completes normally, one is mid-flight.
+	obs(TaskReceived, "a", "dvu", 0)
+	obs(TaskQueued, "a", "dvu", 0)
+	obs(TaskAssigned, "a", "dvu", 0)
+	obs(TaskRunning, "a", "dvu", 0)
+	obs(TaskDone, "a", "dvu", 0)
+	obs(TaskReceived, "b", "dvu", 0)
+	obs(TaskQueued, "b", "dvu", 0)
+	obs(TaskAssigned, "b", "dvu", 0)
+	// Unnamed campaign: requeue after a worker death, then quarantine.
+	obs(TaskReceived, "x", "", 0)
+	obs(TaskQueued, "x", "", 0)
+	obs(TaskAssigned, "x", "", 0)
+	obs(TaskQueued, "x", "", 1) // requeue: running -> queued
+	obs(TaskAssigned, "x", "", 0)
+	obs(TaskFailed, "x", "", 2)
+	obs(TaskQuarantined, "x", "", 2)
+	// Worker events are fleet-scoped and must not disturb tallies.
+	v.Observe(Event{Type: WorkerJoin, Worker: "w1"})
+	v.Observe(Event{Type: WorkerLost, Worker: "w1"})
+
+	if got, want := v.Campaigns(), []string{"", "dvu"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Campaigns() = %v, want %v", got, want)
+	}
+	if got, want := v.Tally("dvu"), (CampaignTally{Received: 2, Done: 1, Running: 1}); got != want {
+		t.Errorf("dvu tally = %+v, want %+v", got, want)
+	}
+	if got, want := v.Tally(""), (CampaignTally{Received: 1, Failed: 1, Quarantined: 1}); got != want {
+		t.Errorf("unnamed tally = %+v, want %+v", got, want)
+	}
+	if got := v.Tally("dvu").Finished(); got != 1 {
+		t.Errorf("dvu Finished() = %d, want 1", got)
+	}
+	if got := v.Tally("never-seen"); got != (CampaignTally{}) {
+		t.Errorf("unseen tally = %+v, want zero", got)
+	}
+}
+
+func TestCampaignViewDropRetiresQueued(t *testing.T) {
+	v := NewCampaignView()
+	v.Observe(Event{Type: TaskReceived, Task: "a", Campaign: "c"})
+	v.Observe(Event{Type: TaskQueued, Task: "a", Campaign: "c"})
+	v.Observe(Event{Type: TaskDropped, Task: "a", Campaign: "c"})
+	got := v.Tally("c")
+	if got.Queued != 0 || got.Dropped != 1 {
+		t.Fatalf("tally after drop = %+v, want queued 0 dropped 1", got)
+	}
+}

@@ -51,6 +51,10 @@ func benchDispatch(b *testing.B, wire string, numWorkers int, slowPeer bool) {
 	tasksPerOp := 8 * numWorkers
 	s := NewScheduler()
 	s.Batch = 16
+	// Live metrics on: the baselines pin the dispatch path as deployed
+	// (`sched -http` registers a SchedulerMetrics sink), so the per-event
+	// fold into the Prometheus series is part of what every row measures.
+	s.Metrics = NewSchedulerMetrics(nil)
 	// The client awaits a whole wave, so a wave's worth of result frames
 	// can be queued on its outbox before the writer goroutine runs. Size
 	// the outbox for the wave — the tuning rule `sched -outbox-depth`

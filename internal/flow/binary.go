@@ -134,6 +134,18 @@ func appendMessage(b []byte, m *message) []byte {
 	}
 	b = binary.AppendVarint(b, int64(m.Count))
 	b = appendString(b, m.Campaign)
+	// Append-last extension (heartbeat gauges). The presence byte is
+	// written even when nil so encoding stays canonical: decode(encode(m))
+	// re-encodes to the same bytes, which the fuzz round-trip requires.
+	if m.Gauges != nil {
+		b = append(b, 1)
+		b = binary.AppendVarint(b, int64(m.Gauges.Goroutines))
+		b = binary.AppendUvarint(b, m.Gauges.HeapBytes)
+		b = binary.AppendUvarint(b, m.Gauges.TasksExecuted)
+		b = binary.AppendVarint(b, m.Gauges.BusyNS)
+	} else {
+		b = append(b, 0)
+	}
 	return b
 }
 
@@ -358,6 +370,21 @@ func readMessage(r *binReader, m *message) {
 	}
 	m.Count = int(r.varint("count"))
 	m.Campaign = r.str("campaign")
+	// Fields introduced after the layout froze are appended last; a frame
+	// that ends here came from a legacy peer and the extension decodes as
+	// absent. The reader is otherwise strict, so this is the one point
+	// where running out of bytes is interop, not corruption.
+	if r.err != nil || len(r.b) == 0 {
+		return
+	}
+	if r.presence("gauges") {
+		m.Gauges = &WorkerGauges{
+			Goroutines:    int(r.varint("gauges goroutines")),
+			HeapBytes:     r.uvarint("gauges heap_bytes"),
+			TasksExecuted: r.uvarint("gauges tasks_executed"),
+			BusyNS:        r.varint("gauges busy_ns"),
+		}
+	}
 }
 
 func readTask(r *binReader, t *Task) {

@@ -53,6 +53,10 @@ func fullMessage() *message {
 		},
 		Count:    -5,
 		Campaign: "dvu-full",
+		Gauges: &WorkerGauges{
+			Goroutines: 11, HeapBytes: 1 << 30,
+			TasksExecuted: 512, BusyNS: 123456789012,
+		},
 	}
 }
 
@@ -110,6 +114,46 @@ func TestBinaryZeroTimeRoundTrip(t *testing.T) {
 	}
 	if !got.Result.Start.IsZero() || !got.Result.End.IsZero() {
 		t.Errorf("zero times did not round trip: start=%v end=%v", got.Result.Start, got.Result.End)
+	}
+}
+
+func TestBinaryLegacyHeartbeatGaugesAbsent(t *testing.T) {
+	// A pre-gauges peer's heartbeat body ends after Campaign — exactly the
+	// current encoding minus the appended gauge section. The append-last
+	// convention requires it to decode with Gauges absent (nil), never an
+	// error and never zero-garbage; but once a presence byte claims
+	// gauges, a frame torn inside them is corruption and must fail.
+	body := appendMessage(nil, &message{Type: msgHeartbeat, WorkerID: "w-legacy"})
+	legacy := body[:len(body)-1] // strip the gauge presence byte
+
+	decode := func(body []byte) (message, error) {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+		data := append(hdr[:], body...)
+		c := newBinaryCodec(bufio.NewReader(bytes.NewReader(data)), bufio.NewWriter(io.Discard))
+		var m message
+		err := c.Decode(&m)
+		return m, err
+	}
+
+	m, err := decode(legacy)
+	if err != nil {
+		t.Fatalf("legacy heartbeat rejected: %v", err)
+	}
+	if m.Type != msgHeartbeat || m.WorkerID != "w-legacy" {
+		t.Fatalf("legacy heartbeat mangled: %+v", m)
+	}
+	if m.Gauges != nil {
+		t.Fatalf("legacy heartbeat grew gauges: %+v", m.Gauges)
+	}
+
+	gauged := appendMessage(nil, &message{Type: msgHeartbeat, WorkerID: "w-new",
+		Gauges: &WorkerGauges{Goroutines: 7, HeapBytes: 1 << 22, TasksExecuted: 9, BusyNS: 12345}})
+	if m, err := decode(gauged); err != nil || m.Gauges == nil || m.Gauges.Goroutines != 7 {
+		t.Fatalf("gauged heartbeat: err=%v gauges=%+v", err, m.Gauges)
+	}
+	if _, err := decode(gauged[:len(gauged)-2]); err == nil {
+		t.Fatal("frame torn inside the gauge section decoded without error")
 	}
 }
 

@@ -93,6 +93,8 @@ func FuzzDecodeMessage(f *testing.F) {
 	f.Add([]byte(`{"type":"event","event":{"seq":8,"t_ns":1501,"type":"failed","task":"a/m3","worker":"w2","error":"boom"}}`))
 	f.Add([]byte(`{"type":"event","event":{"seq":1,"t_ns":0,"type":"worker_join","worker":"w1"}}`))
 	f.Add([]byte(`{"type":"heartbeat","worker_id":"w1"}`))
+	f.Add([]byte(`{"type":"heartbeat","worker_id":"w1","gauges":{"goroutines":9,"heap_bytes":1048576,"tasks_executed":42,"busy_ns":1500000000}}`))
+	f.Add([]byte(`{"type":"heartbeat","worker_id":"w1","gauges":{}}`))
 	f.Add([]byte(`{"type":"task","task":{"id":"t1","attempt":2,"payload":{"mem":16},"escalate_payload":{"mem":512}}}`))
 	f.Add([]byte(`{"type":"event","event":{"seq":3,"t_ns":9,"type":"queued","task":"a","attempt":1}}`))
 	f.Add([]byte(`{"type":"event","event":{"seq":4,"t_ns":10,"type":"quarantined","task":"a","attempt":3}}`))
@@ -165,6 +167,14 @@ func FuzzDecodeMessage(f *testing.F) {
 		if m.Task != nil && again.Task.Campaign != m.Task.Campaign {
 			t.Fatalf("task campaign changed across round trip: %q != %q", again.Task.Campaign, m.Task.Campaign)
 		}
+		// Heartbeat-carried worker gauges: presence (absent stays absent —
+		// the mixed-fleet contract) and values must survive the round trip.
+		if (again.Gauges == nil) != (m.Gauges == nil) {
+			t.Fatalf("gauges presence changed across round trip")
+		}
+		if m.Gauges != nil && *again.Gauges != *m.Gauges {
+			t.Fatalf("gauges changed across round trip: %+v != %+v", *again.Gauges, *m.Gauges)
+		}
 	})
 }
 
@@ -181,6 +191,9 @@ func binFrame(body []byte) []byte {
 // fuzz-smoke job replays them without regenerating.
 func binaryCorpus() map[string][]byte {
 	full := appendMessage(nil, fullMessage())
+	legacyBeat := appendMessage(nil, &message{Type: msgHeartbeat, WorkerID: "w1"})
+	gaugedBeat := appendMessage(nil, &message{Type: msgHeartbeat, WorkerID: "w1",
+		Gauges: &WorkerGauges{Goroutines: 9, HeapBytes: 1 << 20, TasksExecuted: 42, BusyNS: 1500000000}})
 	batch := appendMessage(nil, &message{Type: msgTask, Tasks: []Task{
 		{ID: "t1", Payload: json.RawMessage(`{"kernel":"k"}`)},
 		{ID: "t2", Payload: json.RawMessage(`{"kernel":"k"}`)},
@@ -195,6 +208,13 @@ func binaryCorpus() map[string][]byte {
 		// A batched handout torn mid-task: the count field promises three
 		// tasks but the body ends inside the third.
 		"torn_batch": binFrame(batch[:len(batch)-12]),
+		// A pre-gauges heartbeat, byte-exact as a legacy worker emits it:
+		// the body ends after Campaign, before the appended gauge presence
+		// byte. Must decode with Gauges absent, not error or zero-garbage.
+		"legacy_heartbeat_no_gauges": binFrame(legacyBeat[:len(legacyBeat)-1]),
+		// A gauge-carrying heartbeat torn inside the appended extension:
+		// once the presence byte claims gauges, truncation is corruption.
+		"torn_gauges": binFrame(gaugedBeat[:len(gaugedBeat)-3]),
 	}
 }
 
@@ -209,6 +229,8 @@ func FuzzDecodeBinaryFrame(f *testing.F) {
 	f.Add(binFrame(appendMessage(nil, fullMessage())))
 	f.Add(binFrame(appendMessage(nil, &message{Type: msgRegister, WorkerID: "w1", Slots: 1})))
 	f.Add(binFrame(appendMessage(nil, &message{Type: msgHeartbeat, WorkerID: "w1"})))
+	f.Add(binFrame(appendMessage(nil, &message{Type: msgHeartbeat, WorkerID: "w1",
+		Gauges: &WorkerGauges{Goroutines: 9, HeapBytes: 1 << 20, TasksExecuted: 42, BusyNS: 1500000000}})))
 	f.Add(binFrame(appendMessage(nil, &message{Type: msgSubmit, Tasks: makeTasks(3)})))
 	f.Add(binFrame(appendMessage(nil, &message{Type: msgAccepted, Count: 3})))
 	f.Add(binFrame(nil))

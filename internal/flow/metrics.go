@@ -1,0 +1,267 @@
+package flow
+
+import (
+	"io"
+	"sync"
+
+	"repro/internal/events"
+	"repro/internal/obs"
+)
+
+// taskSecondsBuckets spans the dispatch-bound microsecond regime through
+// multi-minute inference tasks.
+var taskSecondsBuckets = []float64{0.0001, 0.001, 0.01, 0.1, 1, 10, 60, 300, 1800}
+
+// SchedulerMetrics folds the scheduler's event stream into live Prometheus
+// series — the scrapeable counterpart of events.Tracker. It is registered
+// as a synchronous hub sink (Scheduler.Metrics), so Observe runs under the
+// hub lock on the dispatch path and must stay allocation-free at steady
+// state: per-campaign series are resolved once and cached, and every update
+// is an atomic add. One instance serves one scheduler.
+type SchedulerMetrics struct {
+	reg *obs.Registry
+
+	// Task lifecycle. tasks is the ground-truth counter family the e2e
+	// contract checks against the persisted event log: one increment per
+	// event, labeled by event type and campaign.
+	tasks       *obs.CounterVec
+	queueDepth  *obs.Gauge
+	tasksBusy   *obs.Gauge
+	campQueued  *obs.GaugeVec
+	campRunning *obs.GaugeVec
+	retries     *obs.Counter
+	truncated   *obs.Counter
+	taskSeconds *obs.Histogram
+
+	// Fleet.
+	workers      *obs.Gauge
+	workerEvents *obs.CounterVec
+
+	// Worker-side runtime gauges, carried by heartbeats.
+	wGoroutines *obs.GaugeVec
+	wHeapBytes  *obs.GaugeVec
+	wTasks      *obs.GaugeVec
+	wBusyNS     *obs.GaugeVec
+
+	// I/O pressure.
+	outboxOverflows *obs.Counter
+
+	// campaigns caches the per-campaign series structs; Observe runs on
+	// one goroutine (the hub lock serializes emitters), so the map needs
+	// no lock of its own, but starts tracks the assigned→terminal bracket
+	// for the duration histogram on the same single-writer terms.
+	campaigns map[string]*campaignSeries
+	starts    map[string]int64 // task label -> assigned TimeNS
+
+	// dropFns reads AsyncSink drop totals at scrape time (satellite:
+	// surface events.AsyncSink.Dropped as a queryable counter).
+	dropMu  sync.Mutex
+	dropFns []func() uint64
+}
+
+// campaignSeries is one campaign's resolved counters — a single map lookup
+// plus atomic adds per event on the hot path.
+type campaignSeries struct {
+	received, queued, assigned, running *obs.Counter
+	done, failed, dropped, quarantined  *obs.Counter
+	qDepth, active                      *obs.Gauge
+}
+
+// NewSchedulerMetrics builds the full series set on reg (a fresh registry
+// when nil). Set the result as Scheduler.Metrics before Start.
+func NewSchedulerMetrics(reg *obs.Registry) *SchedulerMetrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	m := &SchedulerMetrics{
+		reg: reg,
+
+		tasks: reg.CounterVec("flow_tasks_total",
+			"Task lifecycle events observed by the scheduler, by event type and campaign.",
+			"event", "campaign"),
+		queueDepth: reg.Gauge("flow_queue_depth",
+			"Tasks queued and waiting for a worker."),
+		tasksBusy: reg.Gauge("flow_tasks_running",
+			"Tasks assigned to a worker and not yet finished."),
+		campQueued: reg.GaugeVec("flow_campaign_queued",
+			"Queued tasks per campaign.", "campaign"),
+		campRunning: reg.GaugeVec("flow_campaign_running",
+			"In-flight tasks per campaign.", "campaign"),
+		retries: reg.Counter("flow_retries_total",
+			"Tasks requeued after their worker died mid-flight."),
+		truncated: reg.Counter("flow_truncated_events_total",
+			"Truncation markers observed on the event stream (bounded backlog evictions)."),
+		taskSeconds: reg.Histogram("flow_task_seconds",
+			"Assignment-to-completion duration per task, scheduler-side.",
+			taskSecondsBuckets),
+
+		workers: reg.Gauge("flow_workers_connected",
+			"Workers currently registered."),
+		workerEvents: reg.CounterVec("flow_worker_events_total",
+			"Worker fleet transitions (worker_join, worker_leave, worker_lost).", "event"),
+
+		wGoroutines: reg.GaugeVec("flow_worker_goroutines",
+			"Goroutines on the worker process, from its last heartbeat.", "worker"),
+		wHeapBytes: reg.GaugeVec("flow_worker_heap_bytes",
+			"Live heap bytes on the worker process, from its last heartbeat.", "worker"),
+		wTasks: reg.GaugeVec("flow_worker_tasks_executed",
+			"Cumulative handler invocations on the worker, from its last heartbeat.", "worker"),
+		wBusyNS: reg.GaugeVec("flow_worker_busy_ns",
+			"Cumulative nanoseconds the worker spent inside task handlers, from its last heartbeat; rate over wall time is occupancy.", "worker"),
+
+		outboxOverflows: reg.Counter("flow_outbox_overflows_total",
+			"Peers declared dead because their outbound frame queue overflowed."),
+
+		campaigns: make(map[string]*campaignSeries),
+		starts:    make(map[string]int64),
+	}
+	reg.CounterFunc("flow_async_sink_dropped_total",
+		"Events dropped by bounded async sinks (event log, placement log) under sustained overload.",
+		m.asyncDropped)
+	return m
+}
+
+// Registry returns the backing registry, for serving /metrics.
+func (m *SchedulerMetrics) Registry() *obs.Registry { return m.reg }
+
+// WritePrometheus renders one scrape of every series.
+func (m *SchedulerMetrics) WritePrometheus(w io.Writer) error {
+	return m.reg.WritePrometheus(w)
+}
+
+// AddDropSource registers a callback read at scrape time whose value joins
+// flow_async_sink_dropped_total (typically an events.AsyncSink.Dropped).
+func (m *SchedulerMetrics) AddDropSource(fn func() uint64) {
+	m.dropMu.Lock()
+	m.dropFns = append(m.dropFns, fn)
+	m.dropMu.Unlock()
+}
+
+func (m *SchedulerMetrics) asyncDropped() float64 {
+	m.dropMu.Lock()
+	defer m.dropMu.Unlock()
+	var n uint64
+	for _, fn := range m.dropFns {
+		n += fn()
+	}
+	return float64(n)
+}
+
+// campaign resolves the cached series struct for a campaign, creating it on
+// first sight (the only allocating path; steady state is a map hit).
+func (m *SchedulerMetrics) campaign(name string) *campaignSeries {
+	if cs, ok := m.campaigns[name]; ok {
+		return cs
+	}
+	cs := &campaignSeries{
+		received:    m.tasks.With(string(events.TaskReceived), name),
+		queued:      m.tasks.With(string(events.TaskQueued), name),
+		assigned:    m.tasks.With(string(events.TaskAssigned), name),
+		running:     m.tasks.With(string(events.TaskRunning), name),
+		done:        m.tasks.With(string(events.TaskDone), name),
+		failed:      m.tasks.With(string(events.TaskFailed), name),
+		dropped:     m.tasks.With(string(events.TaskDropped), name),
+		quarantined: m.tasks.With(string(events.TaskQuarantined), name),
+		qDepth:      m.campQueued.With(name),
+		active:      m.campRunning.With(name),
+	}
+	m.campaigns[name] = cs
+	return cs
+}
+
+// decNonNeg guards gauge decrements: transitions are counted from the event
+// stream alone, so a stream joined mid-flight (resume, monitor-fed metrics)
+// can see a terminal event for work it never saw start.
+func decNonNeg(g *obs.Gauge) {
+	if g.Value() > 0 {
+		g.Dec()
+	}
+}
+
+// Observe folds one event into the live series. The counting rules mirror
+// events.Tracker: a queued event with Attempt > 0 is a requeue pulling an
+// in-flight task back, assigned moves queued→running, done/failed retire a
+// running task, dropped retires a queued one, and quarantine's terminal
+// failed arrives without a matching queued.
+func (m *SchedulerMetrics) Observe(e events.Event) {
+	switch e.Type {
+	case events.TaskReceived:
+		m.campaign(e.Campaign).received.Inc()
+	case events.TaskQueued:
+		cs := m.campaign(e.Campaign)
+		cs.queued.Inc()
+		m.queueDepth.Inc()
+		cs.qDepth.Inc()
+		if e.Attempt > 0 { // requeue: the task was in flight
+			m.retries.Inc()
+			decNonNeg(m.tasksBusy)
+			decNonNeg(cs.active)
+			delete(m.starts, e.Task)
+		}
+	case events.TaskAssigned:
+		cs := m.campaign(e.Campaign)
+		cs.assigned.Inc()
+		decNonNeg(m.queueDepth)
+		decNonNeg(cs.qDepth)
+		m.tasksBusy.Inc()
+		cs.active.Inc()
+		m.starts[e.Task] = e.TimeNS
+	case events.TaskRunning:
+		m.campaign(e.Campaign).running.Inc()
+	case events.TaskDone, events.TaskFailed:
+		cs := m.campaign(e.Campaign)
+		if e.Type == events.TaskDone {
+			cs.done.Inc()
+		} else {
+			cs.failed.Inc()
+		}
+		decNonNeg(m.tasksBusy)
+		decNonNeg(cs.active)
+		if start, ok := m.starts[e.Task]; ok {
+			m.taskSeconds.Observe(float64(e.TimeNS-start) / 1e9)
+			delete(m.starts, e.Task)
+		}
+	case events.TaskDropped:
+		cs := m.campaign(e.Campaign)
+		cs.dropped.Inc()
+		decNonNeg(m.queueDepth)
+		decNonNeg(cs.qDepth)
+		delete(m.starts, e.Task)
+	case events.TaskQuarantined:
+		m.campaign(e.Campaign).quarantined.Inc()
+	case events.WorkerJoin:
+		m.workers.Inc()
+		m.workerEvents.With(string(e.Type)).Inc()
+	case events.WorkerLeave, events.WorkerLost:
+		decNonNeg(m.workers)
+		m.workerEvents.With(string(e.Type)).Inc()
+		m.forgetWorker(e.Worker)
+	case events.Truncated:
+		m.truncated.Inc()
+	}
+}
+
+// SetWorkerGauges publishes a worker's heartbeat-carried runtime snapshot.
+// Called from the scheduler's event loop; a legacy worker never reaches
+// here, so its series simply do not exist (absent, not zero).
+func (m *SchedulerMetrics) SetWorkerGauges(worker string, g *WorkerGauges) {
+	if g == nil {
+		return
+	}
+	m.wGoroutines.With(worker).Set(int64(g.Goroutines))
+	m.wHeapBytes.With(worker).Set(int64(g.HeapBytes))
+	m.wTasks.With(worker).Set(int64(g.TasksExecuted))
+	m.wBusyNS.With(worker).Set(g.BusyNS)
+}
+
+// forgetWorker drops a departed worker's gauge series so the scrape stops
+// advertising a stale snapshot.
+func (m *SchedulerMetrics) forgetWorker(worker string) {
+	m.wGoroutines.Delete(worker)
+	m.wHeapBytes.Delete(worker)
+	m.wTasks.Delete(worker)
+	m.wBusyNS.Delete(worker)
+}
+
+// OutboxOverflows returns the overflow counter (exposed for tests).
+func (m *SchedulerMetrics) OutboxOverflows() uint64 { return m.outboxOverflows.Value() }

@@ -1,0 +1,331 @@
+package flow
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/events"
+)
+
+// scrape renders one /metrics-shaped snapshot of the scheduler's registry.
+func scrape(t *testing.T, m *SchedulerMetrics) string {
+	t.Helper()
+	var b strings.Builder
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return b.String()
+}
+
+// metricValue extracts the value of an exact series line ("name{labels}")
+// from a scrape, failing when the series is absent.
+func metricValue(t *testing.T, scrape, series string) string {
+	t.Helper()
+	for _, line := range strings.Split(scrape, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			return rest
+		}
+	}
+	t.Fatalf("series %q not in scrape:\n%s", series, scrape)
+	return ""
+}
+
+func TestSchedulerMetricsLiveCluster(t *testing.T) {
+	s := NewScheduler()
+	s.Metrics = NewSchedulerMetrics(nil)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	var workers []*Worker
+	for i := 0; i < 2; i++ {
+		w := NewWorker(fmt.Sprintf("w%d", i), echoHandler)
+		w.HeartbeatInterval = 20 * time.Millisecond
+		if err := w.Connect(addr); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(w.Close)
+		workers = append(workers, w)
+	}
+
+	c, err := ConnectClient(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	c.Campaign = "dvu-pilot"
+
+	tasks := make([]Task, 8)
+	for i := range tasks {
+		tasks[i] = Task{ID: fmt.Sprintf("t%d", i), Label: fmt.Sprintf("t%d", i)}
+	}
+	if _, err := c.Map(tasks, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	out := scrape(t, s.Metrics)
+	for series, want := range map[string]string{
+		`flow_tasks_total{event="received",campaign="dvu-pilot"}`: "8",
+		`flow_tasks_total{event="done",campaign="dvu-pilot"}`:     "8",
+		`flow_tasks_total{event="failed",campaign="dvu-pilot"}`:   "0",
+		`flow_worker_events_total{event="worker_join"}`:           "2",
+		"flow_workers_connected":                                  "2",
+		"flow_queue_depth":                                        "0",
+		"flow_tasks_running":                                      "0",
+		`flow_campaign_queued{campaign="dvu-pilot"}`:              "0",
+		`flow_campaign_running{campaign="dvu-pilot"}`:             "0",
+		"flow_task_seconds_count":                                 "8",
+		"flow_async_sink_dropped_total":                           "0",
+		"flow_outbox_overflows_total":                             "0",
+	} {
+		if got := metricValue(t, out, series); got != want {
+			t.Errorf("%s = %s, want %s", series, got, want)
+		}
+	}
+
+	// Heartbeats carry worker runtime gauges; wait for one beat per worker.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		out = scrape(t, s.Metrics)
+		if strings.Contains(out, `flow_worker_goroutines{worker="w0"}`) &&
+			strings.Contains(out, `flow_worker_goroutines{worker="w1"}`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker gauges never appeared:\n%s", out)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Each worker ran tasks, so its cumulative busy time and task count
+	// must be visible once a post-completion heartbeat lands.
+	for {
+		out = scrape(t, s.Metrics)
+		total := 0
+		for _, id := range []string{"w0", "w1"} {
+			if !strings.Contains(out, `flow_worker_tasks_executed{worker="`+id+`"}`) {
+				total = -1
+				break
+			}
+			var n int
+			fmt.Sscanf(metricValue(t, out, `flow_worker_tasks_executed{worker="`+id+`"}`), "%d", &n)
+			total += n
+		}
+		if total == 8 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker task gauges never reached 8 (have %d):\n%s", total, out)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// A departing worker's gauge series disappear rather than freeze.
+	workers[0].Close()
+	waitForEvent(t, s, events.WorkerLeave, 5*time.Second)
+	for {
+		out = scrape(t, s.Metrics)
+		if !strings.Contains(out, `flow_worker_goroutines{worker="w0"}`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("departed worker's gauges still scraped:\n%s", out)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := metricValue(t, out, "flow_workers_connected"); got != "1" {
+		t.Errorf("flow_workers_connected = %s after leave, want 1", got)
+	}
+}
+
+// TestMetricsMixedFleetLegacyHeartbeat pins the interop contract: a legacy
+// worker that beats without gauges (the pre-extension frame, both codecs'
+// JSON form here) must produce NO worker gauge series — absent, not zero —
+// while a current worker's series appear alongside it.
+func TestMetricsMixedFleetLegacyHeartbeat(t *testing.T) {
+	s := NewScheduler()
+	s.Metrics = NewSchedulerMetrics(nil)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	// Legacy worker: raw JSON frames with no gauges key at all.
+	rw := dialRawWorker(t, addr, "w-legacy")
+	t.Cleanup(func() { rw.conn.Close() })
+	beat := func() {
+		if err := rw.enc.Encode(message{Type: msgHeartbeat, WorkerID: "w-legacy"}); err != nil {
+			t.Fatalf("legacy heartbeat: %v", err)
+		}
+	}
+	beat()
+
+	// Current worker beside it.
+	w := NewWorker("w-new", echoHandler)
+	w.HeartbeatInterval = 20 * time.Millisecond
+	if err := w.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+
+	deadline := time.Now().Add(5 * time.Second)
+	var out string
+	for {
+		beat()
+		out = scrape(t, s.Metrics)
+		if strings.Contains(out, `flow_worker_goroutines{worker="w-new"}`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("modern worker's gauges never appeared:\n%s", out)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if strings.Contains(out, `worker="w-legacy"`) {
+		t.Fatalf("legacy worker grew gauge series from bare heartbeats:\n%s", out)
+	}
+	if got := metricValue(t, out, "flow_workers_connected"); got != "2" {
+		t.Errorf("flow_workers_connected = %s, want 2 (legacy worker still counted)", got)
+	}
+}
+
+// TestMetricsObserveLifecycleRules feeds the adapter a synthetic stream and
+// checks the Tracker-mirroring counting rules that a live cluster cannot
+// deterministically produce: requeues, drops, quarantines, truncation.
+func TestMetricsObserveLifecycleRules(t *testing.T) {
+	m := NewSchedulerMetrics(nil)
+	obs := func(typ events.Type, task string, attempt int) {
+		m.Observe(events.Event{Type: typ, Task: task, Campaign: "c", Attempt: attempt, Worker: "w1"})
+	}
+	obs(events.TaskReceived, "a", 0)
+	obs(events.TaskQueued, "a", 0)
+	obs(events.TaskAssigned, "a", 0)
+	obs(events.TaskRunning, "a", 0)
+	// Worker dies: requeue with attempt 1, reassign, then quarantine.
+	obs(events.TaskQueued, "a", 1)
+	obs(events.TaskAssigned, "a", 0)
+	obs(events.TaskFailed, "a", 2)
+	obs(events.TaskQuarantined, "a", 2)
+	// A second task is received, queued, then dropped before assignment.
+	obs(events.TaskReceived, "b", 0)
+	obs(events.TaskQueued, "b", 0)
+	obs(events.TaskDropped, "b", 0)
+	m.Observe(events.Event{Type: events.Truncated, Err: "3 events evicted"})
+
+	out := scrape(t, m)
+	for series, want := range map[string]string{
+		`flow_tasks_total{event="received",campaign="c"}`:    "2",
+		`flow_tasks_total{event="queued",campaign="c"}`:      "3",
+		`flow_tasks_total{event="assigned",campaign="c"}`:    "2",
+		`flow_tasks_total{event="failed",campaign="c"}`:      "1",
+		`flow_tasks_total{event="dropped",campaign="c"}`:     "1",
+		`flow_tasks_total{event="quarantined",campaign="c"}`: "1",
+		"flow_retries_total":                                 "1",
+		"flow_truncated_events_total":                        "1",
+		"flow_queue_depth":                                   "0",
+		"flow_tasks_running":                                 "0",
+		`flow_campaign_queued{campaign="c"}`:                 "0",
+		`flow_campaign_running{campaign="c"}`:                "0",
+		"flow_task_seconds_count":                            "1",
+	} {
+		if got := metricValue(t, out, series); got != want {
+			t.Errorf("%s = %s, want %s", series, got, want)
+		}
+	}
+}
+
+// TestAsyncSinkDroppedCounter surfaces events.AsyncSink's drop count as a
+// scrape-time counter (the satellite contract): a sink wedged past its
+// buffer drops, and the metric reads the sink's own tally.
+func TestAsyncSinkDroppedCounter(t *testing.T) {
+	hub := events.NewHub()
+	defer hub.Close()
+	block := make(chan struct{})
+	var once sync.Once
+	release := func() { once.Do(func() { close(block) }) }
+	defer release()
+	sink := hub.AddAsyncSink(func(events.Event) { <-block }, 2)
+
+	m := NewSchedulerMetrics(nil)
+	m.AddDropSource(sink.Dropped)
+
+	if got := metricValue(t, scrape(t, m), "flow_async_sink_dropped_total"); got != "0" {
+		t.Fatalf("drop counter = %s before overload, want 0", got)
+	}
+	// One event wedges the writer; the buffer holds 2; everything beyond
+	// must drop.
+	for i := 0; i < 10; i++ {
+		hub.Emit(events.Event{Type: events.TaskReceived, Task: fmt.Sprintf("t%d", i)})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for sink.Dropped() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("async sink never dropped under overload")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	want := fmt.Sprintf("%d", sink.Dropped())
+	if got := metricValue(t, scrape(t, m), "flow_async_sink_dropped_total"); got != want {
+		t.Fatalf("drop counter = %s, want %s (the sink's own tally)", got, want)
+	}
+	release()
+}
+
+func TestSchedulerHealthz(t *testing.T) {
+	s := NewScheduler()
+	if s.Healthy() {
+		t.Fatal("unstarted scheduler reports healthy")
+	}
+	if _, err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Healthy() {
+		t.Fatal("started scheduler reports unhealthy")
+	}
+	s.Close()
+	if s.Healthy() {
+		t.Fatal("closed scheduler reports healthy")
+	}
+}
+
+// TestOutboxOverflowCounter: a peer that never drains overflows its outbox;
+// the overflow — which never reaches the event stream — must land on the
+// counter.
+func TestOutboxOverflowCounter(t *testing.T) {
+	s := NewScheduler()
+	s.Metrics = NewSchedulerMetrics(nil)
+	s.OutboxDepth = 1
+	if _, err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	// A net.Pipe peer never reads: the writer goroutine blocks in its
+	// first write, the queue (depth 1) fills, and the next enqueue
+	// overflows.
+	us, them := net.Pipe()
+	t.Cleanup(func() { us.Close(); them.Close() })
+	ob := s.newOutbox(them, newJSONCodec(bufio.NewReader(them), bufio.NewWriter(them)), nil)
+	defer ob.shutdown()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := ob.enqueue(&message{Type: msgEvent})
+		if err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("outbox never overflowed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n := s.Metrics.OutboxOverflows(); n != 1 {
+		t.Fatalf("flow_outbox_overflows_total = %d, want 1", n)
+	}
+}

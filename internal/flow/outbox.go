@@ -62,6 +62,12 @@ type outbox struct {
 	// encoded counts frames the writer has finished encoding.
 	encoded atomic.Uint64
 
+	// onOverflow, when set, is called once per overflow detected at
+	// enqueue time (on the enqueueing goroutine — an atomic counter
+	// increment, nothing that can block the event loop). Overflows never
+	// reach the event stream, so the metrics view counts them here.
+	onOverflow func()
+
 	mu     sync.Mutex
 	failed error
 }
@@ -84,6 +90,9 @@ func (s *Scheduler) newOutbox(conn net.Conn, codec Codec, onDead func(error)) *o
 		onDead:  onDead,
 		ch:      make(chan *message, depth),
 		stop:    make(chan struct{}),
+	}
+	if s.Metrics != nil {
+		o.onOverflow = s.Metrics.outboxOverflows.Inc
 	}
 	s.wg.Add(1)
 	go o.run(s.done, &s.wg)
@@ -158,6 +167,9 @@ func (o *outbox) enqueue(m *message) error {
 	case o.ch <- m:
 		return nil
 	default:
+		if o.onOverflow != nil {
+			o.onOverflow()
+		}
 		err := fmt.Errorf("flow: outbox overflow: peer not draining (%d frames queued)", cap(o.ch))
 		o.fail(err)
 		return err

@@ -145,6 +145,29 @@ type message struct {
 	// frame belongs to (tasks carrying their own Campaign win). Absent for
 	// single-tenant submitters, keeping the classic wire byte-identical.
 	Campaign string `json:"campaign,omitempty"`
+	// Gauges, on a heartbeat frame, carries the worker's runtime snapshot
+	// so the scheduler can expose per-worker occupancy. Introduced after
+	// the frame layout froze, so it follows the append-last convention:
+	// binary frames write it after Campaign, a legacy peer's frame simply
+	// ends earlier, and the field decodes as nil — absent, never
+	// zero-garbage (JSON gets the same via omitempty).
+	Gauges *WorkerGauges `json:"gauges,omitempty"`
+}
+
+// WorkerGauges is the worker-side runtime snapshot a heartbeat carries:
+// cheap process-level gauges sampled once per beat (runtime/metrics — no
+// stop-the-world), plus the worker's cumulative task work, from which the
+// scheduler derives per-worker occupancy the way the paper's Fig 2 plots it.
+type WorkerGauges struct {
+	// Goroutines is runtime.NumGoroutine at sampling time.
+	Goroutines int `json:"goroutines"`
+	// HeapBytes is the live heap (bytes of allocated, reachable objects).
+	HeapBytes uint64 `json:"heap_bytes"`
+	// TasksExecuted is the cumulative count of handler invocations.
+	TasksExecuted uint64 `json:"tasks_executed"`
+	// BusyNS is cumulative nanoseconds spent inside task handlers; the
+	// delta between two beats over the beat interval is occupancy.
+	BusyNS int64 `json:"busy_ns"`
 }
 
 const (
@@ -178,6 +201,11 @@ const workerMaxBatch = 1 << 16
 type SchedulerFile struct {
 	Address   string    `json:"address"`
 	StartedAt time.Time `json:"started_at"`
+	// HTTP is the admin endpoint (/metrics, /healthz, /debug/pprof/) when
+	// the scheduler serves one (`sched -http`); empty otherwise. Legacy
+	// readers ignore the extra key, and omitempty keeps the document
+	// byte-identical when the endpoint is off.
+	HTTP string `json:"http,omitempty"`
 }
 
 // ParseSchedulerFile decodes a scheduler-file document and validates that

@@ -40,6 +40,22 @@ type Scheduler struct {
 	// Write errors are ignored, as with PlacementLog.
 	EventLog io.Writer
 
+	// Metrics, when set before Start, folds the event stream into live
+	// Prometheus series (served as GET /metrics by `sched -http`). It is
+	// attached as a synchronous hub sink — atomic counter updates on the
+	// same emit the dispatch path already pays — and additionally receives
+	// heartbeat-carried worker runtime gauges and outbox overflow counts,
+	// which never appear on the event stream.
+	Metrics *SchedulerMetrics
+
+	// AdminHTTP, when set before WriteSchedulerFile, is advertised as the
+	// scheduler file's "http" field so tooling (`proteomectl top`,
+	// curl /metrics, readiness probes) can find the admin endpoint without
+	// extra configuration. The scheduler does not serve HTTP itself; the
+	// owning process (cmd/proteomectl) binds the listener and reports the
+	// address here.
+	AdminHTTP string
+
 	// MaxRetries, when positive, bounds how many times a task is requeued
 	// after its worker died mid-task. A task whose worker dies a
 	// (MaxRetries+1)-th time is quarantined: a terminal failed event with
@@ -126,6 +142,9 @@ type schedEvent struct {
 	// campaign is the submit frame's campaign namespace; tasks carrying
 	// their own Campaign win over it.
 	campaign string
+	// gauges is the runtime snapshot a heartbeat frame carried; nil for
+	// legacy workers that beat without one.
+	gauges *WorkerGauges
 }
 
 type workerConn struct {
@@ -231,10 +250,22 @@ func (s *Scheduler) Start(addr string) (string, error) {
 	// crash, or a writer so slow the bounded buffer overflows, loses
 	// events (see events.AsyncSink).
 	if s.EventLog != nil {
-		s.hub.AddAsyncSink(events.LogSink(s.EventLog), 0)
+		sink := s.hub.AddAsyncSink(events.LogSink(s.EventLog), 0)
+		if s.Metrics != nil {
+			s.Metrics.AddDropSource(sink.Dropped)
+		}
 	}
 	if s.PlacementLog != nil {
-		s.hub.AddAsyncSink(placementView(s.PlacementLog), 0)
+		sink := s.hub.AddAsyncSink(placementView(s.PlacementLog), 0)
+		if s.Metrics != nil {
+			s.Metrics.AddDropSource(sink.Dropped)
+		}
+	}
+	// The metrics view is synchronous — per-event work is a cached map hit
+	// plus atomic adds, cheap enough to ride the emit the dispatch path
+	// already performs, and a scrape always reflects every emitted event.
+	if s.Metrics != nil {
+		s.hub.AddSink(s.Metrics.Observe)
 	}
 	s.ln = ln
 	s.wg.Add(2)
@@ -264,7 +295,7 @@ func (s *Scheduler) WriteSchedulerFile(path string) error {
 	if s.ln == nil {
 		return fmt.Errorf("flow: scheduler not started")
 	}
-	doc := SchedulerFile{Address: s.ln.Addr().String(), StartedAt: time.Now()}
+	doc := SchedulerFile{Address: s.ln.Addr().String(), StartedAt: time.Now(), HTTP: s.AdminHTTP}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -277,6 +308,16 @@ func (s *Scheduler) WriteSchedulerFile(path string) error {
 		return err
 	}
 	return os.Rename(tmp, path)
+}
+
+// Healthy reports whether the scheduler is started and accepting work:
+// false before Start and from the moment Close begins. Close flips the
+// closed flag before draining connections, so a /healthz probe reads 503
+// for the whole shutdown window, not just after it completes.
+func (s *Scheduler) Healthy() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ln != nil && !s.closed
 }
 
 // Close shuts down the scheduler and all its connections.
@@ -376,7 +417,9 @@ func (s *Scheduler) serveConn(conn net.Conn) {
 					s.sendEvent(schedEvent{kind: "result", wc: wc, ress: ress})
 				}
 			} else if m.Type == msgHeartbeat {
-				s.sendEvent(schedEvent{kind: "heartbeat", wc: wc})
+				// m is fresh each iteration, so Gauges can ride the
+				// schedEvent without copying; nil for legacy beats.
+				s.sendEvent(schedEvent{kind: "heartbeat", wc: wc, gauges: m.Gauges})
 			}
 		}
 	case msgSubmit:
@@ -814,6 +857,9 @@ func (s *Scheduler) eventLoop() {
 			case "heartbeat":
 				if workers[e.wc] {
 					e.wc.lastBeat = time.Now()
+					if s.Metrics != nil && e.gauges != nil {
+						s.Metrics.SetWorkerGauges(e.wc.id, e.gauges)
+					}
 				}
 			case "workerGone":
 				if e.wc.ob != nil {

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"runtime"
+	rtmetrics "runtime/metrics"
 	"sync"
 	"time"
 )
@@ -57,6 +59,9 @@ type Worker struct {
 
 	// Processed counts completed tasks (for tests and stats).
 	processed int
+	// busyNS accumulates wall time spent inside the handler; heartbeats
+	// carry the running total so the scheduler can derive occupancy.
+	busyNS time.Duration
 }
 
 // NewWorker creates a worker with the given identity and task handler.
@@ -140,16 +145,35 @@ func (w *Worker) heartbeatLoop() {
 	defer w.wg.Done()
 	tick := time.NewTicker(w.HeartbeatInterval)
 	defer tick.Stop()
+	// One runtime/metrics sample slot, reused every beat. Reading it is a
+	// cheap atomic snapshot — unlike runtime.ReadMemStats there is no
+	// stop-the-world, so beating every second from hundreds of in-process
+	// bench workers costs nothing measurable.
+	heap := []rtmetrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
 	for {
 		select {
 		case <-w.stop:
 			return
 		case <-tick.C:
-			if err := w.send(&message{Type: msgHeartbeat, WorkerID: w.ID}); err != nil {
+			if err := w.send(&message{Type: msgHeartbeat, WorkerID: w.ID, Gauges: w.collectGauges(heap)}); err != nil {
 				return
 			}
 		}
 	}
+}
+
+// collectGauges samples the runtime snapshot a heartbeat carries.
+func (w *Worker) collectGauges(heap []rtmetrics.Sample) *WorkerGauges {
+	rtmetrics.Read(heap)
+	g := &WorkerGauges{Goroutines: runtime.NumGoroutine()}
+	if heap[0].Value.Kind() == rtmetrics.KindUint64 {
+		g.HeapBytes = heap[0].Value.Uint64()
+	}
+	w.mu.Lock()
+	g.TasksExecuted = uint64(w.processed)
+	g.BusyNS = int64(w.busyNS)
+	w.mu.Unlock()
+	return g
 }
 
 // stopHeartbeat signals the heartbeat goroutine to exit. Idempotent.
@@ -192,6 +216,7 @@ func (w *Worker) loop() {
 			continue
 		}
 		results := make([]Result, 0, len(tasks))
+		var busy time.Duration
 		for _, t := range tasks {
 			start := time.Now()
 			payload, err := w.handler(t)
@@ -206,10 +231,12 @@ func (w *Worker) loop() {
 			if err != nil {
 				res.Err = err.Error()
 			}
+			busy += res.End.Sub(res.Start)
 			results = append(results, res)
 		}
 		w.mu.Lock()
 		w.processed += len(results)
+		w.busyNS += busy
 		w.mu.Unlock()
 		var out message
 		if single {
